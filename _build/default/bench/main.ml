@@ -1,0 +1,238 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Figures 1, 4, 6, 7, 8, 9, 10, 11; Tables 1, 2, 3), plus
+   ablation benches and micro-benchmarks of the simulator's hot paths.
+
+   Usage:
+     dune exec bench/main.exe                 # everything (default scale)
+     dune exec bench/main.exe -- table1 fig9  # a subset
+     dune exec bench/main.exe -- --quick      # fast sanity pass
+     dune exec bench/main.exe -- --paper-scale table1   # k=8 fat tree
+     dune exec bench/main.exe -- micro        # bechamel micro-benches *)
+
+module E = Xmp_experiments
+module Time = Xmp_engine.Time
+
+type mode = Default | Quick | Paper
+
+let mode = ref Default
+
+let fig_scale () =
+  match !mode with Default -> 0.2 | Quick -> 0.1 | Paper -> 1.0
+
+let base () =
+  match !mode with
+  | Default -> E.Fatree_eval.default_base
+  | Quick -> { E.Fatree_eval.default_base with horizon = Time.sec 0.5 }
+  | Paper -> E.Fatree_eval.paper_scale_base
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "[%s finished in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+
+(* ----- micro-benchmarks (Bechamel) ----- *)
+
+let heap_test =
+  Bechamel.Test.make ~name:"event_queue push+pop x1000"
+    (Bechamel.Staged.stage (fun () ->
+         let q = Xmp_engine.Event_queue.create () in
+         for i = 0 to 999 do
+           Xmp_engine.Event_queue.add q ~time:(i * 7919 mod 1000) ~seq:i i
+         done;
+         let rec drain () =
+           match Xmp_engine.Event_queue.pop q with
+           | Some _ -> drain ()
+           | None -> ()
+         in
+         drain ()))
+
+let disc_test =
+  Bechamel.Test.make ~name:"queue_disc enqueue+dequeue x100"
+    (Bechamel.Staged.stage (fun () ->
+         let d =
+           Xmp_net.Queue_disc.create
+             ~policy:(Xmp_net.Queue_disc.Threshold_mark 10)
+             ~capacity_pkts:100
+         in
+         for i = 0 to 99 do
+           let p =
+             Xmp_net.Packet.data ~uid:i ~flow:0 ~subflow:0 ~src:0 ~dst:1
+               ~path:0 ~seq:i ~ect:true ~cwr:false ~ts:0
+           in
+           ignore (Xmp_net.Queue_disc.enqueue d p)
+         done;
+         let rec drain () =
+           match Xmp_net.Queue_disc.dequeue d with
+           | Some _ -> drain ()
+           | None -> ()
+         in
+         drain ()))
+
+let fluid_test =
+  Bechamel.Test.make ~name:"fluid trash_fixed_point (3 paths)"
+    (Bechamel.Staged.stage (fun () ->
+         let path c =
+           {
+             Xmp_core.Fluid.rtt = 0.0002;
+             p_of_rate = (fun x -> Float.min 1. (0.01 +. (x /. c)));
+           }
+         in
+         ignore
+           (Xmp_core.Fluid.trash_fixed_point ~beta:4
+              ~paths:[ path 50_000.; path 80_000.; path 20_000. ]
+              ~iterations:20)))
+
+let sim_test =
+  Bechamel.Test.make ~name:"end-to-end sim, 1 XMP flow, 10 ms"
+    (Bechamel.Staged.stage (fun () ->
+         let sim = Xmp_engine.Sim.create () in
+         let net = Xmp_net.Network.create sim in
+         let disc () =
+           Xmp_net.Queue_disc.create
+             ~policy:(Xmp_net.Queue_disc.Threshold_mark 10)
+             ~capacity_pkts:100
+         in
+         let tb =
+           Xmp_net.Testbed.create ~net ~n_left:1 ~n_right:1
+             ~bottlenecks:
+               [
+                 {
+                   Xmp_net.Testbed.rate = Xmp_net.Units.gbps 1.;
+                   delay = Time.us 62;
+                   disc;
+                 };
+               ]
+             ()
+         in
+         ignore
+           (Xmp_core.Xmp.flow ~net ~flow:1
+              ~src:(Xmp_net.Testbed.left_id tb 0)
+              ~dst:(Xmp_net.Testbed.right_id tb 0)
+              ~paths:[ 0 ] ());
+         Xmp_engine.Sim.run ~until:(Time.ms 10) sim))
+
+let micro () =
+  E.Render.heading "Micro-benchmarks of simulator hot paths (Bechamel)";
+  let benchmark test =
+    let instances = Bechamel.Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Bechamel.Benchmark.cfg ~limit:200
+        ~quota:(Bechamel.Time.second 0.5) ()
+    in
+    Bechamel.Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Bechamel.Analyze.ols ~bootstrap:0 ~r_square:true
+        ~predictors:Bechamel.Measure.[| run |]
+    in
+    Bechamel.Analyze.all ols Bechamel.Toolkit.Instance.monotonic_clock
+      results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-40s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-40s (no estimate)\n" name)
+        results)
+    [ heap_test; disc_test; fluid_test; sim_test ]
+
+(* ----- experiment registry: one entry per paper table/figure ----- *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ( "fig1",
+      "DCTCP vs halving-cwnd on one bottleneck",
+      fun () -> E.Fig1.run_and_print_all ~scale:(fig_scale ()) () );
+    ( "fig4",
+      "traffic shifting on testbed 3(a)",
+      fun () -> E.Fig4.run_and_print_all ~scale:(fig_scale ()) () );
+    ( "fig6",
+      "fairness on testbed 3(b)",
+      fun () -> E.Fig6.run_and_print_all ~scale:(fig_scale ()) () );
+    ( "fig7",
+      "rate compensation on the ring",
+      fun () -> E.Fig7.run_and_print_all ~scale:(fig_scale ()) () );
+    ( "table1",
+      "average goodput matrix",
+      fun () -> E.Fatree_eval.print_table1 (base ()) );
+    ( "fig8",
+      "goodput distributions",
+      fun () -> E.Fatree_eval.print_fig8 (base ()) );
+    ( "fig9",
+      "job completion time CDF",
+      fun () -> E.Fatree_eval.print_fig9 (base ()) );
+    ( "fig10",
+      "RTT distributions",
+      fun () -> E.Fatree_eval.print_fig10 (base ()) );
+    ( "fig11",
+      "link utilization by layer",
+      fun () -> E.Fatree_eval.print_fig11 (base ()) );
+    ( "table2",
+      "coexistence goodput",
+      fun () -> E.Coexistence.print_table2 ~base:(base ()) () );
+    ( "table3",
+      "job completion times",
+      fun () -> E.Fatree_eval.print_table3 (base ()) );
+    ( "ablations",
+      "beta/K/subflow/coupling sweeps",
+      fun () ->
+        E.Ablations.print_beta_sweep ~scale:(fig_scale ()) ();
+        E.Ablations.print_k_sweep ();
+        E.Ablations.print_subflow_sweep ~base:(base ()) ();
+        E.Ablations.print_coupling_comparison ~base:(base ()) ();
+        E.Ablations.print_flow_size_sweep ~base:(base ()) ();
+        E.Ablations.print_incast_fanout_sweep ~base:(base ()) ();
+        E.Ablations.print_rto_min_sweep ~base:(base ()) ();
+        E.Ablations.print_sack_comparison ~base:(base ()) ();
+        E.Ablations.print_queue_occupancy () );
+    ("micro", "simulator micro-benchmarks", micro);
+  ]
+
+let default_set =
+  [
+    "fig1"; "fig4"; "fig6"; "fig7"; "table1"; "fig8"; "fig9"; "fig10";
+    "fig11"; "table2"; "table3"; "ablations";
+  ]
+
+let usage () =
+  print_endline
+    "usage: main.exe [--quick|--paper-scale] [experiment ...]\nexperiments:";
+  List.iter
+    (fun (id, doc, _) -> Printf.printf "  %-10s %s\n" id doc)
+    experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected = ref [] in
+  let bad = ref false in
+  List.iter
+    (fun a ->
+      match a with
+      | "--quick" -> mode := Quick
+      | "--paper-scale" -> mode := Paper
+      | "--help" | "-h" ->
+        usage ();
+        exit 0
+      | id when List.exists (fun (i, _, _) -> i = id) experiments ->
+        selected := id :: !selected
+      | unknown ->
+        Printf.eprintf "unknown argument: %s\n" unknown;
+        bad := true)
+    args;
+  if !bad then begin
+    usage ();
+    exit 2
+  end;
+  let to_run = if !selected = [] then default_set else List.rev !selected in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun id ->
+      let _, _, f = List.find (fun (i, _, _) -> i = id) experiments in
+      timed id f)
+    to_run;
+  Printf.printf "\nAll requested benches done in %.1fs\n"
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,213 @@
+(* xmp-sim: command-line front end for the XMP reproduction.
+
+   Subcommands mirror the paper's experiments:
+     xmp_sim fig1|fig4|fig6|fig7      — time-series testbed experiments
+     xmp_sim matrix                   — fat-tree goodput matrix (Table 1)
+     xmp_sim eval                     — one (scheme, pattern) run in detail
+     xmp_sim coexist                  — Table 2
+     xmp_sim ablation                 — parameter sweeps *)
+
+open Cmdliner
+module E = Xmp_experiments
+module Time = Xmp_engine.Time
+module Scheme = Xmp_workload.Scheme
+
+(* ----- shared options ----- *)
+
+let scale_t =
+  let doc =
+    "Time-scale factor applied to the paper's schedules (1.0 = the paper's \
+     wall-clock timeline)."
+  in
+  Arg.(value & opt float 0.2 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let beta_t =
+  let doc = "XMP window-reduction divisor (paper default 4)." in
+  Arg.(value & opt int 4 & info [ "beta" ] ~docv:"BETA" ~doc)
+
+let k_arity_t =
+  let doc = "Fat-tree arity $(docv) (even; 4 => 16 hosts, 8 => 128)." in
+  Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc)
+
+let horizon_t =
+  let doc = "Simulated horizon in seconds for fat-tree runs." in
+  Arg.(value & opt float 2.0 & info [ "horizon" ] ~docv:"SECONDS" ~doc)
+
+let seed_t =
+  let doc = "Deterministic random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let marking_t =
+  let doc = "Switch marking threshold K in packets." in
+  Arg.(value & opt int 10 & info [ "mark" ] ~docv:"PKTS" ~doc)
+
+let queue_t =
+  let doc = "Switch queue capacity in packets." in
+  Arg.(value & opt int 100 & info [ "queue" ] ~docv:"PKTS" ~doc)
+
+let sack_t =
+  let doc =
+    "Enable SACK-based loss recovery on every flow (default: off, matching \
+     the paper's RTO-dominated baselines)."
+  in
+  Arg.(value & flag & info [ "sack" ] ~doc)
+
+let scheme_conv =
+  let parse s =
+    match Scheme.of_name s with
+    | Some scheme -> Ok scheme
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown scheme %S (try XMP-2, LIA-4, DCTCP, TCP, OLIA-2)" s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Scheme.name s))
+
+let scheme_t =
+  let doc = "Transfer scheme for large flows." in
+  Arg.(value & opt scheme_conv (Scheme.Xmp 2) & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+
+let pattern_conv =
+  let parse = function
+    | "permutation" -> Ok E.Fatree_eval.Permutation
+    | "random" -> Ok E.Fatree_eval.Random
+    | "incast" -> Ok E.Fatree_eval.Incast
+    | s -> Error (`Msg (Printf.sprintf "unknown pattern %S" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt
+      (String.lowercase_ascii (E.Fatree_eval.pattern_name p))
+  in
+  Arg.conv (parse, print)
+
+let pattern_t =
+  let doc = "Traffic pattern: permutation, random or incast." in
+  Arg.(
+    value
+    & opt pattern_conv E.Fatree_eval.Permutation
+    & info [ "pattern" ] ~docv:"PATTERN" ~doc)
+
+let base_of ?(sack = false) k horizon seed marking queue beta =
+  {
+    E.Fatree_eval.default_base with
+    k;
+    horizon = Time.sec horizon;
+    seed;
+    marking_threshold = marking;
+    queue_pkts = queue;
+    beta;
+    sack;
+  }
+
+(* ----- subcommands ----- *)
+
+let fig_cmd name doc run =
+  let term = Term.(const (fun scale -> run ~scale ()) $ scale_t) in
+  Cmd.v (Cmd.info name ~doc) term
+
+let fig1_cmd =
+  fig_cmd "fig1" "Figure 1: DCTCP vs halving-cwnd on one bottleneck"
+    (fun ~scale () -> E.Fig1.run_and_print_all ~scale ())
+
+let fig4_cmd =
+  let run scale beta =
+    E.Render.heading "Figure 4 (single panel)";
+    E.Fig4.print (E.Fig4.run ~scale ~beta ())
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Figure 4: traffic shifting on testbed 3(a)")
+    Term.(const run $ scale_t $ beta_t)
+
+let fig6_cmd =
+  let run scale beta =
+    E.Render.heading "Figure 6 (single panel)";
+    E.Fig6.print (E.Fig6.run ~scale ~beta ())
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Figure 6: fairness on testbed 3(b)")
+    Term.(const run $ scale_t $ beta_t)
+
+let fig7_cmd =
+  let run scale beta mark =
+    E.Render.heading "Figure 7 (single panel)";
+    E.Fig7.print (E.Fig7.run ~scale ~beta ~k:mark ())
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Figure 7: rate compensation on the ring")
+    Term.(const run $ scale_t $ beta_t $ marking_t)
+
+let matrix_cmd =
+  let run k horizon seed mark queue beta =
+    let base = base_of k horizon seed mark queue beta in
+    E.Fatree_eval.print_table1 base;
+    E.Fatree_eval.print_table3 base
+  in
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Tables 1 and 3: the fat-tree goodput matrix")
+    Term.(
+      const run $ k_arity_t $ horizon_t $ seed_t $ marking_t $ queue_t
+      $ beta_t)
+
+let eval_cmd =
+  let run k horizon seed mark queue beta sack scheme pattern =
+    let base = base_of ~sack k horizon seed mark queue beta in
+    let r = E.Fatree_eval.result base scheme pattern in
+    let m = r.Xmp_workload.Driver.metrics in
+    E.Render.heading
+      (Printf.sprintf "%s under %s" (Scheme.name scheme)
+         (E.Fatree_eval.pattern_name pattern));
+    Printf.printf "large flows recorded: %d\n"
+      (Xmp_workload.Metrics.n_completed_flows m);
+    Printf.printf "mean goodput: %.1f Mbps\n"
+      (Xmp_workload.Metrics.mean_goodput_bps m /. 1e6);
+    let jobs = Xmp_workload.Metrics.job_times_ms m in
+    if not (Xmp_stats.Distribution.is_empty jobs) then
+      Printf.printf "jobs: %d, mean completion %.1f ms, >300ms %.1f%%\n"
+        (Xmp_stats.Distribution.count jobs)
+        (Xmp_stats.Distribution.mean jobs)
+        (100. *. Xmp_workload.Metrics.jobs_over_ms m 300.);
+    E.Render.subheading "link utilization by layer";
+    E.Render.five_number_table ~value_header:"layer"
+      (Xmp_workload.Driver.utilization_by_layer r);
+    E.Render.subheading "RTT by locality (ms)";
+    E.Render.five_number_table ~value_header:"locality"
+      (List.map
+         (fun (loc, d) -> (Xmp_net.Fat_tree.locality_name loc, d))
+         (Xmp_workload.Metrics.rtts_by_locality m));
+    Printf.printf "events executed: %d\n" r.Xmp_workload.Driver.events
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"One fat-tree run in detail")
+    Term.(
+      const run $ k_arity_t $ horizon_t $ seed_t $ marking_t $ queue_t
+      $ beta_t $ sack_t $ scheme_t $ pattern_t)
+
+let coexist_cmd =
+  let run k horizon seed mark beta =
+    let base = base_of k horizon seed mark 100 beta in
+    E.Coexistence.print_table2 ~base ()
+  in
+  Cmd.v
+    (Cmd.info "coexist" ~doc:"Table 2: XMP coexisting with other schemes")
+    Term.(const run $ k_arity_t $ horizon_t $ seed_t $ marking_t $ beta_t)
+
+let ablation_cmd =
+  let run k horizon seed scale =
+    let base = base_of k horizon seed 10 100 4 in
+    E.Ablations.print_beta_sweep ~scale ();
+    E.Ablations.print_k_sweep ();
+    E.Ablations.print_subflow_sweep ~base ();
+    E.Ablations.print_coupling_comparison ~base ()
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Parameter sweeps (beta, K, subflows, coupling)")
+    Term.(const run $ k_arity_t $ horizon_t $ seed_t $ scale_t)
+
+let main_cmd =
+  let doc = "packet-level reproduction of XMP (CoNEXT 2013)" in
+  Cmd.group
+    (Cmd.info "xmp_sim" ~version:"1.0.0" ~doc)
+    [
+      fig1_cmd; fig4_cmd; fig6_cmd; fig7_cmd; matrix_cmd; eval_cmd;
+      coexist_cmd; ablation_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/deadline_flows.ml: Array List Printf Xmp_core Xmp_engine Xmp_net Xmp_transport

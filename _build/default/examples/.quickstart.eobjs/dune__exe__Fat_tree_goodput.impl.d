@@ -1,0 +1,1 @@
+examples/fat_tree_goodput.ml: List Printf Xmp_engine Xmp_stats Xmp_workload

@@ -1,0 +1,1 @@
+examples/incast_jobs.ml: Printf Xmp_engine Xmp_stats Xmp_workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Xmp_core Xmp_engine Xmp_mptcp Xmp_net Xmp_transport

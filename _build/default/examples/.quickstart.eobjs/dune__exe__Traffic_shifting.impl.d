@@ -1,0 +1,1 @@
+examples/traffic_shifting.ml: Array Printf Xmp_core Xmp_engine Xmp_mptcp Xmp_net Xmp_transport

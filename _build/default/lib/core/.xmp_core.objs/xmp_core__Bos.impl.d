@@ -1,0 +1,1 @@
+lib/core/bos.ml: Float Xmp_transport

@@ -1,0 +1,1 @@
+lib/core/bos.mli: Xmp_transport

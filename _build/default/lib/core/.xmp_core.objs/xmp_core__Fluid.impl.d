@@ -1,0 +1,1 @@
+lib/core/fluid.ml: Array Float

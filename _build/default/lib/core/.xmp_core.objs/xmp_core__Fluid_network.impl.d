@@ -1,0 +1,1 @@
+lib/core/fluid_network.ml: Array Float Hashtbl List Option Trash

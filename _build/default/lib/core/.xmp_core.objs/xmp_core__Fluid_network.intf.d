@@ -1,0 +1,1 @@
+lib/core/fluid_network.mli: Xmp_net

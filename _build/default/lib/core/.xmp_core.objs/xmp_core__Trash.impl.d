@@ -1,0 +1,1 @@
+lib/core/trash.ml: Bos Float Xmp_engine Xmp_mptcp Xmp_transport

@@ -1,0 +1,1 @@
+lib/core/trash.mli: Bos Xmp_mptcp

@@ -1,0 +1,1 @@
+lib/core/xmp.ml: Bos Params Trash Xmp_mptcp Xmp_net Xmp_transport

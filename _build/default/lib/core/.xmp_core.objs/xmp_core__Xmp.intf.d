@@ -1,0 +1,1 @@
+lib/core/xmp.mli: Bos Params Xmp_engine Xmp_mptcp Xmp_net Xmp_transport

@@ -1,0 +1,81 @@
+module Cc = Xmp_transport.Cc
+
+type params = { beta : int; init_cwnd : float; min_cwnd : float }
+
+let default_params = { beta = 4; init_cwnd = 3.; min_cwnd = 2. }
+
+type reduction_state = Normal | Reduced
+
+type state = {
+  params : params;
+  view : Cc.view;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable adder : float;
+  mutable beg_seq : int;
+  mutable cwr_seq : int;
+  mutable reduction : reduction_state;
+}
+
+let make ?(params = default_params) ?(delta = fun () -> 1.)
+    ?(on_round = fun () -> ()) () view =
+  if params.beta < 2 then invalid_arg "Bos.make: beta must be >= 2";
+  let s =
+    {
+      params;
+      view;
+      cwnd = params.init_cwnd;
+      ssthresh = Float.max_float;
+      adder = 0.;
+      beg_seq = 0;
+      cwr_seq = 0;
+      reduction = Normal;
+    }
+  in
+  let in_slow_start () = s.cwnd <= s.ssthresh in
+  let on_ack ~ack ~newly_acked:_ ~ce_count:_ =
+    (* per-round operations (Algorithm 1) *)
+    if ack > s.beg_seq then begin
+      if s.reduction = Normal && not (in_slow_start ()) then begin
+        s.adder <- s.adder +. delta ();
+        let whole = Float.of_int (int_of_float s.adder) in
+        s.cwnd <- s.cwnd +. whole;
+        s.adder <- s.adder -. whole
+      end;
+      s.beg_seq <- s.view.Cc.snd_nxt ();
+      on_round ()
+    end;
+    (* per-ack operations *)
+    if s.reduction = Normal && in_slow_start () then s.cwnd <- s.cwnd +. 1.;
+    if s.reduction <> Normal && ack >= s.cwr_seq then s.reduction <- Normal
+  in
+  let on_ecn ~count:_ =
+    if s.reduction = Normal then begin
+      s.reduction <- Reduced;
+      s.cwr_seq <- s.view.Cc.snd_nxt ();
+      if not (in_slow_start ()) then begin
+        let cut = Float.max (s.cwnd /. float_of_int s.params.beta) 1. in
+        s.cwnd <- Float.max (s.cwnd -. cut) s.params.min_cwnd
+      end;
+      (* leave (or stay out of) slow start without re-entering it *)
+      s.ssthresh <- s.cwnd -. 1.
+    end
+  in
+  let on_fast_retransmit () =
+    s.cwnd <- Float.max (s.cwnd /. 2.) s.params.min_cwnd;
+    s.ssthresh <- s.cwnd -. 1.
+  in
+  let on_timeout () =
+    s.ssthresh <- Float.max (s.cwnd /. 2.) s.params.min_cwnd;
+    s.cwnd <- 1.
+  in
+  {
+    Cc.name = "bos";
+    cwnd = (fun () -> s.cwnd);
+    on_ack;
+    on_ecn;
+    on_fast_retransmit;
+    on_timeout;
+    in_slow_start = (fun () -> in_slow_start ());
+    take_cwr = Cc.nop_take_cwr;
+  }

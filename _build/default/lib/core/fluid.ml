@@ -1,0 +1,102 @@
+let check_beta beta = if beta < 2 then invalid_arg "Fluid: beta must be >= 2"
+
+let cwnd_derivative ~beta ~delta ~t_round ~p ~w =
+  check_beta beta;
+  (delta *. (1. -. p) /. t_round) -. (w *. p /. (t_round *. float_of_int beta))
+
+let equilibrium_p ~beta ~delta ~w =
+  check_beta beta;
+  1. /. (1. +. (w /. (delta *. float_of_int beta)))
+
+let equilibrium_rate ~beta ~delta ~t_round ~p =
+  check_beta beta;
+  if p <= 0. then invalid_arg "Fluid.equilibrium_rate: p must be positive";
+  delta *. float_of_int beta *. (1. -. p) /. (t_round *. p)
+
+let utility ~beta ~delta ~t_round x =
+  check_beta beta;
+  let db = delta *. float_of_int beta in
+  db /. t_round *. log (1. +. (t_round *. x /. db))
+
+let utility_deriv ~beta ~delta ~t_round y =
+  check_beta beta;
+  1. /. (1. +. (y *. t_round /. (delta *. float_of_int beta)))
+
+let trash_delta ~rtt ~rate ~min_rtt ~total_rate =
+  if min_rtt <= 0. || total_rate <= 0. then 1.
+  else rtt *. rate /. (min_rtt *. total_rate)
+
+let integrate_bos ~beta ~delta ~t_round ~p_of_w ~w0 ~dt ~steps =
+  check_beta beta;
+  let w = ref w0 in
+  for _ = 1 to steps do
+    let p = p_of_w !w in
+    w := Float.max 1. (!w +. (dt *. cwnd_derivative ~beta ~delta ~t_round ~p ~w:!w))
+  done;
+  !w
+
+type path = { rtt : float; p_of_rate : float -> float }
+
+type trash_state = { deltas : float array; rates : float array }
+
+(* Solve x = δβ(1−p(x)) / (T·p(x)) by bisection on
+   g(x) = x·T·p(x) − δβ(1−p(x)), which is increasing in x. *)
+let rate_for_delta ~beta path ~delta =
+  check_beta beta;
+  let db = delta *. float_of_int beta in
+  let g x =
+    let p = path.p_of_rate x in
+    (x *. path.rtt *. p) -. (db *. (1. -. p))
+  in
+  let rec widen hi n =
+    if n = 0 || g hi >= 0. then hi else widen (hi *. 2.) (n - 1)
+  in
+  let hi = widen 1.0 128 in
+  let rec bisect lo hi n =
+    if n = 0 then (lo +. hi) /. 2.
+    else begin
+      let mid = (lo +. hi) /. 2. in
+      if g mid >= 0. then bisect lo mid (n - 1) else bisect mid hi (n - 1)
+    end
+  in
+  bisect 0. hi 80
+
+let trash_fixed_point ~beta ~paths ~iterations =
+  check_beta beta;
+  let paths = Array.of_list paths in
+  let n = Array.length paths in
+  if n = 0 then invalid_arg "Fluid.trash_fixed_point: no paths";
+  let deltas = Array.make n 1. in
+  let rates = Array.make n 0. in
+  for _ = 1 to iterations do
+    (* step 2: rate convergence per path given δ *)
+    for i = 0 to n - 1 do
+      rates.(i) <- rate_for_delta ~beta paths.(i) ~delta:deltas.(i)
+    done;
+    (* step 3: Equation 9 update *)
+    let total = Array.fold_left ( +. ) 0. rates in
+    let min_rtt =
+      Array.fold_left (fun acc p -> Float.min acc p.rtt) Float.max_float
+        paths
+    in
+    for i = 0 to n - 1 do
+      deltas.(i) <-
+        trash_delta ~rtt:paths.(i).rtt ~rate:rates.(i) ~min_rtt
+          ~total_rate:total
+    done
+  done;
+  (* final inner convergence so rates match the returned deltas *)
+  for i = 0 to n - 1 do
+    rates.(i) <- rate_for_delta ~beta paths.(i) ~delta:deltas.(i)
+  done;
+  { deltas; rates }
+
+let congestion_spread ~beta ~paths state =
+  check_beta beta;
+  let paths = Array.of_list paths in
+  let ps =
+    Array.mapi (fun i p -> p.p_of_rate state.rates.(i)) paths
+  in
+  let mx = Array.fold_left Float.max neg_infinity ps in
+  let mn = Array.fold_left Float.min infinity ps in
+  mx -. mn

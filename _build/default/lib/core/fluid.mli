@@ -1,0 +1,64 @@
+(** Fluid model of BOS and TraSh (§2, Equations 2–9).
+
+    These are the analytic counterparts of the packet-level
+    implementation: the window ODE, its equilibrium, the utility function
+    that BOS maximizes, and a fixed-point iterator for TraSh's two-level
+    convergence. The test suite checks the packet simulator against these
+    predictions, and Proposition 1 is verified as a property test. *)
+
+val cwnd_derivative :
+  beta:int -> delta:float -> t_round:float -> p:float -> w:float -> float
+(** Equation 2: [dw/dt = δ(1−p)/T − w·p/(T·β)]. *)
+
+val equilibrium_p : beta:int -> delta:float -> w:float -> float
+(** Equation 3 (generalized to δ, Equation 8): the round-marking
+    probability at equilibrium, [1 / (1 + w/(δβ))]. *)
+
+val equilibrium_rate :
+  beta:int -> delta:float -> t_round:float -> p:float -> float
+(** Inverse of Equation 8: [x = δβ(1−p) / (T·p)] (segments per second). *)
+
+val utility : beta:int -> delta:float -> t_round:float -> float -> float
+(** Equation 4/6: [U(x) = (δβ/T)·log(1 + T·x/(δβ))]. *)
+
+val utility_deriv :
+  beta:int -> delta:float -> t_round:float -> float -> float
+(** Equation 7: [U'(y) = 1 / (1 + y·T/(δβ))] — the flow's expected
+    congestion extent on its virtual single path. *)
+
+val trash_delta : rtt:float -> rate:float -> min_rtt:float -> total_rate:float -> float
+(** Equation 9: [δ = (T_r·x_r) / (T_min·y)]. *)
+
+val integrate_bos :
+  beta:int ->
+  delta:float ->
+  t_round:float ->
+  p_of_w:(float -> float) ->
+  w0:float ->
+  dt:float ->
+  steps:int ->
+  float
+(** Euler integration of Equation 2 with a window-dependent marking
+    probability; returns the final window. *)
+
+(** A path in the fixed-point model: its RTT and how congested it looks as
+    a function of the rate pushed onto it. [p_of_rate] must be strictly
+    increasing with values in (0, 1]. *)
+type path = { rtt : float; p_of_rate : float -> float }
+
+val rate_for_delta : beta:int -> path -> delta:float -> float
+(** Inner level of TraSh: the equilibrium rate on a path for a given δ
+    (solves Equation 8 against the path's congestion law by bisection). *)
+
+type trash_state = { deltas : float array; rates : float array }
+
+val trash_fixed_point :
+  beta:int -> paths:path list -> iterations:int -> trash_state
+(** Outer level: alternates rate convergence and the Equation 9 δ update
+    (Algorithm TraSh, steps 2–4) for [iterations] rounds starting from
+    δ = 1. *)
+
+val congestion_spread :
+  beta:int -> paths:path list -> trash_state -> float
+(** Max − min of per-path equilibrium congestion [p̃_r] at a state; tends
+    to 0 as TraSh converges (Congestion Equality Principle). *)

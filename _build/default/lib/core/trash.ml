@@ -1,0 +1,31 @@
+module Coupling = Xmp_mptcp.Coupling
+module Cc = Xmp_transport.Cc
+
+let delta ~own_cwnd ~total_rate ~min_rtt_s =
+  if total_rate <= 0. || min_rtt_s <= 0. || min_rtt_s = Float.max_float then
+    1.
+  else own_cwnd /. (total_rate *. min_rtt_s)
+
+let coupling ?(params = Bos.default_params) () =
+  let fresh () =
+    let g = Coupling.group () in
+    fun _index view ->
+      (* The subflow's own window getter only exists once the BOS instance
+         is built; tie the knot through a cell. *)
+      let own_cwnd = ref (fun () -> params.Bos.init_cwnd) in
+      let subflow_delta () =
+        delta ~own_cwnd:(!own_cwnd ())
+          ~total_rate:(Coupling.total_rate g)
+          ~min_rtt_s:(Coupling.min_srtt g)
+      in
+      let cc = Bos.make ~params ~delta:subflow_delta () view in
+      own_cwnd := cc.Cc.cwnd;
+      Coupling.register g
+        {
+          Coupling.cwnd = cc.Cc.cwnd;
+          srtt_s = (fun () -> Xmp_engine.Time.to_float_s (view.Cc.srtt ()));
+          in_slow_start = cc.Cc.in_slow_start;
+        };
+      { cc with Cc.name = "xmp" }
+  in
+  { Coupling.name = "xmp"; fresh }

@@ -1,0 +1,22 @@
+(** TraSh — Traffic Shifting (§2.2 and Algorithm 1).
+
+    Couples the subflows of an MPTCP flow by retuning each subflow's BOS
+    additive-increase gain once per round:
+
+    {v δ_r = (T_r · x_r) / (T_min · y) = w_r / (Σ_i w_i/T_i · T_min) v}
+
+    where [x_r = w_r / T_r] is the subflow's instantaneous rate, [y] the
+    flow's total rate and [T_min] the smallest smoothed subflow RTT. A
+    subflow on a path more congested than the flow's aggregate sees its δ
+    shrink (traffic moves off); a subflow on a less congested path sees δ
+    grow (Proposition 1) — until all used paths are equally congested
+    (Congestion Equality Principle). With one subflow, δ = 1 and TraSh
+    degenerates to plain BOS. *)
+
+val delta :
+  own_cwnd:float -> total_rate:float -> min_rtt_s:float -> float
+(** The Equation 9 / Algorithm 1 gain; exposed for unit and property
+    tests. Returns 1 when rates are not yet measurable. *)
+
+val coupling : ?params:Bos.params -> unit -> Xmp_mptcp.Coupling.t
+(** The XMP coupling: BOS per subflow with TraSh-managed δ. *)

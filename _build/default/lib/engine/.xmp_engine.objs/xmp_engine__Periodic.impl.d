@@ -1,0 +1,1 @@
+lib/engine/periodic.ml: Sim Time

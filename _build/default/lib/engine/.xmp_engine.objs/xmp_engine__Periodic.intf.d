@@ -1,0 +1,1 @@
+lib/engine/periodic.mli: Sim Time

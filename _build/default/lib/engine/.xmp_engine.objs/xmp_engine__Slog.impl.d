@@ -1,0 +1,1 @@
+lib/engine/slog.ml: Format Sim Time

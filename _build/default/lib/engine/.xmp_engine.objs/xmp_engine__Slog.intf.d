@@ -1,0 +1,1 @@
+lib/engine/slog.mli: Format Sim

@@ -1,0 +1,68 @@
+type 'a entry = { time : Time.t; seq : int; payload : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+
+let length h = h.len
+
+let is_empty h = h.len = 0
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.arr in
+  let cap' = if cap = 0 then 64 else cap * 2 in
+  (* The dummy cell below the live region is never read. *)
+  let dummy = h.arr.(0) in
+  let arr' = Array.make cap' dummy in
+  Array.blit h.arr 0 arr' 0 h.len;
+  h.arr <- arr'
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier h.arr.(i) h.arr.(parent) then begin
+      let tmp = h.arr.(i) in
+      h.arr.(i) <- h.arr.(parent);
+      h.arr.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.len && earlier h.arr.(left) h.arr.(!smallest) then smallest := left;
+  if right < h.len && earlier h.arr.(right) h.arr.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(!smallest);
+    h.arr.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let add h ~time ~seq payload =
+  let entry = { time; seq; payload } in
+  if h.len = 0 && Array.length h.arr = 0 then h.arr <- Array.make 64 entry;
+  if h.len = Array.length h.arr then grow h;
+  h.arr.(h.len) <- entry;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek_time h = if h.len = 0 then None else Some h.arr.(0).time
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.arr.(0) <- h.arr.(h.len);
+      sift_down h 0
+    end;
+    Some (top.time, top.seq, top.payload)
+  end
+
+let clear h = h.len <- 0

@@ -1,0 +1,24 @@
+(** Growable binary min-heap of timestamped events.
+
+    Events are ordered by [(time, seq)] where [seq] is a monotonically
+    increasing insertion counter supplied by the caller: two events scheduled
+    for the same instant fire in insertion order, which makes simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:Time.t -> seq:int -> 'a -> unit
+
+val peek_time : 'a t -> Time.t option
+(** Timestamp of the earliest event, if any. *)
+
+val pop : 'a t -> (Time.t * int * 'a) option
+(** Removes and returns the earliest event as [(time, seq, payload)]. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,65 @@
+type event = { run : unit -> unit; mutable live : bool }
+
+type timer = event
+
+type t = {
+  mutable now : Time.t;
+  heap : event Event_queue.t;
+  mutable next_seq : int;
+  mutable executed : int;
+  random : Random.State.t;
+}
+
+let create ?(seed = 42) () =
+  {
+    now = Time.zero;
+    heap = Event_queue.create ();
+    next_seq = 0;
+    executed = 0;
+    random = Random.State.make [| seed; 0x584d50 (* "XMP" *) |];
+  }
+
+let now t = t.now
+let rng t = t.random
+let events_executed t = t.executed
+let pending t = Event_queue.length t.heap
+
+let schedule t time f =
+  if time < t.now then
+    invalid_arg
+      (Format.asprintf "Sim: scheduling at %a before now %a" Time.pp time
+         Time.pp t.now);
+  let ev = { run = f; live = true } in
+  Event_queue.add t.heap ~time ~seq:t.next_seq ev;
+  t.next_seq <- t.next_seq + 1;
+  ev
+
+let at t time f = ignore (schedule t time f)
+let after t d f = ignore (schedule t (Time.add t.now d) f)
+let timer_at t time f = schedule t time f
+let timer_after t d f = schedule t (Time.add t.now d) f
+let cancel (ev : timer) = ev.live <- false
+let timer_active (ev : timer) = ev.live
+
+let step t =
+  match Event_queue.pop t.heap with
+  | None -> false
+  | Some (time, _seq, ev) ->
+    t.now <- time;
+    if ev.live then begin
+      ev.live <- false;
+      t.executed <- t.executed + 1;
+      ev.run ()
+    end;
+    true
+
+let run ?(until = Time.infinity) t =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.heap with
+    | None -> continue := false
+    | Some time when time > until ->
+      t.now <- until;
+      continue := false
+    | Some _ -> ignore (step t)
+  done

@@ -1,0 +1,52 @@
+(** Discrete-event simulator.
+
+    A simulator owns a clock, an event heap and a deterministic random state.
+    Events are thunks fired in strict timestamp order (ties resolved by
+    scheduling order). Scheduling in the past is a programming error and
+    raises [Invalid_argument]. *)
+
+type t
+
+type timer
+(** Handle to a cancellable scheduled event. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ?seed ()] makes a fresh simulator at time 0. The random state is
+    seeded with [seed] (default 42), so runs are reproducible. *)
+
+val now : t -> Time.t
+
+val rng : t -> Random.State.t
+
+val events_executed : t -> int
+(** Number of events fired so far (a cheap progress/work metric). *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled timers not yet
+    reaped). *)
+
+val at : t -> Time.t -> (unit -> unit) -> unit
+(** [at sim time f] schedules [f] to run at absolute [time]. *)
+
+val after : t -> Time.t -> (unit -> unit) -> unit
+(** [after sim d f] schedules [f] to run [d] from now. *)
+
+val timer_at : t -> Time.t -> (unit -> unit) -> timer
+(** Like {!at} but returns a cancellable handle. *)
+
+val timer_after : t -> Time.t -> (unit -> unit) -> timer
+
+val cancel : timer -> unit
+(** Cancelling an already-fired or already-cancelled timer is a no-op. *)
+
+val timer_active : timer -> bool
+(** True if the timer is scheduled and neither fired nor cancelled. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Runs events until the heap is empty, or until the clock would pass
+    [until]. The clock is left at the last executed event's time (or at
+    [until] if a cutoff was hit). Events scheduled exactly at [until] do
+    run. *)
+
+val step : t -> bool
+(** Executes the single earliest event. Returns [false] if none is queued. *)

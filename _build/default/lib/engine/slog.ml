@@ -1,0 +1,19 @@
+type level = Quiet | Info | Debug
+
+let current = ref Quiet
+let set_level l = current := l
+let level () = !current
+
+let log sim fmt =
+  Format.eprintf "[%a] " Time.pp (Sim.now sim);
+  Format.kfprintf
+    (fun f -> Format.pp_print_newline f ())
+    Format.err_formatter fmt
+
+let drop fmt = Format.ikfprintf (fun _ -> ()) Format.err_formatter fmt
+
+let info sim fmt =
+  match !current with Quiet -> drop fmt | Info | Debug -> log sim fmt
+
+let debug sim fmt =
+  match !current with Quiet | Info -> drop fmt | Debug -> log sim fmt

@@ -1,0 +1,18 @@
+(** Minimal simulation-time-stamped logging.
+
+    Disabled by default so hot paths cost a single branch. Intended for
+    debugging scenarios, not for measurement output (benches print their own
+    tables). *)
+
+type level = Quiet | Info | Debug
+
+val set_level : level -> unit
+
+val level : unit -> level
+
+val info : Sim.t -> ('a, Format.formatter, unit) format -> 'a
+(** [info sim fmt ...] prints ["[<time>] ..."] on stderr when the level is
+    [Info] or [Debug]. *)
+
+val debug : Sim.t -> ('a, Format.formatter, unit) format -> 'a
+(** Like {!info}, only at [Debug]. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Fatree_eval Fig6 List Printf Render Xmp_core Xmp_engine Xmp_mptcp Xmp_net Xmp_stats Xmp_workload

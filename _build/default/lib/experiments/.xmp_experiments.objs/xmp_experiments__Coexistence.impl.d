@@ -1,0 +1,1 @@
+lib/experiments/coexistence.ml: Fatree_eval List Printf Render Xmp_stats Xmp_workload

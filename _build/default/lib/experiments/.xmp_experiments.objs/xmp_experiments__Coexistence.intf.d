@@ -1,0 +1,1 @@
+lib/experiments/coexistence.mli: Fatree_eval Xmp_workload

@@ -1,0 +1,1 @@
+lib/experiments/fatree_eval.ml: Array Float Hashtbl List Printf Render Stdlib Xmp_engine Xmp_net Xmp_stats Xmp_workload

@@ -1,0 +1,1 @@
+lib/experiments/fatree_eval.mli: Xmp_engine Xmp_workload

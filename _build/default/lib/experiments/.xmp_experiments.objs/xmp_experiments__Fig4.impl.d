@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array List Printf Probe Render Xmp_core Xmp_engine Xmp_mptcp Xmp_net

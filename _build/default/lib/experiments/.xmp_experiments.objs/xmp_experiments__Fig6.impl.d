@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Array List Printf Probe Render Stdlib String Xmp_core Xmp_engine Xmp_mptcp Xmp_net Xmp_stats

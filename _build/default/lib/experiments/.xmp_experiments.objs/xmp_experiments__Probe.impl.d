@@ -1,0 +1,1 @@
+lib/experiments/probe.ml: Array Float Hashtbl List Stdlib Xmp_engine Xmp_net Xmp_stats

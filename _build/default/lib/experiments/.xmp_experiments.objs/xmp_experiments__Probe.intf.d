@@ -1,0 +1,1 @@
+lib/experiments/probe.mli: Xmp_engine

@@ -1,0 +1,1 @@
+lib/experiments/render.ml: Array List Printf String Xmp_stats

@@ -1,0 +1,24 @@
+(** Figure 6 — fairness on the Figure 3(b) testbed (§4).
+
+    Four XMP flows share one 300 Mbps bottleneck. Flow 1 grows from one to
+    three subflows (established at 0, 5 and 15 s), Flow 2 brings up two
+    subflows at 20 s, Flows 3 and 4 are single-path (starting at 0 and
+    10 s) and both stop at 25 s. With β = 4 every *flow* should hold
+    roughly one fair share regardless of its subflow count; with β = 6
+    fairness degrades. *)
+
+type result = {
+  beta : int;
+  bucket_s : float;
+  subflow_rates : (string * float array) list;  (** normalized, per subflow *)
+  flow_rates : (string * float array) list;  (** summed per flow *)
+  jain_flows : float;
+      (** Jain index across the four flow totals while all are active
+          (the window just after Flow 2 joins) *)
+}
+
+val run : ?scale:float -> ?seed:int -> beta:int -> unit -> result
+
+val print : result -> unit
+
+val run_and_print_all : ?scale:float -> unit -> unit

@@ -1,0 +1,21 @@
+(** Text rendering of experiment outputs in the shapes the paper's tables
+    and figures use. *)
+
+val heading : string -> unit
+(** Prints a boxed section title. *)
+
+val subheading : string -> unit
+
+val series_table :
+  bucket_s:float -> ?every:int -> (string * float array) list -> unit
+(** Prints a time column plus one column per named series, sampling every
+    [every]-th bucket (default 1). Values rendered with 3 decimals. *)
+
+val cdf_table : ?points:int -> (string * Xmp_stats.Distribution.t) list -> unit
+(** Empirical CDFs side by side: for each cumulative probability (default
+    deciles plus extremes), the value of each named distribution. *)
+
+val five_number_table :
+  value_header:string -> (string * Xmp_stats.Distribution.t) list -> unit
+(** One row per name: min / p10 / p50 / p90 / max and mean — the paper's
+    vertical-bar figures as text. *)

@@ -1,0 +1,1 @@
+lib/mptcp/coupling.ml: Float List Xmp_transport

@@ -1,0 +1,1 @@
+lib/mptcp/coupling.mli: Xmp_transport

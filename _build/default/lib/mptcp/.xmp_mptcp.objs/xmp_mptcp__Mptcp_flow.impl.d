@@ -1,0 +1,1 @@
+lib/mptcp/mptcp_flow.ml: Array Coupling List Xmp_engine Xmp_net Xmp_transport

@@ -1,0 +1,1 @@
+lib/mptcp/mptcp_flow.mli: Coupling Xmp_engine Xmp_net Xmp_transport

@@ -1,0 +1,1 @@
+lib/mptcp/olia.ml: Coupling Float List Xmp_engine Xmp_transport

@@ -1,0 +1,1 @@
+lib/mptcp/olia.mli: Coupling Xmp_transport

@@ -1,0 +1,33 @@
+type member = {
+  cwnd : unit -> float;
+  srtt_s : unit -> float;
+  in_slow_start : unit -> bool;
+}
+
+type group = { mutable members : member list (* reverse order *) }
+
+let group () = { members = [] }
+let register g m = g.members <- m :: g.members
+let members g = List.rev g.members
+
+let total_cwnd g =
+  List.fold_left (fun acc m -> acc +. m.cwnd ()) 0. g.members
+
+let total_rate g =
+  List.fold_left
+    (fun acc m ->
+      let rtt = m.srtt_s () in
+      if rtt > 0. then acc +. (m.cwnd () /. rtt) else acc)
+    0. g.members
+
+let min_srtt g =
+  List.fold_left
+    (fun acc m ->
+      let rtt = m.srtt_s () in
+      if rtt > 0. then Float.min acc rtt else acc)
+    Float.max_float g.members
+
+type t = { name : string; fresh : unit -> int -> Xmp_transport.Cc.factory }
+
+let uncoupled ~name factory =
+  { name; fresh = (fun () _index -> factory) }

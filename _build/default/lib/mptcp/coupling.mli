@@ -1,0 +1,42 @@
+(** Coupled congestion control across the subflows of one MPTCP flow.
+
+    A coupling is instantiated once per flow ({!fresh}); the resulting
+    group closure hands each subflow a {!Xmp_transport.Cc} factory whose
+    behaviour may depend on every sibling's state. Implementations
+    register each member's window and RTT getters in the group as the
+    subflow connections are created. *)
+
+type member = {
+  cwnd : unit -> float;  (** subflow congestion window, segments *)
+  srtt_s : unit -> float;  (** smoothed RTT, seconds *)
+  in_slow_start : unit -> bool;
+}
+
+type group
+(** Mutable per-flow registry of members. *)
+
+val group : unit -> group
+
+val register : group -> member -> unit
+
+val members : group -> member list
+(** In registration order. *)
+
+val total_cwnd : group -> float
+
+val total_rate : group -> float
+(** [Σ cwnd_i / srtt_i], segments per second. *)
+
+val min_srtt : group -> float
+(** Smallest smoothed RTT across members, seconds. *)
+
+type t = {
+  name : string;
+  fresh : unit -> int -> Xmp_transport.Cc.factory;
+      (** [fresh ()] creates the per-flow group; applying the result to a
+          subflow index yields that subflow's controller factory. *)
+}
+
+val uncoupled : name:string -> Xmp_transport.Cc.factory -> t
+(** Runs the given controller independently on every subflow (the paper's
+    "violates fairness" strawman; useful as an experimental control). *)

@@ -1,0 +1,44 @@
+module Reno = Xmp_transport.Reno
+module Cc = Xmp_transport.Cc
+
+let alpha ~windows_rtts =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. windows_rtts in
+  let best =
+    List.fold_left
+      (fun acc (w, rtt) ->
+        if rtt > 0. then Float.max acc (w /. (rtt *. rtt)) else acc)
+      0. windows_rtts
+  in
+  let denom =
+    List.fold_left
+      (fun acc (w, rtt) -> if rtt > 0. then acc +. (w /. rtt) else acc)
+      0. windows_rtts
+  in
+  if denom <= 0. || total <= 0. then 0.
+  else total *. best /. (denom *. denom)
+
+let coupling ?(params = Reno.default_params) () =
+  let fresh () =
+    let g = Coupling.group () in
+    fun _index view ->
+      let increase ~cwnd =
+        let windows_rtts =
+          List.map
+            (fun m -> (m.Coupling.cwnd (), m.Coupling.srtt_s ()))
+            (Coupling.members g)
+        in
+        let total = Coupling.total_cwnd g in
+        let a = alpha ~windows_rtts in
+        if total <= 0. then 1. /. cwnd
+        else Float.min (a /. total) (1. /. cwnd)
+      in
+      let cc = Reno.make_with_increase ~params ~increase () view in
+      Coupling.register g
+        {
+          Coupling.cwnd = cc.Cc.cwnd;
+          srtt_s = (fun () -> Xmp_engine.Time.to_float_s (view.Cc.srtt ()));
+          in_slow_start = cc.Cc.in_slow_start;
+        };
+      { cc with Cc.name = "lia" }
+  in
+  { Coupling.name = "lia"; fresh }

@@ -1,0 +1,124 @@
+module Time = Xmp_engine.Time
+module Network = Xmp_net.Network
+module Tcp = Xmp_transport.Tcp
+module Packet = Xmp_net.Packet
+
+type t = {
+  net : Network.t;
+  flow : int;
+  src : int;
+  dst : int;
+  size_segments : int option;
+  config : Tcp.config option;
+  source : Tcp.source;
+  group_factory : int -> Xmp_transport.Cc.factory;
+  mutable subflows : Tcp.t array;
+  mutable acked : int;
+  mutable n_done : int;
+  mutable completed_at : Time.t option;
+  started_at : Time.t;
+  on_complete : t -> unit;
+  on_subflow_acked : int -> int -> unit;
+  on_rtt_sample : Time.t -> unit;
+}
+
+let nop2 _ _ = ()
+
+let check_complete t =
+  if t.n_done = Array.length t.subflows && t.completed_at = None then begin
+    t.completed_at <- Some (Xmp_engine.Sim.now (Network.sim t.net));
+    t.on_complete t
+  end
+
+let launch_subflow t ~path =
+  let idx = Array.length t.subflows in
+  let conn =
+    Tcp.create ~net:t.net ~flow:t.flow ~subflow:idx ~src:t.src ~dst:t.dst
+      ~path ~cc:(t.group_factory idx) ?config:t.config ~source:t.source
+      ~on_segment_acked:(fun n ->
+        t.acked <- t.acked + n;
+        t.on_subflow_acked idx n)
+      ~on_rtt_sample:t.on_rtt_sample
+      ~on_complete:(fun () ->
+        t.n_done <- t.n_done + 1;
+        check_complete t)
+      ()
+  in
+  t.subflows <- Array.append t.subflows [| conn |];
+  (* a zero-size source can complete a subflow synchronously inside
+     Tcp.create, before the append above; re-check now *)
+  check_complete t;
+  conn
+
+let create ~net ~flow ~src ~dst ~paths ~coupling ?config ?size_segments
+    ?(on_complete = fun _ -> ()) ?(on_subflow_acked = nop2)
+    ?(on_rtt_sample = fun _ -> ()) () =
+  if paths = [] then invalid_arg "Mptcp_flow.create: paths";
+  let sim = Network.sim net in
+  let source =
+    match size_segments with
+    | None -> Tcp.Infinite
+    | Some n ->
+      if n < 0 then invalid_arg "Mptcp_flow.create: size_segments";
+      Tcp.Limited (ref n)
+  in
+  let t =
+    {
+      net;
+      flow;
+      src;
+      dst;
+      size_segments;
+      config;
+      source;
+      group_factory = coupling.Coupling.fresh ();
+      subflows = [||];
+      acked = 0;
+      n_done = 0;
+      completed_at = None;
+      started_at = Xmp_engine.Sim.now sim;
+      on_complete;
+      on_subflow_acked;
+      on_rtt_sample;
+    }
+  in
+  List.iter (fun path -> ignore (launch_subflow t ~path)) paths;
+  t
+
+let add_subflow t ~path =
+  if t.completed_at <> None then
+    invalid_arg "Mptcp_flow.add_subflow: flow already complete";
+  launch_subflow t ~path
+
+let flow_id t = t.flow
+let src t = t.src
+let dst t = t.dst
+let n_subflows t = Array.length t.subflows
+
+let subflow t i =
+  if i < 0 || i >= Array.length t.subflows then
+    invalid_arg "Mptcp_flow.subflow";
+  t.subflows.(i)
+
+let subflows t = Array.copy t.subflows
+let segments_acked t = t.acked
+let is_complete t = t.completed_at <> None
+let completed_at t = t.completed_at
+let started_at t = t.started_at
+
+let goodput_bps_until t until =
+  let stop =
+    match t.completed_at with
+    | Some c -> Time.min c until
+    | None -> until
+  in
+  let dur = Time.to_float_s (Time.sub stop t.started_at) in
+  if dur <= 0. then 0.
+  else float_of_int (t.acked * Packet.payload_bytes * 8) /. dur
+
+let goodput_bps t =
+  match t.completed_at with
+  | None -> invalid_arg "Mptcp_flow.goodput_bps: flow not complete"
+  | Some c -> goodput_bps_until t c
+
+let stop t = Array.iter Tcp.stop t.subflows

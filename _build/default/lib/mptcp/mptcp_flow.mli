@@ -1,0 +1,69 @@
+(** An MPTCP flow: several TCP subflows over distinct paths, pulling
+    segments from one shared source and governed by a coupled congestion
+    controller.
+
+    Each subflow is a full {!Xmp_transport.Tcp} connection (own sequence
+    space, RTT estimator, loss recovery). Subflows take new segments from
+    the flow's shared counter as their windows open, so the split across
+    paths is decided purely by congestion control — the paper's setting,
+    where rate is limited only by congestion windows. *)
+
+type t
+
+val create :
+  net:Xmp_net.Network.t ->
+  flow:int ->
+  src:int ->
+  dst:int ->
+  paths:int list ->
+  coupling:Coupling.t ->
+  ?config:Xmp_transport.Tcp.config ->
+  ?size_segments:int ->
+  ?on_complete:(t -> unit) ->
+  ?on_subflow_acked:(int -> int -> unit) ->
+  ?on_rtt_sample:(Xmp_engine.Time.t -> unit) ->
+  unit ->
+  t
+(** One subflow per element of [paths] (the subflow's path selector).
+    [size_segments = None] means an unbounded bulk flow.
+    [on_subflow_acked idx n] fires when subflow [idx] gets [n] segments
+    newly acknowledged. [on_complete] fires once all segments of a sized
+    flow are acknowledged. *)
+
+val add_subflow : t -> path:int -> Xmp_transport.Tcp.t
+(** Establishes an additional subflow on [path] (Figure 6's staggered
+    subflow arrivals). It joins the flow's coupling group and shares the
+    remaining data. Raises [Invalid_argument] on a completed flow. *)
+
+val flow_id : t -> int
+
+val src : t -> int
+
+val dst : t -> int
+
+val n_subflows : t -> int
+
+val subflow : t -> int -> Xmp_transport.Tcp.t
+
+val subflows : t -> Xmp_transport.Tcp.t array
+
+val segments_acked : t -> int
+(** Across all subflows. *)
+
+val is_complete : t -> bool
+
+val completed_at : t -> Xmp_engine.Time.t option
+
+val started_at : t -> Xmp_engine.Time.t
+
+val goodput_bps : t -> float
+(** Payload bits per second over the flow's lifetime: from start to
+    completion for finished flows. Raises [Invalid_argument] on
+    unfinished flows (use {!goodput_bps_until}). *)
+
+val goodput_bps_until : t -> Xmp_engine.Time.t -> float
+(** Payload bits per second from start until [t] (or completion, if
+    earlier). *)
+
+val stop : t -> unit
+(** Stops all subflows without completing the flow. *)

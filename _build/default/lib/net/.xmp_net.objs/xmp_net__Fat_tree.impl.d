@@ -1,0 +1,1 @@
+lib/net/fat_tree.ml: Array Format Network Node Packet Printf Units Xmp_engine

@@ -1,0 +1,1 @@
+lib/net/fat_tree.mli: Format Network Queue_disc Units Xmp_engine

@@ -1,0 +1,1 @@
+lib/net/leaf_spine.ml: Array Network Node Packet Printf Units Xmp_engine

@@ -1,0 +1,1 @@
+lib/net/leaf_spine.mli: Network Queue_disc Units Xmp_engine

@@ -1,0 +1,1 @@
+lib/net/link.ml: Packet Queue_disc Units Xmp_engine

@@ -1,0 +1,1 @@
+lib/net/link.mli: Packet Queue_disc Units Xmp_engine

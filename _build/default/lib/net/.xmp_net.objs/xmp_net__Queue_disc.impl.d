@@ -1,0 +1,1 @@
+lib/net/queue_disc.ml: Float Packet Queue Xmp_stats

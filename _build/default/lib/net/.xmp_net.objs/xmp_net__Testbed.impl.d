@@ -1,0 +1,1 @@
+lib/net/testbed.ml: Array Link Network Node Packet Printf Queue_disc Units Xmp_engine

@@ -1,0 +1,1 @@
+lib/net/testbed.mli: Link Network Queue_disc Units Xmp_engine

@@ -1,0 +1,1 @@
+lib/net/trace.ml: Format Link List Packet Queue_disc String Xmp_engine

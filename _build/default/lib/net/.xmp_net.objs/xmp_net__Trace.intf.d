@@ -1,0 +1,1 @@
+lib/net/trace.mli: Link Packet Xmp_engine

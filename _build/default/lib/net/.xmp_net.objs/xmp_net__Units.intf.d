@@ -1,0 +1,1 @@
+lib/net/units.mli: Format Xmp_engine

@@ -1,0 +1,167 @@
+module Time = Xmp_engine.Time
+
+type locality = Inner_rack | Inter_rack | Inter_pod
+
+let locality_name = function
+  | Inner_rack -> "Inner-Rack"
+  | Inter_rack -> "Inter-Rack"
+  | Inter_pod -> "Inter-Pod"
+
+let pp_locality fmt l = Format.pp_print_string fmt (locality_name l)
+
+type t = {
+  k : int;
+  net : Network.t;
+  host_base : int;
+  n_hosts : int;
+  rack_delay : Time.t;
+  agg_delay : Time.t;
+  core_delay : Time.t;
+}
+
+let layers = [ "core"; "aggregation"; "rack" ]
+
+(* Host index [i] decomposes as (pod, edge, slot) with k/2 hosts per edge
+   switch and (k/2)^2 hosts per pod. *)
+let decompose ~k i =
+  let half = k / 2 in
+  let per_pod = half * half in
+  (i / per_pod, i mod per_pod / half, i mod half)
+
+let create ~net ~k ?(rate = Units.gbps 1.) ?(rack_delay = Time.us 20)
+    ?(agg_delay = Time.us 30) ?(core_delay = Time.us 40) ~disc () =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Fat_tree.create: k";
+  let half = k / 2 in
+  let n_hosts = k * half * half in
+  let hosts =
+    Array.init n_hosts (fun i ->
+        let pod, edge, slot = decompose ~k i in
+        Network.add_host net
+          ~name:(Printf.sprintf "h%d.%d.%d" pod edge slot))
+  in
+  let edges =
+    Array.init k (fun pod ->
+        Array.init half (fun e ->
+            Network.add_switch net ~name:(Printf.sprintf "e%d.%d" pod e)))
+  in
+  let aggs =
+    Array.init k (fun pod ->
+        Array.init half (fun a ->
+            Network.add_switch net ~name:(Printf.sprintf "a%d.%d" pod a)))
+  in
+  let cores =
+    Array.init half (fun g ->
+        Array.init half (fun c ->
+            Network.add_switch net ~name:(Printf.sprintf "c%d.%d" g c)))
+  in
+  let host_base = Node.id hosts.(0) in
+  (* Rack layer: host [slot]'s uplink is its port 0; edge switch port to
+     host [slot] is port [slot]. *)
+  for pod = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      for slot = 0 to half - 1 do
+        let i = (pod * half * half) + (e * half) + slot in
+        ignore
+          (Network.connect net ~tag:"rack" ~rate ~delay:rack_delay ~disc
+             hosts.(i)
+             edges.(pod).(e))
+      done
+    done
+  done;
+  (* Aggregation layer: edge port to agg [a] is [half + a]; agg port to
+     edge [e] is [e]. *)
+  for pod = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      for a = 0 to half - 1 do
+        ignore
+          (Network.connect net ~tag:"aggregation" ~rate ~delay:agg_delay
+             ~disc
+             edges.(pod).(e)
+             aggs.(pod).(a))
+      done
+    done
+  done;
+  (* Core layer: agg [a] port to core offset [c] is [half + c]; core (g,c)
+     port to pod [pod] is [pod]. Loop pods outer so core ports land in pod
+     order. *)
+  for pod = 0 to k - 1 do
+    for a = 0 to half - 1 do
+      for c = 0 to half - 1 do
+        ignore
+          (Network.connect net ~tag:"core" ~rate ~delay:core_delay ~disc
+             aggs.(pod).(a)
+             cores.(a).(c))
+      done
+    done
+  done;
+  let host_index id = id - host_base in
+  let pod_of id = host_index id / (half * half) in
+  let edge_of id = host_index id mod (half * half) / half in
+  let slot_of id = host_index id mod half in
+  Array.iter (fun h -> Node.set_route h (fun _ -> 0)) hosts;
+  for pod = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      Node.set_route
+        edges.(pod).(e)
+        (fun p ->
+          let dst = p.Packet.dst in
+          if pod_of dst = pod && edge_of dst = e then slot_of dst
+          else begin
+            let a =
+              if pod_of dst = pod then p.Packet.path mod half
+              else p.Packet.path / half mod half
+            in
+            half + a
+          end)
+    done;
+    for a = 0 to half - 1 do
+      Node.set_route
+        aggs.(pod).(a)
+        (fun p ->
+          let dst = p.Packet.dst in
+          if pod_of dst = pod then edge_of dst
+          else half + (p.Packet.path mod half))
+    done
+  done;
+  for g = 0 to half - 1 do
+    for c = 0 to half - 1 do
+      Node.set_route cores.(g).(c) (fun p -> pod_of p.Packet.dst)
+    done
+  done;
+  { k; net; host_base; n_hosts; rack_delay; agg_delay; core_delay }
+
+let k t = t.k
+let net t = t.net
+let n_hosts t = t.n_hosts
+
+let host_id t i =
+  if i < 0 || i >= t.n_hosts then invalid_arg "Fat_tree.host_id";
+  t.host_base + i
+
+let host_index t id =
+  let i = id - t.host_base in
+  if i < 0 || i >= t.n_hosts then invalid_arg "Fat_tree.host_index";
+  i
+
+let locality t ~src ~dst =
+  let pod_s, edge_s, _ = decompose ~k:t.k src
+  and pod_d, edge_d, _ = decompose ~k:t.k dst in
+  if pod_s <> pod_d then Inter_pod
+  else if edge_s <> edge_d then Inter_rack
+  else Inner_rack
+
+let n_paths t ~src ~dst =
+  let half = t.k / 2 in
+  match locality t ~src ~dst with
+  | Inner_rack -> 1
+  | Inter_rack -> half
+  | Inter_pod -> half * half
+
+let max_rtt_no_queue t =
+  (* host-edge-agg-core-agg-edge-host, both directions *)
+  let one_way =
+    Time.add
+      (Time.mul t.rack_delay 2)
+      (Time.add (Time.mul t.agg_delay 2) (Time.mul t.core_delay 2))
+  in
+  Time.mul one_way 2

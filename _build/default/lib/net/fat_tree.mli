@@ -1,0 +1,61 @@
+(** k-ary Fat-Tree topology (Al-Fares et al., SIGCOMM 2008) with the
+    deterministic per-destination-address routing the paper uses (§5.2.1:
+    Two-Level Routing Lookup; multiple addresses per host so that MPTCP
+    subflows take different paths).
+
+    For even [k]: [k] pods, each with [k/2] edge and [k/2] aggregation
+    switches; [(k/2)^2] core switches; [k^3/4] hosts. A packet's [path]
+    field plays the role of the destination address choice: inter-pod
+    traffic with selector [p] ascends via aggregation switch [p / (k/2)]
+    and core offset [p mod (k/2)]; intra-pod inter-rack traffic uses
+    aggregation switch [p mod (k/2)]. ACKs carry the same selector, so the
+    reverse path is the mirror of the forward path, as with symmetric
+    two-level lookup tables. *)
+
+type locality = Inner_rack | Inter_rack | Inter_pod
+
+val pp_locality : Format.formatter -> locality -> unit
+
+val locality_name : locality -> string
+
+type t
+
+val create :
+  net:Network.t ->
+  k:int ->
+  ?rate:Units.rate ->
+  ?rack_delay:Xmp_engine.Time.t ->
+  ?agg_delay:Xmp_engine.Time.t ->
+  ?core_delay:Xmp_engine.Time.t ->
+  disc:(unit -> Queue_disc.t) ->
+  unit ->
+  t
+(** Defaults follow §5.2.1: 1 Gbps links everywhere; one-way delays 20 µs
+    (rack), 30 µs (aggregation), 40 µs (core). [k] must be even and ≥ 2.
+    Link layer tags are ["rack"], ["aggregation"], ["core"]. *)
+
+val k : t -> int
+
+val net : t -> Network.t
+
+val n_hosts : t -> int
+
+val host_id : t -> int -> int
+(** Node id of host index [i] (0 ≤ i < n_hosts). *)
+
+val host_index : t -> int -> int
+(** Inverse of {!host_id}. *)
+
+val locality : t -> src:int -> dst:int -> locality
+(** Locality class of a host-index pair. *)
+
+val n_paths : t -> src:int -> dst:int -> int
+(** Number of distinct path selectors between two hosts: 1 within a rack,
+    [k/2] within a pod, [(k/2)^2] across pods. *)
+
+val max_rtt_no_queue : t -> Xmp_engine.Time.t
+(** Zero-load RTT of the longest (inter-pod) path. *)
+
+val layers : string list
+(** [\["core"; "aggregation"; "rack"\]] — tags usable with
+    {!Network.links_tagged}. *)

@@ -1,0 +1,44 @@
+(** Two-tier leaf–spine (Clos) topology — the VL2-style multi-rooted tree
+    of the paper's related work (§6 cites VL2; §5's Fat-Tree is the
+    three-tier variant). Useful for checking that XMP's behaviour is not
+    an artifact of the Fat-Tree's structure.
+
+    [leaves] leaf switches with [hosts_per_leaf] hosts each, every leaf
+    connected to every one of [spines] spine switches. A packet's [path]
+    selector picks the spine ([path mod spines]), so inter-leaf host
+    pairs have [spines] equal-cost paths; ACKs retrace the mirror path.
+    Spine links are typically faster than host links (VL2 used 10 G up /
+    1 G down). *)
+
+type t
+
+val create :
+  net:Network.t ->
+  leaves:int ->
+  spines:int ->
+  hosts_per_leaf:int ->
+  ?host_rate:Units.rate ->
+  ?spine_rate:Units.rate ->
+  ?host_delay:Xmp_engine.Time.t ->
+  ?spine_delay:Xmp_engine.Time.t ->
+  disc:(unit -> Queue_disc.t) ->
+  unit ->
+  t
+(** Defaults: 1 Gbps host links (20 µs), 10 Gbps spine links (30 µs).
+    Link layer tags are ["leaf"] (host–leaf) and ["spine"] (leaf–spine). *)
+
+val n_hosts : t -> int
+
+val host_id : t -> int -> int
+(** Node id of host index [i]. *)
+
+val host_index : t -> int -> int
+
+val same_leaf : t -> src:int -> dst:int -> bool
+(** Whether two host indices share a leaf switch. *)
+
+val n_paths : t -> src:int -> dst:int -> int
+(** 1 within a leaf, [spines] across leaves. *)
+
+val layers : string list
+(** [\["spine"; "leaf"\]]. *)

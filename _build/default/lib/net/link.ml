@@ -1,0 +1,82 @@
+module Sim = Xmp_engine.Sim
+module Time = Xmp_engine.Time
+
+type t = {
+  sim : Sim.t;
+  id : int;
+  name : string;
+  rate : Units.rate;
+  delay : Time.t;
+  disc : Queue_disc.t;
+  mutable receiver : Packet.t -> unit;
+  mutable busy : bool;
+  mutable up : bool;
+  mutable bytes_sent : int;
+  mutable packets_sent : int;
+}
+
+let no_receiver _ = failwith "Link: receiver not attached"
+
+let create ~sim ~id ~name ~rate ~delay ~disc =
+  if rate <= 0 then invalid_arg "Link.create: rate";
+  {
+    sim;
+    id;
+    name;
+    rate;
+    delay;
+    disc;
+    receiver = no_receiver;
+    busy = false;
+    up = true;
+    bytes_sent = 0;
+    packets_sent = 0;
+  }
+
+let set_receiver t f = t.receiver <- f
+let wrap_receiver t wrap = t.receiver <- wrap t.receiver
+let id t = t.id
+let name t = t.name
+let rate t = t.rate
+let delay t = t.delay
+let disc t = t.disc
+let is_up t = t.up
+
+let rec transmit t (p : Packet.t) =
+  t.busy <- true;
+  let tx = Units.tx_time t.rate ~bytes:p.size in
+  Sim.after t.sim tx (fun () ->
+      t.bytes_sent <- t.bytes_sent + p.size;
+      t.packets_sent <- t.packets_sent + 1;
+      (* Propagation: the packet is on the wire while the next one
+         serializes. Deliver only if the link is still up. *)
+      if t.up then
+        Sim.after t.sim t.delay (fun () -> if t.up then t.receiver p);
+      match Queue_disc.dequeue t.disc with
+      | Some next -> transmit t next
+      | None -> t.busy <- false)
+
+let send t p =
+  if t.up then
+    if t.busy then ignore (Queue_disc.enqueue t.disc p)
+    else begin
+      (* An idle link still runs the packet through the discipline so that
+         marking/occupancy accounting sees every arrival. *)
+      if Queue_disc.enqueue t.disc p then
+        match Queue_disc.dequeue t.disc with
+        | Some q -> transmit t q
+        | None -> assert false
+    end
+
+let set_up t up =
+  if t.up && not up then ignore (Queue_disc.clear t.disc);
+  t.up <- up
+
+let bytes_sent t = t.bytes_sent
+let packets_sent t = t.packets_sent
+
+let utilization t ~duration =
+  if duration <= 0 then 0.
+  else
+    float_of_int (t.bytes_sent * 8)
+    /. (float_of_int t.rate *. Time.to_float_s duration)

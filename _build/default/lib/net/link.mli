@@ -1,0 +1,57 @@
+(** Unidirectional link: a serializing transmitter, a queue discipline, and
+    a fixed propagation delay.
+
+    A packet handed to {!send} is transmitted immediately if the link is
+    idle, otherwise it passes through the queue discipline (where it may be
+    CE-marked or dropped). Transmission takes [size * 8 / rate]; the packet
+    then arrives at the receiver after the propagation delay. Multiple
+    packets can be in flight on the wire simultaneously (transmission
+    pipelining), as on a real link. *)
+
+type t
+
+val create :
+  sim:Xmp_engine.Sim.t ->
+  id:int ->
+  name:string ->
+  rate:Units.rate ->
+  delay:Xmp_engine.Time.t ->
+  disc:Queue_disc.t ->
+  t
+(** The receiver callback must be attached with {!set_receiver} before the
+    first {!send}. *)
+
+val set_receiver : t -> (Packet.t -> unit) -> unit
+
+val wrap_receiver : t -> ((Packet.t -> unit) -> Packet.t -> unit) -> unit
+(** [wrap_receiver t f] replaces the receiver [r] with [f r] — the hook
+    point for taps and fault injectors (see {!Trace}). Must be called
+    after the topology builder wired the link. *)
+
+val id : t -> int
+
+val name : t -> string
+
+val rate : t -> Units.rate
+
+val delay : t -> Xmp_engine.Time.t
+
+val disc : t -> Queue_disc.t
+
+val send : t -> Packet.t -> unit
+(** Queue the packet for transmission. Dropped silently (with accounting)
+    if the link is down or the queue rejects it. *)
+
+val set_up : t -> bool -> unit
+(** Taking a link down clears its queue and drops everything sent to it;
+    bringing it back up resumes normal service. *)
+
+val is_up : t -> bool
+
+val bytes_sent : t -> int
+(** Total wire bytes fully serialized so far (basis for utilization). *)
+
+val packets_sent : t -> int
+
+val utilization : t -> duration:Xmp_engine.Time.t -> float
+(** [bytes_sent * 8 / (rate * duration)]. *)

@@ -1,0 +1,108 @@
+module Sim = Xmp_engine.Sim
+
+type t = {
+  sim : Sim.t;
+  mutable nodes : Node.t list;  (* reverse creation order *)
+  mutable node_arr : Node.t array;
+  mutable n_nodes : int;
+  mutable links_rev : Link.t list;
+  mutable next_uid : int;
+  mutable next_link : int;
+  tags : (int, string) Hashtbl.t;  (* link id -> tag *)
+  endpoints : (int * int * int, Packet.t -> unit) Hashtbl.t;
+  mutable delivered : int;
+  mutable dead : int;
+}
+
+let create sim =
+  {
+    sim;
+    nodes = [];
+    node_arr = [||];
+    n_nodes = 0;
+    links_rev = [];
+    next_uid = 0;
+    next_link = 0;
+    tags = Hashtbl.create 64;
+    endpoints = Hashtbl.create 256;
+    delivered = 0;
+    dead = 0;
+  }
+
+let sim t = t.sim
+
+let fresh_uid t =
+  let u = t.next_uid in
+  t.next_uid <- u + 1;
+  u
+
+let dispatch t (p : Packet.t) =
+  match Hashtbl.find_opt t.endpoints (p.dst, p.flow, p.subflow) with
+  | Some handler ->
+    t.delivered <- t.delivered + 1;
+    handler p
+  | None -> t.dead <- t.dead + 1
+
+let add_node t ~kind ~name =
+  let node = Node.create ~kind ~id:t.n_nodes ~name in
+  if t.n_nodes = Array.length t.node_arr then begin
+    let cap = if t.n_nodes = 0 then 16 else t.n_nodes * 2 in
+    let arr = Array.make cap node in
+    Array.blit t.node_arr 0 arr 0 t.n_nodes;
+    t.node_arr <- arr
+  end;
+  t.node_arr.(t.n_nodes) <- node;
+  t.n_nodes <- t.n_nodes + 1;
+  t.nodes <- node :: t.nodes;
+  (match kind with
+  | Node.Host -> Node.set_local_rx node (dispatch t)
+  | Node.Switch -> ());
+  node
+
+let add_host t ~name = add_node t ~kind:Node.Host ~name
+let add_switch t ~name = add_node t ~kind:Node.Switch ~name
+
+let node t i =
+  if i < 0 || i >= t.n_nodes then invalid_arg "Network.node";
+  t.node_arr.(i)
+
+let n_nodes t = t.n_nodes
+
+let make_link t ?tag ~rate ~delay ~disc src dst =
+  let id = t.next_link in
+  t.next_link <- id + 1;
+  let name = Printf.sprintf "%s->%s" (Node.name src) (Node.name dst) in
+  let link =
+    Link.create ~sim:t.sim ~id ~name ~rate ~delay ~disc:(disc ())
+  in
+  Link.set_receiver link (fun p -> Node.receive dst p);
+  ignore (Node.add_port src link);
+  t.links_rev <- link :: t.links_rev;
+  (match tag with Some tag -> Hashtbl.replace t.tags id tag | None -> ());
+  link
+
+let connect_asym t ?tag ~rate_fwd ~rate_rev ~delay ~disc a b =
+  let fwd = make_link t ?tag ~rate:rate_fwd ~delay ~disc a b in
+  let rev = make_link t ?tag ~rate:rate_rev ~delay ~disc b a in
+  (fwd, rev)
+
+let connect t ?tag ~rate ~delay ~disc a b =
+  connect_asym t ?tag ~rate_fwd:rate ~rate_rev:rate ~delay ~disc a b
+
+let links t = List.rev t.links_rev
+
+let links_tagged t tag =
+  List.filter
+    (fun l -> Hashtbl.find_opt t.tags (Link.id l) = Some tag)
+    (links t)
+
+let tag_of_link t l = Hashtbl.find_opt t.tags (Link.id l)
+
+let register_endpoint t ~host ~flow ~subflow handler =
+  Hashtbl.replace t.endpoints (host, flow, subflow) handler
+
+let unregister_endpoint t ~host ~flow ~subflow =
+  Hashtbl.remove t.endpoints (host, flow, subflow)
+
+let packets_delivered t = t.delivered
+let packets_dead_lettered t = t.dead

@@ -1,0 +1,66 @@
+(** Network container: node/link registry, directed wiring helper, packet
+    uid allocation, and the per-host transport demultiplexer. *)
+
+type t
+
+val create : Xmp_engine.Sim.t -> t
+
+val sim : t -> Xmp_engine.Sim.t
+
+val fresh_uid : t -> int
+
+val add_host : t -> name:string -> Node.t
+
+val add_switch : t -> name:string -> Node.t
+
+val node : t -> int -> Node.t
+
+val n_nodes : t -> int
+
+val connect :
+  t ->
+  ?tag:string ->
+  rate:Units.rate ->
+  delay:Xmp_engine.Time.t ->
+  disc:(unit -> Queue_disc.t) ->
+  Node.t ->
+  Node.t ->
+  Link.t * Link.t
+(** [connect t ~rate ~delay ~disc a b] creates a link in each direction
+    (each with its own queue discipline from the factory), attaches them as
+    ports on [a] and [b], and wires packet delivery to the far node's
+    receive. Returns [(a_to_b, b_to_a)]. The [tag] labels both directions
+    (e.g. the fat-tree layer) for utilization grouping. *)
+
+val connect_asym :
+  t ->
+  ?tag:string ->
+  rate_fwd:Units.rate ->
+  rate_rev:Units.rate ->
+  delay:Xmp_engine.Time.t ->
+  disc:(unit -> Queue_disc.t) ->
+  Node.t ->
+  Node.t ->
+  Link.t * Link.t
+(** Like {!connect} with different rates per direction. *)
+
+val links : t -> Link.t list
+(** All links, in creation order. *)
+
+val links_tagged : t -> string -> Link.t list
+
+val tag_of_link : t -> Link.t -> string option
+
+val register_endpoint :
+  t -> host:int -> flow:int -> subflow:int -> (Packet.t -> unit) -> unit
+(** Registers the transport handler for packets of [(flow, subflow)]
+    arriving at [host]. Replaces any previous registration. *)
+
+val unregister_endpoint : t -> host:int -> flow:int -> subflow:int -> unit
+
+val packets_delivered : t -> int
+(** Packets handed to transport endpoints. *)
+
+val packets_dead_lettered : t -> int
+(** Packets that arrived at a host with no registered endpoint (e.g. after
+    the flow completed and tore down); they are counted and discarded. *)

@@ -1,0 +1,69 @@
+type kind = Data | Ack
+
+type t = {
+  uid : int;
+  flow : int;
+  subflow : int;
+  src : int;
+  dst : int;
+  path : int;
+  kind : kind;
+  size : int;
+  seq : int;
+  ect : bool;
+  mutable ce : bool;
+  ece_count : int;
+  cwr : bool;
+  ts : Xmp_engine.Time.t;
+  sack : (int * int) list;
+}
+
+let data_wire_bytes = 1500
+let payload_bytes = 1460
+let ack_wire_bytes = 60
+
+let data ~uid ~flow ~subflow ~src ~dst ~path ~seq ~ect ~cwr ~ts =
+  {
+    uid;
+    flow;
+    subflow;
+    src;
+    dst;
+    path;
+    kind = Data;
+    size = data_wire_bytes;
+    seq;
+    ect;
+    ce = false;
+    ece_count = 0;
+    cwr;
+    ts;
+    sack = [];
+  }
+
+let ack ?(sack = []) ~uid ~flow ~subflow ~src ~dst ~path ~seq ~ece_count ~ts
+    () =
+  {
+    uid;
+    flow;
+    subflow;
+    src;
+    dst;
+    path;
+    kind = Ack;
+    size = ack_wire_bytes;
+    seq;
+    ect = false;
+    ce = false;
+    ece_count;
+    cwr = false;
+    ts;
+    sack;
+  }
+
+let pp fmt p =
+  let kind = match p.kind with Data -> "data" | Ack -> "ack" in
+  Format.fprintf fmt "%s[f%d.%d %d->%d path%d seq=%d%s%s]" kind p.flow
+    p.subflow p.src p.dst p.path p.seq
+    (if p.ce then " CE" else "")
+    (if p.ece_count > 0 then Printf.sprintf " ece=%d" p.ece_count else "")

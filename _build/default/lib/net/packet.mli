@@ -1,0 +1,75 @@
+(** Packets.
+
+    Sequence numbers are in whole segments (one data packet carries one
+    segment), matching the paper's packet-granularity window arithmetic.
+    Wire sizes follow the paper's BDP computations: 1500-byte data packets
+    (1460 B payload) and 60-byte ACKs. *)
+
+type kind = Data | Ack
+
+type t = {
+  uid : int;  (** unique within a simulation run *)
+  flow : int;  (** flow identifier *)
+  subflow : int;  (** subflow index within the flow (0 for single-path) *)
+  src : int;  (** source host id *)
+  dst : int;  (** destination host id *)
+  path : int;
+      (** path selector: models the destination address choice that steers a
+          subflow onto one of the equal-cost paths *)
+  kind : kind;
+  size : int;  (** bytes on the wire *)
+  seq : int;
+      (** data: segment index; ack: cumulative acknowledgement (the next
+          expected segment) *)
+  ect : bool;  (** ECN-capable transport codepoint *)
+  mutable ce : bool;  (** Congestion Experienced, set by switches *)
+  ece_count : int;
+      (** acks only: number of CE marks echoed by this ack. The paper's
+          2-bit ECE/CWR encoding caps this at 3 for XMP. *)
+  cwr : bool;  (** data only: Congestion Window Reduced (classic ECN) *)
+  ts : Xmp_engine.Time.t;
+      (** data: send timestamp; ack: echoed timestamp for RTT sampling *)
+  sack : (int * int) list;
+      (** acks only: selective acknowledgement blocks [start, stop) of
+          segments held above the cumulative ack, at most 3 (the option
+          space of a real SACK header) *)
+}
+
+val data_wire_bytes : int
+(** 1500 *)
+
+val payload_bytes : int
+(** 1460 *)
+
+val ack_wire_bytes : int
+(** 60 *)
+
+val data :
+  uid:int ->
+  flow:int ->
+  subflow:int ->
+  src:int ->
+  dst:int ->
+  path:int ->
+  seq:int ->
+  ect:bool ->
+  cwr:bool ->
+  ts:Xmp_engine.Time.t ->
+  t
+
+val ack :
+  ?sack:(int * int) list ->
+  uid:int ->
+  flow:int ->
+  subflow:int ->
+  src:int ->
+  dst:int ->
+  path:int ->
+  seq:int ->
+  ece_count:int ->
+  ts:Xmp_engine.Time.t ->
+  unit ->
+  t
+(** ACKs are not ECN-capable (per RFC 3168, ACKs are sent non-ECT). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,149 @@
+type red_params = {
+  wq : float;
+  min_th : float;
+  max_th : float;
+  max_p : float;
+  mark_ecn : bool;
+}
+
+let default_red =
+  { wq = 0.002; min_th = 5.; max_th = 15.; max_p = 0.1; mark_ecn = true }
+
+type policy = Droptail | Threshold_mark of int | Red of red_params
+
+type t = {
+  policy : policy;
+  capacity : int;
+  q : Packet.t Queue.t;
+  mutable len : int;
+  mutable enqueued : int;
+  mutable dropped : int;
+  mutable marked : int;
+  mutable max_len : int;
+  (* RED state *)
+  mutable avg : float;
+  mutable count_since_mark : int;
+  occupancy : Xmp_stats.Running.t;
+  mutable on_drop : (Packet.t -> unit) option;
+  mutable on_mark : (Packet.t -> unit) option;
+}
+
+let create ~policy ~capacity_pkts =
+  if capacity_pkts <= 0 then invalid_arg "Queue_disc.create: capacity";
+  {
+    policy;
+    capacity = capacity_pkts;
+    q = Queue.create ();
+    len = 0;
+    enqueued = 0;
+    dropped = 0;
+    marked = 0;
+    max_len = 0;
+    avg = 0.;
+    count_since_mark = -1;
+    occupancy = Xmp_stats.Running.create ();
+    on_drop = None;
+    on_mark = None;
+  }
+
+let policy t = t.policy
+let capacity t = t.capacity
+let length t = t.len
+
+let mark t (p : Packet.t) =
+  if p.ect && not p.ce then begin
+    p.ce <- true;
+    t.marked <- t.marked + 1;
+    match t.on_mark with Some f -> f p | None -> ()
+  end
+
+(* RED decision for an arriving packet: [`Pass], [`Mark] or [`Drop].
+   Classic gentle-less RED with the count-based probability correction. *)
+let red_decision t params =
+  t.avg <- ((1. -. params.wq) *. t.avg) +. (params.wq *. float_of_int t.len);
+  if t.avg < params.min_th then begin
+    t.count_since_mark <- -1;
+    `Pass
+  end
+  else if t.avg >= params.max_th then `Force
+  else begin
+    t.count_since_mark <- t.count_since_mark + 1;
+    let pb =
+      params.max_p *. (t.avg -. params.min_th)
+      /. (params.max_th -. params.min_th)
+    in
+    let pa =
+      let denom = 1. -. (float_of_int t.count_since_mark *. pb) in
+      if denom <= 0. then 1. else pb /. denom
+    in
+    (* Deterministic threshold on the accumulated probability keeps runs
+       reproducible without threading an RNG into the queue: mark when the
+       expected number of marks since the last one reaches 1. *)
+    if pa >= 1. || Float.rem (float_of_int t.count_since_mark *. pb) 1. < pb
+    then begin
+      t.count_since_mark <- 0;
+      `Force
+    end
+    else `Pass
+  end
+
+let append t p =
+  Queue.push p t.q;
+  t.len <- t.len + 1;
+  t.enqueued <- t.enqueued + 1;
+  if t.len > t.max_len then t.max_len <- t.len
+
+let drop t p =
+  t.dropped <- t.dropped + 1;
+  (match t.on_drop with Some f -> f p | None -> ());
+  false
+
+let enqueue t (p : Packet.t) =
+  if t.len >= t.capacity then drop t p
+  else begin
+    match t.policy with
+    | Droptail ->
+      append t p;
+      true
+    | Threshold_mark k ->
+      if t.len > k then mark t p;
+      append t p;
+      true
+    | Red params -> (
+      match red_decision t params with
+      | `Pass ->
+        append t p;
+        true
+      | `Force ->
+        if params.mark_ecn && p.ect then begin
+          mark t p;
+          append t p;
+          true
+        end
+        else drop t p)
+  end
+
+let dequeue t =
+  if t.len = 0 then None
+  else begin
+    t.len <- t.len - 1;
+    Some (Queue.pop t.q)
+  end
+
+let clear t =
+  let n = t.len in
+  Queue.clear t.q;
+  t.len <- 0;
+  t.dropped <- t.dropped + n;
+  n
+
+let set_hooks t ?on_drop ?on_mark () =
+  t.on_drop <- on_drop;
+  t.on_mark <- on_mark
+
+let enqueued t = t.enqueued
+let dropped t = t.dropped
+let marked t = t.marked
+let max_length_seen t = t.max_len
+let sample_length t = Xmp_stats.Running.add t.occupancy (float_of_int t.len)
+let occupancy_stats t = t.occupancy

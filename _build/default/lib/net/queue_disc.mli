@@ -1,0 +1,75 @@
+(** Queue disciplines for switch egress ports.
+
+    Three policies:
+
+    - [Droptail]: FIFO, drop on overflow, no marking. What the paper's LIA
+      and TCP baselines run against.
+    - [Threshold_mark k]: the paper's packet-marking rule (§2.1) — mark the
+      arriving ECT packet with CE when the instantaneous queue length
+      exceeds [k] packets, drop on overflow. Equivalent to RED with
+      [Wq = 1] and both thresholds at [k], the configuration trick of §3.
+    - [Red]: classic RED with EWMA average queue estimation, for the
+      comparison arguments of §2.1. Marks ECT packets (or drops, when
+      [mark_ecn = false]).
+
+    Non-ECT packets are never marked; they are only dropped on overflow.
+    This is what lets ECN and non-ECN flows coexist in Table 2. *)
+
+type red_params = {
+  wq : float;  (** EWMA weight for the average queue length *)
+  min_th : float;  (** packets *)
+  max_th : float;  (** packets *)
+  max_p : float;  (** marking probability at [max_th] *)
+  mark_ecn : bool;  (** mark ECT packets instead of dropping them *)
+}
+
+val default_red : red_params
+
+type policy = Droptail | Threshold_mark of int | Red of red_params
+
+type t
+
+val create : policy:policy -> capacity_pkts:int -> t
+
+val policy : t -> policy
+
+val capacity : t -> int
+
+val length : t -> int
+(** Packets currently waiting (excludes any packet in transmission). *)
+
+val enqueue : t -> Packet.t -> bool
+(** [enqueue t p] applies the marking policy to [p] and appends it; returns
+    [false] when the packet was dropped (queue full, or RED drop). *)
+
+val dequeue : t -> Packet.t option
+
+val clear : t -> int
+(** Empties the queue (used when a link goes down); returns the number of
+    packets discarded. *)
+
+val enqueued : t -> int
+(** Cumulative packets accepted. *)
+
+val dropped : t -> int
+(** Cumulative packets dropped. *)
+
+val marked : t -> int
+(** Cumulative packets CE-marked. *)
+
+val max_length_seen : t -> int
+
+val sample_length : t -> unit
+(** Feeds the current length into the occupancy statistics. *)
+
+val occupancy_stats : t -> Xmp_stats.Running.t
+(** Statistics over lengths recorded by {!sample_length}. *)
+
+val set_hooks :
+  t ->
+  ?on_drop:(Packet.t -> unit) ->
+  ?on_mark:(Packet.t -> unit) ->
+  unit ->
+  unit
+(** Per-packet observers for tracing. Unset hooks cost one branch per
+    enqueue. Calling again replaces both hooks (omitted = removed). *)

@@ -1,0 +1,123 @@
+module Time = Xmp_engine.Time
+
+type spec = {
+  rate : Units.rate;
+  delay : Time.t;
+  disc : unit -> Queue_disc.t;
+}
+
+type t = {
+  net : Network.t;
+  specs : spec array;
+  left_base : int;
+  n_left : int;
+  right_base : int;
+  n_right : int;
+  bottlenecks : (Link.t * Link.t) array;
+  access_delay : Time.t;
+}
+
+let default_access_rate = Units.gbps 10.
+let default_access_delay = Time.us 5
+
+let create ~net ~n_left ~n_right ~bottlenecks
+    ?(access_rate = default_access_rate)
+    ?(access_delay = default_access_delay) ?(access_capacity_pkts = 1000) ()
+    =
+  if n_left <= 0 || n_right <= 0 then invalid_arg "Testbed.create: hosts";
+  if bottlenecks = [] then invalid_arg "Testbed.create: bottlenecks";
+  let specs = Array.of_list bottlenecks in
+  let m = Array.length specs in
+  let left =
+    Array.init n_left (fun i ->
+        Network.add_host net ~name:(Printf.sprintf "S%d" (i + 1)))
+  in
+  let right =
+    Array.init n_right (fun i ->
+        Network.add_host net ~name:(Printf.sprintf "D%d" (i + 1)))
+  in
+  let in_sw =
+    Array.init m (fun j ->
+        Network.add_switch net ~name:(Printf.sprintf "IN%d" (j + 1)))
+  in
+  let out_sw =
+    Array.init m (fun j ->
+        Network.add_switch net ~name:(Printf.sprintf "OUT%d" (j + 1)))
+  in
+  let access_disc () =
+    Queue_disc.create ~policy:Queue_disc.Droptail
+      ~capacity_pkts:access_capacity_pkts
+  in
+  (* Access wiring. Loop order matters for port numbering: host [i] gets
+     its port to IN/OUT_j at index [j]; switch [j] gets its port to host
+     [i] at index [i]. *)
+  for j = 0 to m - 1 do
+    for i = 0 to n_left - 1 do
+      ignore
+        (Network.connect net ~tag:"access" ~rate:access_rate
+           ~delay:access_delay ~disc:access_disc left.(i) in_sw.(j))
+    done;
+    for i = 0 to n_right - 1 do
+      ignore
+        (Network.connect net ~tag:"access" ~rate:access_rate
+           ~delay:access_delay ~disc:access_disc right.(i) out_sw.(j))
+    done
+  done;
+  let bnecks =
+    Array.init m (fun j ->
+        let spec = specs.(j) in
+        Network.connect net ~tag:"bottleneck" ~rate:spec.rate
+          ~delay:spec.delay ~disc:spec.disc in_sw.(j) out_sw.(j))
+  in
+  let left_base = Node.id left.(0) in
+  let right_base = Node.id right.(0) in
+  let is_left id = id >= left_base && id < left_base + n_left in
+  let is_right id = id >= right_base && id < right_base + n_right in
+  (* Hosts: the access port toward bottleneck [path] is port [path]. *)
+  Array.iter (fun h -> Node.set_route h (fun p -> p.Packet.path)) left;
+  Array.iter (fun h -> Node.set_route h (fun p -> p.Packet.path)) right;
+  (* IN_j: packets for left hosts came back over the bottleneck and go down
+     the matching access port; everything else crosses the bottleneck
+     (port [n_left]). *)
+  Array.iter
+    (fun sw ->
+      Node.set_route sw (fun p ->
+          if is_left p.Packet.dst then p.Packet.dst - left_base else n_left))
+    in_sw;
+  Array.iter
+    (fun sw ->
+      Node.set_route sw (fun p ->
+          if is_right p.Packet.dst then p.Packet.dst - right_base
+          else n_right))
+    out_sw;
+  {
+    net;
+    specs;
+    left_base;
+    n_left;
+    right_base;
+    n_right;
+    bottlenecks = bnecks;
+    access_delay;
+  }
+
+let net t = t.net
+let n_bottlenecks t = Array.length t.bottlenecks
+
+let left_id t i =
+  if i < 0 || i >= t.n_left then invalid_arg "Testbed.left_id";
+  t.left_base + i
+
+let right_id t i =
+  if i < 0 || i >= t.n_right then invalid_arg "Testbed.right_id";
+  t.right_base + i
+
+let bottleneck_fwd t j = fst t.bottlenecks.(j)
+let bottleneck_rev t j = snd t.bottlenecks.(j)
+
+let set_bottleneck_up t j up =
+  Link.set_up (fst t.bottlenecks.(j)) up;
+  Link.set_up (snd t.bottlenecks.(j)) up
+
+let one_way_delay t j =
+  Time.add (Time.mul t.access_delay 2) t.specs.(j).delay

@@ -1,0 +1,97 @@
+module Sim = Xmp_engine.Sim
+module Time = Xmp_engine.Time
+
+type event_kind = Delivered | Marked | Dropped
+
+type event = {
+  at : Time.t;
+  kind : event_kind;
+  where : string;
+  packet : string;
+  flow : int;
+  subflow : int;
+  seq : int;
+}
+
+type t = {
+  sim : Sim.t;
+  filter : Packet.t -> bool;
+  limit : int;
+  mutable events : event list;  (* reverse order *)
+  mutable stored : int;
+  mutable seen : int;
+  mutable delivered : int;
+  mutable marked : int;
+  mutable dropped : int;
+}
+
+let create ?(filter = fun _ -> true) ?(limit = 100_000) ~sim () =
+  {
+    sim;
+    filter;
+    limit;
+    events = [];
+    stored = 0;
+    seen = 0;
+    delivered = 0;
+    marked = 0;
+    dropped = 0;
+  }
+
+let record t kind ~where (p : Packet.t) =
+  if t.filter p then begin
+    t.seen <- t.seen + 1;
+    (match kind with
+    | Delivered -> t.delivered <- t.delivered + 1
+    | Marked -> t.marked <- t.marked + 1
+    | Dropped -> t.dropped <- t.dropped + 1);
+    if t.stored < t.limit then begin
+      t.events <-
+        {
+          at = Sim.now t.sim;
+          kind;
+          where;
+          packet = Format.asprintf "%a" Packet.pp p;
+          flow = p.flow;
+          subflow = p.subflow;
+          seq = p.seq;
+        }
+        :: t.events;
+      t.stored <- t.stored + 1
+    end
+  end
+
+let watch_link t link =
+  let name = Link.name link in
+  Link.wrap_receiver link (fun inner p ->
+      record t Delivered ~where:name p;
+      inner p);
+  Queue_disc.set_hooks (Link.disc link)
+    ~on_drop:(record t Dropped ~where:name)
+    ~on_mark:(record t Marked ~where:name)
+    ()
+
+let events t = List.rev t.events
+let count t = t.seen
+
+let count_kind t = function
+  | Delivered -> t.delivered
+  | Marked -> t.marked
+  | Dropped -> t.dropped
+
+let kind_name = function
+  | Delivered -> "DELIVER"
+  | Marked -> "MARK"
+  | Dropped -> "DROP"
+
+let dump t =
+  String.concat ""
+    (List.map
+       (fun e ->
+         Format.asprintf "[%a] %s %s %s\n" Time.pp e.at e.where
+           (kind_name e.kind) e.packet)
+       (events t))
+
+let clear t =
+  t.events <- [];
+  t.stored <- 0

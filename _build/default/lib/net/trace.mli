@@ -1,0 +1,52 @@
+(** Packet-event tracing.
+
+    A trace collects timestamped per-packet events — link deliveries, CE
+    marks, queue drops — into memory, with an optional packet filter.
+    Attach it to the links you care about after building the topology;
+    detached links cost nothing.
+
+    {[
+      let trace = Trace.create ~sim () in
+      Trace.watch_link trace bottleneck;   (* deliveries + marks + drops *)
+      ...run...
+      print_string (Trace.dump trace);
+    ]} *)
+
+type event_kind = Delivered | Marked | Dropped
+
+type event = {
+  at : Xmp_engine.Time.t;
+  kind : event_kind;
+  where : string;  (** link name *)
+  packet : string;  (** rendered packet (records outlive mutation) *)
+  flow : int;
+  subflow : int;
+  seq : int;
+}
+
+type t
+
+val create :
+  ?filter:(Packet.t -> bool) -> ?limit:int -> sim:Xmp_engine.Sim.t -> unit ->
+  t
+(** [filter] selects which packets are recorded (default: all). [limit]
+    caps stored events (default 100_000); once full, further events are
+    counted but not stored. *)
+
+val watch_link : t -> Link.t -> unit
+(** Records a [Delivered] event for every packet the link hands to its
+    receiver, and [Marked]/[Dropped] events from its queue discipline.
+    Replaces any hooks previously installed on that discipline. *)
+
+val events : t -> event list
+(** In arrival order. *)
+
+val count : t -> int
+(** Total events seen (may exceed the stored list when over [limit]). *)
+
+val count_kind : t -> event_kind -> int
+
+val dump : t -> string
+(** One line per stored event: ["[12us] seg->agg DELIVER data[f1.0 ...]"]. *)
+
+val clear : t -> unit

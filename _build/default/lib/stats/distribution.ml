@@ -1,0 +1,91 @@
+type t = {
+  mutable samples : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { samples = [||]; len = 0; sorted = true }
+
+let add t x =
+  if t.len = Array.length t.samples then begin
+    let cap = if t.len = 0 then 64 else t.len * 2 in
+    let arr = Array.make cap 0. in
+    Array.blit t.samples 0 arr 0 t.len;
+    t.samples <- arr
+  end;
+  t.samples.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let add_list t xs = List.iter (add t) xs
+let count t = t.len
+let is_empty t = t.len = 0
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.len in
+    Array.sort Float.compare live;
+    Array.blit live 0 t.samples 0 t.len;
+    t.sorted <- true
+  end
+
+let mean t =
+  if t.len = 0 then 0.
+  else begin
+    let sum = ref 0. in
+    for i = 0 to t.len - 1 do
+      sum := !sum +. t.samples.(i)
+    done;
+    !sum /. float_of_int t.len
+  end
+
+let percentile t p =
+  if t.len = 0 then invalid_arg "Distribution.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Distribution.percentile: range";
+  ensure_sorted t;
+  let rank = p /. 100. *. float_of_int (t.len - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = Stdlib.min (lo + 1) (t.len - 1) in
+  let frac = rank -. float_of_int lo in
+  t.samples.(lo) +. (frac *. (t.samples.(hi) -. t.samples.(lo)))
+
+let min t =
+  ensure_sorted t;
+  if t.len = 0 then invalid_arg "Distribution.min: empty" else t.samples.(0)
+
+let max t =
+  ensure_sorted t;
+  if t.len = 0 then invalid_arg "Distribution.max: empty"
+  else t.samples.(t.len - 1)
+
+let five_number t =
+  (min t, percentile t 10., percentile t 50., percentile t 90., max t)
+
+let cdf_points t n =
+  if t.len = 0 || n <= 0 then []
+  else begin
+    ensure_sorted t;
+    let point i =
+      let p = float_of_int (i + 1) /. float_of_int n in
+      let idx =
+        Stdlib.min (t.len - 1)
+          (int_of_float (Float.ceil (p *. float_of_int t.len)) - 1)
+      in
+      (t.samples.(Stdlib.max 0 idx), p)
+    in
+    List.init n point
+  end
+
+let fraction_above t threshold =
+  if t.len = 0 then 0.
+  else begin
+    let above = ref 0 in
+    for i = 0 to t.len - 1 do
+      if t.samples.(i) > threshold then incr above
+    done;
+    float_of_int !above /. float_of_int t.len
+  end
+
+let values t =
+  ensure_sorted t;
+  Array.sub t.samples 0 t.len

@@ -1,0 +1,14 @@
+let jain xs =
+  let sum = List.fold_left ( +. ) 0. xs in
+  let sumsq = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+  let n = List.length xs in
+  if n = 0 || sumsq = 0. then 1.
+  else sum *. sum /. (float_of_int n *. sumsq)
+
+let max_min_ratio xs =
+  match xs with
+  | [] -> 1.
+  | x :: rest ->
+    let mn = List.fold_left Float.min x rest in
+    let mx = List.fold_left Float.max x rest in
+    if mx = 0. then 1. else mn /. mx

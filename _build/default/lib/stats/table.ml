@@ -1,0 +1,51 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render ?align ~header ~rows () =
+  let n_cols =
+    List.fold_left
+      (fun acc row -> Stdlib.max acc (List.length row))
+      (List.length header) rows
+  in
+  let normalize row =
+    row @ List.init (n_cols - List.length row) (fun _ -> "")
+  in
+  let header = normalize header in
+  let rows = List.map normalize rows in
+  let widths = Array.make n_cols 0 in
+  let account row =
+    List.iteri
+      (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell))
+      row
+  in
+  account header;
+  List.iter account rows;
+  let aligns =
+    let given = match align with Some a -> a | None -> [] in
+    Array.init n_cols (fun i ->
+        match List.nth_opt given i with
+        | Some a -> a
+        | None -> if i = 0 && align = None then Left else Right)
+  in
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad aligns.(i) widths.(i) cell) row)
+  in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows) ^ "\n"
+
+let print ?align ~header ~rows () =
+  print_string (render ?align ~header ~rows ())
+
+let fixed d x =
+  if Float.is_nan x then "--" else Printf.sprintf "%.*f" d x

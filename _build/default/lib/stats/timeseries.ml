@@ -1,0 +1,19 @@
+type t = { bucket : float; sums : float array }
+
+let create ~bucket ~horizon =
+  if bucket <= 0. || horizon <= 0. then invalid_arg "Timeseries.create";
+  let n = int_of_float (Float.ceil (horizon /. bucket)) in
+  { bucket; sums = Array.make n 0. }
+
+let bucket_width t = t.bucket
+let n_buckets t = Array.length t.sums
+
+let record t ~time_s v =
+  if time_s >= 0. then begin
+    let i = int_of_float (time_s /. t.bucket) in
+    if i < Array.length t.sums then t.sums.(i) <- t.sums.(i) +. v
+  end
+
+let sums t = Array.copy t.sums
+let rates t = Array.map (fun s -> s /. t.bucket) t.sums
+let bucket_start t i = float_of_int i *. t.bucket

@@ -1,0 +1,1 @@
+lib/transport/cc.ml: Xmp_engine

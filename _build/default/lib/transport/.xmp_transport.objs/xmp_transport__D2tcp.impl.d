@@ -1,0 +1,1 @@
+lib/transport/d2tcp.ml: Cc Float Xmp_engine

@@ -1,0 +1,1 @@
+lib/transport/d2tcp.mli: Cc Xmp_engine

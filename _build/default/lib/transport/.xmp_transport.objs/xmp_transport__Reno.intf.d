@@ -1,0 +1,1 @@
+lib/transport/reno.mli: Cc

@@ -1,0 +1,1 @@
+lib/transport/rtt_estimator.ml: Stdlib Xmp_engine

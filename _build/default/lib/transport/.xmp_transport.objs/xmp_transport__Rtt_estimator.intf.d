@@ -1,0 +1,1 @@
+lib/transport/rtt_estimator.mli: Xmp_engine

@@ -1,0 +1,1 @@
+lib/transport/tcp.ml: Cc Hashtbl Int List Rtt_estimator Stdlib Xmp_engine Xmp_net

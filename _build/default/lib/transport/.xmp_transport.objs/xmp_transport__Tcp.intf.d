@@ -1,0 +1,1 @@
+lib/transport/tcp.mli: Cc Xmp_engine Xmp_net

@@ -1,0 +1,22 @@
+type view = {
+  snd_una : unit -> int;
+  snd_nxt : unit -> int;
+  srtt : unit -> Xmp_engine.Time.t;
+  min_rtt : unit -> Xmp_engine.Time.t;
+  now : unit -> Xmp_engine.Time.t;
+}
+
+type t = {
+  name : string;
+  cwnd : unit -> float;
+  on_ack : ack:int -> newly_acked:int -> ce_count:int -> unit;
+  on_ecn : count:int -> unit;
+  on_fast_retransmit : unit -> unit;
+  on_timeout : unit -> unit;
+  in_slow_start : unit -> bool;
+  take_cwr : unit -> bool;
+}
+
+type factory = view -> t
+
+let nop_take_cwr () = false

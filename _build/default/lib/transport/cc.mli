@@ -1,0 +1,45 @@
+(** Pluggable congestion-control interface.
+
+    A congestion controller owns [cwnd] (in segments) and reacts to the
+    events the connection machinery reports. The connection reads the
+    window through {!cwnd} before sending.
+
+    Controllers that need connection state (sequence numbers for round
+    tracking, smoothed RTT) receive a read-only {!view} at construction
+    time. *)
+
+type view = {
+  snd_una : unit -> int;  (** highest unacknowledged segment *)
+  snd_nxt : unit -> int;  (** next segment to be sent *)
+  srtt : unit -> Xmp_engine.Time.t;  (** smoothed RTT *)
+  min_rtt : unit -> Xmp_engine.Time.t;
+  now : unit -> Xmp_engine.Time.t;
+}
+
+type t = {
+  name : string;
+  cwnd : unit -> float;
+      (** current congestion window in segments; the connection sends while
+          flight-size < ⌊cwnd⌋ (at least 1). *)
+  on_ack : ack:int -> newly_acked:int -> ce_count:int -> unit;
+      (** a cumulative ACK advanced [snd_una] by [newly_acked] segments;
+          [ce_count] CE echoes rode on it. *)
+  on_ecn : count:int -> unit;
+      (** an ACK (including a duplicate) carried [count ≥ 1] CE echoes.
+          Called before {!on_ack} for the same ACK. *)
+  on_fast_retransmit : unit -> unit;
+      (** third duplicate ACK: a loss was repaired by fast retransmit. *)
+  on_timeout : unit -> unit;  (** retransmission timeout fired. *)
+  in_slow_start : unit -> bool;
+  take_cwr : unit -> bool;
+      (** classic-ECN support: [true] exactly once after an ECN-triggered
+          reduction, telling the sender to set CWR on its next data
+          packet. Controllers that repurpose CWR (XMP) always return
+          [false]. *)
+}
+
+type factory = view -> t
+(** How connections are given their controller. *)
+
+val nop_take_cwr : unit -> bool
+(** Always [false]; convenience for controllers without classic ECN. *)

@@ -1,0 +1,88 @@
+type params = {
+  g : float;
+  init_alpha : float;
+  init_cwnd : float;
+  min_cwnd : float;
+}
+
+let default_params =
+  { g = 1. /. 16.; init_alpha = 1.; init_cwnd = 3.; min_cwnd = 1. }
+
+type state = {
+  params : params;
+  view : Cc.view;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable alpha : float;
+  mutable window_end : int;  (* alpha update boundary (snd_nxt snapshot) *)
+  mutable acked_in_window : int;
+  mutable marked_in_window : int;
+  mutable reduced_this_window : bool;
+}
+
+let make ?(params = default_params) view =
+  let s =
+    {
+      params;
+      view;
+      cwnd = params.init_cwnd;
+      ssthresh = Float.max_float;
+      alpha = params.init_alpha;
+      window_end = 0;
+      acked_in_window = 0;
+      marked_in_window = 0;
+      reduced_this_window = false;
+    }
+  in
+  let in_slow_start () = s.cwnd < s.ssthresh in
+  let on_ecn ~count:_ =
+    let was_slow_start = in_slow_start () in
+    if not s.reduced_this_window then begin
+      s.reduced_this_window <- true;
+      s.cwnd <-
+        Float.max s.params.min_cwnd (s.cwnd *. (1. -. (s.alpha /. 2.)))
+    end;
+    (* leave (and do not re-enter) slow start on a congestion signal *)
+    if was_slow_start then
+      s.ssthresh <- Float.max s.params.min_cwnd s.cwnd
+  in
+  let on_ack ~ack ~newly_acked ~ce_count =
+    s.acked_in_window <- s.acked_in_window + newly_acked;
+    s.marked_in_window <- s.marked_in_window + ce_count;
+    if ack > s.window_end then begin
+      (* one observation window (≈ one RTT of data) completed *)
+      if s.acked_in_window > 0 then begin
+        let f =
+          float_of_int s.marked_in_window /. float_of_int s.acked_in_window
+        in
+        s.alpha <-
+          ((1. -. s.params.g) *. s.alpha) +. (s.params.g *. Float.min 1. f)
+      end;
+      s.acked_in_window <- 0;
+      s.marked_in_window <- 0;
+      s.reduced_this_window <- false;
+      s.window_end <- s.view.Cc.snd_nxt ()
+    end;
+    for _ = 1 to newly_acked do
+      if in_slow_start () then s.cwnd <- s.cwnd +. 1.
+      else s.cwnd <- s.cwnd +. (1. /. s.cwnd)
+    done
+  in
+  let on_fast_retransmit () =
+    s.ssthresh <- Float.max (s.cwnd /. 2.) 2.;
+    s.cwnd <- s.ssthresh
+  in
+  let on_timeout () =
+    s.ssthresh <- Float.max (s.cwnd /. 2.) 2.;
+    s.cwnd <- Float.max s.params.min_cwnd 1.
+  in
+  {
+    Cc.name = "dctcp";
+    cwnd = (fun () -> s.cwnd);
+    on_ack;
+    on_ecn;
+    on_fast_retransmit;
+    on_timeout;
+    in_slow_start = (fun () -> in_slow_start ());
+    take_cwr = Cc.nop_take_cwr;
+  }

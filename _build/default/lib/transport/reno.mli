@@ -1,0 +1,25 @@
+(** TCP NewReno congestion control — the paper's "TCP" baseline and the
+    per-subflow machinery LIA builds on.
+
+    Slow start doubles per RTT (+1 segment per ACK); congestion avoidance
+    adds one segment per RTT (+1/cwnd per ACK); fast retransmit halves;
+    timeout collapses to 1 segment. Optionally reacts to classic ECN
+    echoes as it would to a fast retransmit (off by default: the paper's
+    TCP/LIA flows are not ECN-capable). *)
+
+type params = {
+  init_cwnd : float;
+  min_cwnd : float;
+  ecn : bool;  (** respond to ECE like a loss, once per window *)
+}
+
+val default_params : params
+
+val make : ?params:params -> Cc.factory
+
+val make_with_increase :
+  ?params:params -> increase:(cwnd:float -> float) -> unit -> Cc.factory
+(** NewReno skeleton with a custom per-ACK congestion-avoidance increment
+    (used by the LIA/OLIA couplings, which replace 1/cwnd with a coupled
+    gain). [increase ~cwnd] is the cwnd increment applied per newly-acked
+    segment. *)

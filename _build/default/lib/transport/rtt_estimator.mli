@@ -1,0 +1,31 @@
+(** RTT estimation and retransmission timeout per RFC 6298, with the
+    configurable RTO floor that drives the paper's incast results
+    (RTOmin = 200 ms). *)
+
+type t
+
+val create : ?rto_min:Xmp_engine.Time.t -> ?rto_max:Xmp_engine.Time.t ->
+  unit -> t
+(** Defaults: [rto_min] 200 ms, [rto_max] 60 s. *)
+
+val sample : t -> Xmp_engine.Time.t -> unit
+(** Feeds one RTT measurement. *)
+
+val has_sample : t -> bool
+
+val srtt : t -> Xmp_engine.Time.t
+(** Smoothed RTT; the initial default (200 ms) before any sample. *)
+
+val rttvar : t -> Xmp_engine.Time.t
+
+val rto : t -> Xmp_engine.Time.t
+(** [clamp (srtt + 4 * rttvar)] with the current backoff applied. *)
+
+val backoff : t -> unit
+(** Doubles the RTO (up to [rto_max]) after a retransmission timeout. *)
+
+val reset_backoff : t -> unit
+(** Called when new data is acknowledged. *)
+
+val min_rtt : t -> Xmp_engine.Time.t
+(** Smallest sample seen; [Time.infinity] before any sample. *)

@@ -1,0 +1,464 @@
+module Sim = Xmp_engine.Sim
+module Time = Xmp_engine.Time
+module Network = Xmp_net.Network
+module Node = Xmp_net.Node
+module Packet = Xmp_net.Packet
+
+type echo_mode = Classic | Counted of int option
+
+type config = {
+  rto_min : Time.t;
+  rto_max : Time.t;
+  delack_segments : int;
+  delack_timeout : Time.t;
+  dupack_threshold : int;
+  ect : bool;
+  echo : echo_mode;
+  sack : bool;
+}
+
+let default_config =
+  {
+    rto_min = Time.ms 200;
+    rto_max = Time.sec 60.;
+    delack_segments = 2;
+    delack_timeout = Time.us 200;
+    dupack_threshold = 3;
+    ect = false;
+    echo = Counted (Some 3);
+    (* SACK defaults off: the paper's evaluation is dominated by 200 ms
+       RTO recovery for its loss-driven baselines (§5.2.2/§5.2.3), which
+       is the behaviour of a stack whose losses exceed what SACK-based
+       fast recovery repairs. The SACK ablation quantifies the
+       difference. *)
+    sack = false;
+  }
+
+let ecn_config = { default_config with ect = true }
+
+type source = Infinite | Limited of int ref
+
+type t = {
+  net : Network.t;
+  sim : Sim.t;
+  config : config;
+  flow : int;
+  subflow : int;
+  src : int;
+  dst : int;
+  path : int;
+  src_node : Node.t;
+  dst_node : Node.t;
+  mutable cc : Cc.t;
+  est : Rtt_estimator.t;
+  source : source;
+  started_at : Time.t;
+  (* sender. Sequence positions: [snd_una] ≤ [snd_nxt] ≤ [snd_max].
+     [snd_max] is the highest segment ever taken from the source (+1);
+     [snd_nxt] is the next segment to (re)transmit — after a timeout it is
+     rolled back to [snd_una] (go-back-N), so segments in
+     [snd_nxt, snd_max) are pending retransmission. *)
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable snd_max : int;
+  mutable dupacks : int;
+  mutable in_recovery : bool;
+  mutable recover : int;
+  sacked : (int, unit) Hashtbl.t;
+      (* scoreboard: segments above snd_una the receiver holds *)
+  mutable rto_deadline : Time.t;
+  mutable watchdog_time : Time.t;  (* fire time of the live watchdog *)
+  mutable watchdog_epoch : int;  (* stale scheduled watchdogs are ignored *)
+  mutable torn_down : bool;
+  mutable completed_at : Time.t option;
+  (* receiver *)
+  mutable rcv_nxt : int;
+  ooo : (int, unit) Hashtbl.t;
+  mutable pending_ce : int;
+  mutable ece_latched : bool;
+  mutable delack_pending : int;
+  mutable delack_timer : Sim.timer option;
+  mutable last_ts : Time.t;
+  (* stats *)
+  mutable segments_sent : int;
+  mutable segments_acked : int;
+  mutable retransmits : int;
+  mutable timeouts : int;
+  mutable fast_retransmits : int;
+  on_segment_acked : int -> unit;
+  on_rtt_sample : Time.t -> unit;
+  on_complete : unit -> unit;
+}
+
+let nop1 _ = ()
+
+let flight t = t.snd_nxt - t.snd_una
+
+(* data taken from the source but not yet acknowledged *)
+let outstanding t = t.snd_max - t.snd_una
+
+let take_segment t =
+  match t.source with
+  | Infinite -> true
+  | Limited r ->
+    if !r > 0 then begin
+      decr r;
+      true
+    end
+    else false
+
+let source_drained t =
+  match t.source with Infinite -> false | Limited r -> !r = 0
+
+let teardown t =
+  if not t.torn_down then begin
+    t.torn_down <- true;
+    (match t.delack_timer with Some tm -> Sim.cancel tm | None -> ());
+    t.delack_timer <- None;
+    Network.unregister_endpoint t.net ~host:t.src ~flow:t.flow
+      ~subflow:t.subflow;
+    Network.unregister_endpoint t.net ~host:t.dst ~flow:t.flow
+      ~subflow:t.subflow
+  end
+
+let complete t =
+  if t.completed_at = None then begin
+    t.completed_at <- Some (Sim.now t.sim);
+    teardown t;
+    t.on_complete ()
+  end
+
+let send_data t ~seq ~retx =
+  let now = Sim.now t.sim in
+  let cwr = (not retx) && t.cc.Cc.take_cwr () in
+  let p =
+    Packet.data ~uid:(Network.fresh_uid t.net) ~flow:t.flow
+      ~subflow:t.subflow ~src:t.src ~dst:t.dst ~path:t.path ~seq
+      ~ect:t.config.ect ~cwr ~ts:now
+  in
+  if retx then t.retransmits <- t.retransmits + 1
+  else t.segments_sent <- t.segments_sent + 1;
+  Node.send t.src_node p
+
+(* RTO handling: one logical watchdog event chases the mutable deadline.
+   ACK processing only moves the deadline *later*, which needs no heap
+   traffic (the watchdog fires early, notices, and re-schedules itself);
+   the deadline moving *earlier* (the RTO estimate shrinking after the
+   first samples, or a fresh arm) re-schedules and bumps the epoch so the
+   superseded event is ignored when it fires. *)
+let rec schedule_watchdog t at =
+  t.watchdog_epoch <- t.watchdog_epoch + 1;
+  t.watchdog_time <- at;
+  let epoch = t.watchdog_epoch in
+  Sim.at t.sim at (fun () -> watchdog_fire t epoch)
+
+and watchdog_fire t epoch =
+  if epoch = t.watchdog_epoch && not t.torn_down then begin
+    t.watchdog_time <- Time.infinity;
+    if outstanding t > 0 then begin
+      let now = Sim.now t.sim in
+      if now >= t.rto_deadline then begin
+        t.timeouts <- t.timeouts + 1;
+        Rtt_estimator.backoff t.est;
+        t.cc.Cc.on_timeout ();
+        t.in_recovery <- false;
+        t.dupacks <- 0;
+        (* go-back-N: resume (re)transmission from the unacknowledged
+           point; the send loop resends forward as the window allows *)
+        t.snd_nxt <- t.snd_una;
+        t.rto_deadline <- Time.add now (Rtt_estimator.rto t.est);
+        schedule_watchdog t t.rto_deadline;
+        send_pending t
+      end
+      else schedule_watchdog t t.rto_deadline
+    end
+  end
+
+and ensure_watchdog t =
+  if outstanding t > 0 && t.rto_deadline < t.watchdog_time then
+    schedule_watchdog t t.rto_deadline
+
+and refresh_rto t =
+  t.rto_deadline <- Time.add (Sim.now t.sim) (Rtt_estimator.rto t.est);
+  ensure_watchdog t
+
+and send_pending t =
+  if not t.torn_down then begin
+    let window = Stdlib.max 1 (int_of_float (t.cc.Cc.cwnd ())) in
+    if flight t < window then begin
+      (* skip segments the SACK scoreboard says the receiver already has *)
+      while t.snd_nxt < t.snd_max && Hashtbl.mem t.sacked t.snd_nxt do
+        t.snd_nxt <- t.snd_nxt + 1
+      done;
+      if t.snd_nxt < t.snd_max then begin
+        (* retransmission of taken-but-unacked data (post-timeout) *)
+        let seq = t.snd_nxt in
+        t.snd_nxt <- t.snd_nxt + 1;
+        send_data t ~seq ~retx:true;
+        send_pending t
+      end
+      else if take_segment t then begin
+        let seq = t.snd_nxt in
+        t.snd_nxt <- t.snd_nxt + 1;
+        t.snd_max <- t.snd_nxt;
+        if outstanding t = 1 then refresh_rto t;
+        send_data t ~seq ~retx:false;
+        send_pending t
+      end
+      else if source_drained t && outstanding t = 0 then complete t
+    end
+    else if source_drained t && outstanding t = 0 then complete t
+  end
+
+let send_loop = send_pending
+
+(* ----- receiver side ----- *)
+
+(* up to 3 maximal [start, stop) runs of out-of-order segments *)
+let sack_blocks t =
+  if (not t.config.sack) || Hashtbl.length t.ooo = 0 then []
+  else begin
+    let keys =
+      List.sort Int.compare
+        (Hashtbl.fold (fun k () acc -> k :: acc) t.ooo [])
+    in
+    let rec runs acc current = function
+      | [] -> List.rev (match current with None -> acc | Some r -> r :: acc)
+      | k :: rest -> (
+        match current with
+        | Some (start, stop) when k = stop -> runs acc (Some (start, k + 1)) rest
+        | Some r -> runs (r :: acc) (Some (k, k + 1)) rest
+        | None -> runs acc (Some (k, k + 1)) rest)
+    in
+    let all = runs [] None keys in
+    List.filteri (fun i _ -> i < 3) all
+  end
+
+let make_ack t =
+  let ece_count =
+    match t.config.echo with
+    | Classic -> if t.ece_latched then 1 else 0
+    | Counted cap ->
+      let n =
+        match cap with
+        | Some limit -> Stdlib.min t.pending_ce limit
+        | None -> t.pending_ce
+      in
+      t.pending_ce <- t.pending_ce - n;
+      n
+  in
+  Packet.ack ~sack:(sack_blocks t) ~uid:(Network.fresh_uid t.net)
+    ~flow:t.flow ~subflow:t.subflow ~src:t.dst ~dst:t.src ~path:t.path
+    ~seq:t.rcv_nxt ~ece_count ~ts:t.last_ts ()
+
+let send_ack t =
+  (match t.delack_timer with Some tm -> Sim.cancel tm | None -> ());
+  t.delack_timer <- None;
+  t.delack_pending <- 0;
+  Node.send t.dst_node (make_ack t)
+
+let arm_delack t =
+  match t.delack_timer with
+  | Some _ -> ()
+  | None ->
+    t.delack_timer <-
+      Some
+        (Sim.timer_after t.sim t.config.delack_timeout (fun () ->
+             t.delack_timer <- None;
+             if not t.torn_down then send_ack t))
+
+let receiver_rx t (p : Packet.t) =
+  (* Echo the timestamp of the most recent arrival: re-ACKs triggered by
+     retransmissions then carry a fresh timestamp, so the sender's RTT
+     samples are never polluted by pre-loss history (the ambiguity Karn's
+     rule exists for). *)
+  t.last_ts <- p.ts;
+  (match t.config.echo with
+  | Classic ->
+    if p.cwr then t.ece_latched <- false;
+    if p.ce then t.ece_latched <- true
+  | Counted _ -> if p.ce then t.pending_ce <- t.pending_ce + 1);
+  if p.seq = t.rcv_nxt then begin
+    t.rcv_nxt <- t.rcv_nxt + 1;
+    while Hashtbl.mem t.ooo t.rcv_nxt do
+      Hashtbl.remove t.ooo t.rcv_nxt;
+      t.rcv_nxt <- t.rcv_nxt + 1
+    done;
+    t.delack_pending <- t.delack_pending + 1;
+    if t.delack_pending >= t.config.delack_segments then send_ack t
+    else arm_delack t
+  end
+  else if p.seq > t.rcv_nxt then begin
+    if not (Hashtbl.mem t.ooo p.seq) then Hashtbl.replace t.ooo p.seq ();
+    (* out of order: duplicate ACK right away so the sender can detect the
+       loss with fast retransmit *)
+    send_ack t
+  end
+  else
+    (* stale retransmission: re-ACK so the sender advances *)
+    send_ack t
+
+(* ----- sender ACK processing ----- *)
+
+let ingest_sack t (p : Packet.t) =
+  if t.config.sack then
+    List.iter
+      (fun (start, stop) ->
+        for seq = Stdlib.max start (t.snd_una + 1) to stop - 1 do
+          Hashtbl.replace t.sacked seq ()
+        done)
+      p.sack
+
+let prune_scoreboard t =
+  if Hashtbl.length t.sacked > 0 then begin
+    let stale =
+      Hashtbl.fold
+        (fun seq () acc -> if seq < t.snd_una then seq :: acc else acc)
+        t.sacked []
+    in
+    List.iter (Hashtbl.remove t.sacked) stale
+  end
+
+let sender_rx t (p : Packet.t) =
+  if not t.torn_down then begin
+    if p.ece_count > 0 then t.cc.Cc.on_ecn ~count:p.ece_count;
+    ingest_sack t p;
+    if p.seq > t.snd_una then begin
+      let newly = p.seq - t.snd_una in
+      t.snd_una <- p.seq;
+      if p.seq > t.snd_nxt then t.snd_nxt <- p.seq;
+      t.dupacks <- 0;
+      prune_scoreboard t;
+      let now = Sim.now t.sim in
+      let rtt = Time.sub now p.ts in
+      if rtt >= 0 then begin
+        Rtt_estimator.sample t.est rtt;
+        t.on_rtt_sample rtt
+      end;
+      Rtt_estimator.reset_backoff t.est;
+      t.cc.Cc.on_ack ~ack:p.seq ~newly_acked:newly ~ce_count:p.ece_count;
+      t.segments_acked <- t.segments_acked + newly;
+      t.on_segment_acked newly;
+      if t.in_recovery then begin
+        if t.snd_una >= t.recover then t.in_recovery <- false
+        else
+          (* NewReno partial ACK: repair the next hole immediately *)
+          send_data t ~seq:t.snd_una ~retx:true
+      end;
+      refresh_rto t;
+      send_loop t
+    end
+    else if outstanding t > 0 then begin
+      t.dupacks <- t.dupacks + 1;
+      if t.dupacks = t.config.dupack_threshold && not t.in_recovery then begin
+        t.in_recovery <- true;
+        t.recover <- t.snd_max;
+        t.fast_retransmits <- t.fast_retransmits + 1;
+        t.cc.Cc.on_fast_retransmit ();
+        send_data t ~seq:t.snd_una ~retx:true
+      end
+    end
+  end
+
+let create ~net ~flow ~subflow ~src ~dst ~path ~cc
+    ?(config = default_config) ?(source = Infinite)
+    ?(on_segment_acked = nop1) ?(on_rtt_sample = nop1)
+    ?(on_complete = fun () -> ()) () =
+  let sim = Network.sim net in
+  let est =
+    Rtt_estimator.create ~rto_min:config.rto_min ~rto_max:config.rto_max ()
+  in
+  let placeholder_cc =
+    {
+      Cc.name = "uninitialized";
+      cwnd = (fun () -> 1.);
+      on_ack = (fun ~ack:_ ~newly_acked:_ ~ce_count:_ -> ());
+      on_ecn = (fun ~count:_ -> ());
+      on_fast_retransmit = ignore;
+      on_timeout = ignore;
+      in_slow_start = (fun () -> true);
+      take_cwr = Cc.nop_take_cwr;
+    }
+  in
+  let t =
+    {
+      net;
+      sim;
+      config;
+      flow;
+      subflow;
+      src;
+      dst;
+      path;
+      src_node = Network.node net src;
+      dst_node = Network.node net dst;
+      cc = placeholder_cc;
+      est;
+      source;
+      started_at = Sim.now sim;
+      snd_una = 0;
+      snd_nxt = 0;
+      snd_max = 0;
+      dupacks = 0;
+      in_recovery = false;
+      recover = 0;
+      sacked = Hashtbl.create 16;
+      rto_deadline = Time.infinity;
+      watchdog_time = Time.infinity;
+      watchdog_epoch = 0;
+      torn_down = false;
+      completed_at = None;
+      rcv_nxt = 0;
+      ooo = Hashtbl.create 16;
+      pending_ce = 0;
+      ece_latched = false;
+      delack_pending = 0;
+      delack_timer = None;
+      last_ts = Time.zero;
+      segments_sent = 0;
+      segments_acked = 0;
+      retransmits = 0;
+      timeouts = 0;
+      fast_retransmits = 0;
+      on_segment_acked;
+      on_rtt_sample;
+      on_complete;
+    }
+  in
+  let view =
+    {
+      Cc.snd_una = (fun () -> t.snd_una);
+      (* Algorithm 1's snd_nxt means "next new sequence"; after a timeout
+         rollback the transmission pointer regresses, but round/cwr
+         snapshots must not, so controllers see the high-water mark. *)
+      snd_nxt = (fun () -> t.snd_max);
+      srtt = (fun () -> Rtt_estimator.srtt t.est);
+      min_rtt = (fun () -> Rtt_estimator.min_rtt t.est);
+      now = (fun () -> Sim.now sim);
+    }
+  in
+  t.cc <- cc view;
+  Network.register_endpoint net ~host:src ~flow ~subflow (sender_rx t);
+  Network.register_endpoint net ~host:dst ~flow ~subflow (receiver_rx t);
+  send_loop t;
+  t
+
+let stop t = teardown t
+let flow t = t.flow
+let subflow t = t.subflow
+let path t = t.path
+let cwnd t = t.cc.Cc.cwnd ()
+let cc_name t = t.cc.Cc.name
+let srtt t = Rtt_estimator.srtt t.est
+let snd_una t = t.snd_una
+let snd_nxt t = t.snd_nxt
+let snd_max t = t.snd_max
+let outstanding_segments t = outstanding t
+let segments_acked t = t.segments_acked
+let segments_sent t = t.segments_sent
+let retransmits t = t.retransmits
+let timeouts t = t.timeouts
+let fast_retransmits t = t.fast_retransmits
+let is_complete t = t.completed_at <> None
+let completed_at t = t.completed_at
+let started_at t = t.started_at

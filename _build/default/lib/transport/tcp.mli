@@ -1,0 +1,121 @@
+(** TCP-like reliable transport over the simulated network.
+
+    One {!t} owns both endpoints of a connection: the sender side lives at
+    the source host (receives ACKs), the receiver side at the destination
+    host (receives data, generates cumulative ACKs with delayed-ACK
+    batching). Sequence numbers are in segments. The transmission rate is
+    limited only by the congestion window (the paper configures send and
+    receive buffers "sufficiently large"), so there is no flow control.
+
+    Loss recovery: fast retransmit on the third duplicate ACK with
+    NewReno-style partial-ACK retransmission, plus a retransmission timer
+    with exponential backoff and a configurable floor (RTOmin = 200 ms by
+    default, the value behind the paper's incast collapse results).
+
+    ECN: data packets carry ECT when [ect] is set. The receiver echo mode
+    matches the scheme under test:
+    - [Counted (Some 3)] — the paper's XMP two-bit ECE/CWR encoding: each
+      ACK returns up to 3 pending CE marks, leftovers carry over.
+    - [Counted None] — exact echo, as DCTCP's one-bit state machine
+      reconstructs.
+    - [Classic] — RFC 3168: ECE latched until the sender's CWR arrives. *)
+
+type echo_mode = Classic | Counted of int option
+
+type config = {
+  rto_min : Xmp_engine.Time.t;
+  rto_max : Xmp_engine.Time.t;
+  delack_segments : int;  (** ACK every n-th segment (paper: 2) *)
+  delack_timeout : Xmp_engine.Time.t;
+  dupack_threshold : int;
+  ect : bool;
+  echo : echo_mode;
+  sack : bool;
+      (** selective acknowledgements: the receiver advertises up to 3
+          out-of-order blocks per ACK and the sender never retransmits
+          segments the scoreboard covers (what a Linux-era stack does;
+          without it, post-timeout go-back-N resends delivered data) *)
+}
+
+val default_config : config
+(** RTOmin 200 ms, RTOmax 60 s, delayed ACK every 2 segments with a 200 µs
+    timer, 3 dupacks, ECT off, counted echo capped at 3, SACK off (matching
+    the RTO-dominated loss recovery the paper's baselines exhibit; flip
+    [sack] on to model a modern stack). *)
+
+val ecn_config : config
+(** {!default_config} with [ect = true]. *)
+
+type source = Infinite | Limited of int ref
+(** Where segments come from: an unbounded bulk sender, or a shared counter
+    of segments not yet handed to any subflow (MPTCP subflows share one). *)
+
+type t
+
+val create :
+  net:Xmp_net.Network.t ->
+  flow:int ->
+  subflow:int ->
+  src:int ->
+  dst:int ->
+  path:int ->
+  cc:Cc.factory ->
+  ?config:config ->
+  ?source:source ->
+  ?on_segment_acked:(int -> unit) ->
+  ?on_rtt_sample:(Xmp_engine.Time.t -> unit) ->
+  ?on_complete:(unit -> unit) ->
+  unit ->
+  t
+(** Registers both endpoints and starts sending immediately (wrap in
+    [Sim.at] for deferred starts). [source] defaults to [Infinite].
+    [on_complete] fires once, when a [Limited] source is exhausted and
+    every segment is acknowledged; the connection then tears down. *)
+
+val stop : t -> unit
+(** Tears the connection down without completing it (cancels timers,
+    unregisters endpoints). Idempotent. *)
+
+(** {1 Introspection} *)
+
+val flow : t -> int
+
+val subflow : t -> int
+
+val path : t -> int
+
+val cwnd : t -> float
+
+val cc_name : t -> string
+
+val srtt : t -> Xmp_engine.Time.t
+
+val flight : t -> int
+
+val snd_una : t -> int
+
+val snd_nxt : t -> int
+(** Next segment to (re)transmit; regresses to {!snd_una} after a
+    retransmission timeout (go-back-N). *)
+
+val snd_max : t -> int
+(** High-water mark: segments taken from the source so far. *)
+
+val outstanding_segments : t -> int
+(** [snd_max - snd_una]. *)
+
+val segments_acked : t -> int
+
+val segments_sent : t -> int
+
+val retransmits : t -> int
+
+val timeouts : t -> int
+
+val fast_retransmits : t -> int
+
+val is_complete : t -> bool
+
+val completed_at : t -> Xmp_engine.Time.t option
+
+val started_at : t -> Xmp_engine.Time.t

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Float Hashtbl Metrics Pareto Random Scheme Xmp_engine Xmp_mptcp Xmp_net

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Metrics Scheme Xmp_engine Xmp_net Xmp_stats

@@ -1,0 +1,1 @@
+lib/workload/metrics.ml: List Scheme Xmp_engine Xmp_net Xmp_stats

@@ -1,0 +1,1 @@
+lib/workload/metrics.mli: Scheme Xmp_engine Xmp_net Xmp_stats

@@ -1,0 +1,1 @@
+lib/workload/pareto.mli: Random

@@ -1,0 +1,1 @@
+lib/workload/scheme.ml: Array List Printf Random Stdlib String Xmp_core Xmp_engine Xmp_mptcp Xmp_transport

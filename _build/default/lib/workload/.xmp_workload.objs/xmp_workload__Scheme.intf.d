@@ -1,0 +1,1 @@
+lib/workload/scheme.mli: Random Xmp_engine Xmp_mptcp Xmp_net Xmp_transport

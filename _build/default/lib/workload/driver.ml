@@ -1,0 +1,387 @@
+module Sim = Xmp_engine.Sim
+module Time = Xmp_engine.Time
+module Network = Xmp_net.Network
+module Queue_disc = Xmp_net.Queue_disc
+module Fat_tree = Xmp_net.Fat_tree
+module Mptcp_flow = Xmp_mptcp.Mptcp_flow
+
+type assignment = Uniform of Scheme.t | Split of Scheme.t * Scheme.t
+
+type pattern =
+  | Permutation of { min_segments : int; max_segments : int }
+  | Random_pattern of {
+      mean_segments : float;
+      cap_segments : float;
+      shape : float;
+      max_inbound : int;
+    }
+  | Incast of {
+      jobs : int;
+      fanout : int;
+      request_segments : int;
+      response_segments : int;
+      bg_mean_segments : float;
+      bg_cap_segments : float;
+      bg_shape : float;
+    }
+
+type config = {
+  k : int;
+  seed : int;
+  horizon : Time.t;
+  queue_pkts : int;
+  marking_threshold : int;
+  beta : int;
+  rto_min : Time.t;
+  sack : bool;
+  assignment : assignment;
+  pattern : pattern;
+  rtt_subsample : int;
+}
+
+(* Paper sizes scaled by 1/32 and converted to 1460-byte segments. *)
+let segs_of_mb mb = int_of_float (Float.ceil (mb *. 1e6 /. 1460.))
+
+let permutation_scaled =
+  Permutation
+    { min_segments = segs_of_mb 2.; max_segments = segs_of_mb 16. }
+
+let random_scaled =
+  Random_pattern
+    {
+      mean_segments = float_of_int (segs_of_mb 6.);
+      cap_segments = float_of_int (segs_of_mb 24.);
+      shape = 1.5;
+      max_inbound = 4;
+    }
+
+let incast_scaled =
+  Incast
+    {
+      jobs = 3;
+      fanout = 8;
+      request_segments = 2;  (* 2 KB *)
+      response_segments = 45;  (* 64 KB *)
+      bg_mean_segments = float_of_int (segs_of_mb 6.);
+      bg_cap_segments = float_of_int (segs_of_mb 24.);
+      bg_shape = 1.5;
+    }
+
+let default_config =
+  {
+    k = 4;
+    seed = 1;
+    horizon = Time.sec 2.;
+    queue_pkts = 100;
+    marking_threshold = 10;
+    beta = 4;
+    rto_min = Time.ms 200;
+    sack = false;
+    assignment = Uniform (Scheme.Xmp 2);
+    pattern = permutation_scaled;
+    rtt_subsample = 16;
+  }
+
+type result = {
+  metrics : Metrics.t;
+  net : Network.t;
+  fat_tree : Fat_tree.t;
+  config : config;
+  events : int;
+}
+
+type active = {
+  a_scheme : Scheme.t;
+  a_src : int;
+  a_dst : int;
+  a_locality : Fat_tree.locality;
+  a_size : int;
+  a_handle : Mptcp_flow.t;
+}
+
+type ctx = {
+  cfg : config;
+  sim : Sim.t;
+  net : Network.t;
+  ft : Fat_tree.t;
+  rng : Random.State.t;
+  metrics : Metrics.t;
+  overrides : Scheme.transport_overrides;
+  mutable next_flow : int;
+  inbound : int array;  (* per-host inbound large-flow count *)
+  running : (int, active) Hashtbl.t;  (* large flows still in flight *)
+}
+
+let fresh_flow ctx =
+  let id = ctx.next_flow in
+  ctx.next_flow <- id + 1;
+  id
+
+let scheme_for ctx ~src =
+  match ctx.cfg.assignment with
+  | Uniform s -> s
+  | Split (a, b) -> if src mod 2 = 0 then a else b
+
+(* Launch one large flow between host indices and record it on
+   completion. *)
+let launch_large ctx ~src ~dst ~size_segments ~on_complete =
+  let scheme = scheme_for ctx ~src in
+  let locality = Fat_tree.locality ctx.ft ~src ~dst in
+  let available = Fat_tree.n_paths ctx.ft ~src ~dst in
+  let paths =
+    Scheme.pick_paths ~rng:ctx.rng ~available
+      ~wanted:(Scheme.n_subflows scheme)
+  in
+  let flow = fresh_flow ctx in
+  let handle =
+    Scheme.launch ~net:ctx.net ~overrides:ctx.overrides ~flow
+      ~src:(Fat_tree.host_id ctx.ft src)
+      ~dst:(Fat_tree.host_id ctx.ft dst)
+      ~paths ~size_segments
+      ~on_rtt_sample:(fun rtt -> Metrics.record_rtt ctx.metrics ~locality rtt)
+      ~on_complete:(fun f ->
+        Hashtbl.remove ctx.running flow;
+        let finished = Sim.now ctx.sim in
+        Metrics.record_flow ctx.metrics
+          {
+            Metrics.flow;
+            scheme;
+            src;
+            dst;
+            locality;
+            size_segments;
+            started = Mptcp_flow.started_at f;
+            finished;
+            goodput_bps = Mptcp_flow.goodput_bps f;
+            truncated = false;
+          };
+        on_complete ())
+      scheme
+  in
+  if not (Mptcp_flow.is_complete handle) then
+    Hashtbl.replace ctx.running flow
+      {
+        a_scheme = scheme;
+        a_src = src;
+        a_dst = dst;
+        a_locality = locality;
+        a_size = size_segments;
+        a_handle = handle;
+      }
+
+(* Launch a small (plain-TCP, single-path) flow; not recorded in large-flow
+   metrics. *)
+let launch_small ctx ~src ~dst ~size_segments ~on_complete =
+  let available = Fat_tree.n_paths ctx.ft ~src ~dst in
+  let paths = Scheme.pick_paths ~rng:ctx.rng ~available ~wanted:1 in
+  let flow = fresh_flow ctx in
+  ignore
+    (Scheme.launch ~net:ctx.net ~overrides:ctx.overrides ~flow
+       ~src:(Fat_tree.host_id ctx.ft src)
+       ~dst:(Fat_tree.host_id ctx.ft dst)
+       ~paths ~size_segments
+       ~on_complete:(fun _ -> on_complete ())
+       Scheme.Reno)
+
+let uniform_size ctx ~min_segments ~max_segments =
+  min_segments + Random.State.int ctx.rng (max_segments - min_segments + 1)
+
+(* destination ≠ src, optionally in another rack, respecting the inbound
+   cap; falls back to ignoring the cap if sampling keeps failing. *)
+let pick_dst ctx ~src ~max_inbound ~other_rack =
+  let n = Fat_tree.n_hosts ctx.ft in
+  let ok ~use_cap d =
+    d <> src
+    && ((not use_cap) || ctx.inbound.(d) < max_inbound)
+    && ((not other_rack)
+       || Fat_tree.locality ctx.ft ~src ~dst:d <> Fat_tree.Inner_rack)
+  in
+  let rec try_pick use_cap attempts =
+    if attempts = 0 then
+      if use_cap then try_pick false 64
+      else (src + 1 + Random.State.int ctx.rng (n - 1)) mod n
+    else begin
+      let d = Random.State.int ctx.rng n in
+      if ok ~use_cap d then d else try_pick use_cap (attempts - 1)
+    end
+  in
+  try_pick true 64
+
+(* ----- Permutation pattern ----- *)
+
+let random_derangement ctx n =
+  let p = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int ctx.rng (i + 1) in
+    let tmp = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- tmp
+  done;
+  (* repair fixed points by rotating them with their successor *)
+  for i = 0 to n - 1 do
+    if p.(i) = i then begin
+      let j = (i + 1) mod n in
+      let tmp = p.(i) in
+      p.(i) <- p.(j);
+      p.(j) <- tmp
+    end
+  done;
+  p
+
+let run_permutation ctx ~min_segments ~max_segments =
+  let n = Fat_tree.n_hosts ctx.ft in
+  let rec start_wave () =
+    let perm = random_derangement ctx n in
+    let remaining = ref n in
+    for src = 0 to n - 1 do
+      let size_segments = uniform_size ctx ~min_segments ~max_segments in
+      launch_large ctx ~src ~dst:perm.(src) ~size_segments
+        ~on_complete:(fun () ->
+          decr remaining;
+          if !remaining = 0 then start_wave ())
+    done
+  in
+  start_wave ()
+
+(* ----- Random pattern ----- *)
+
+let start_random_source ctx ~pareto ~max_inbound ~other_rack ~src =
+  let rec next () =
+    let dst = pick_dst ctx ~src ~max_inbound ~other_rack in
+    ctx.inbound.(dst) <- ctx.inbound.(dst) + 1;
+    let size_segments = Pareto.sample_int pareto ctx.rng in
+    launch_large ctx ~src ~dst ~size_segments ~on_complete:(fun () ->
+        ctx.inbound.(dst) <- ctx.inbound.(dst) - 1;
+        next ())
+  in
+  next ()
+
+let run_random ctx ~mean_segments ~cap_segments ~shape ~max_inbound
+    ~other_rack =
+  let pareto =
+    Pareto.create ~shape ~mean:mean_segments ~cap:cap_segments
+  in
+  for src = 0 to Fat_tree.n_hosts ctx.ft - 1 do
+    start_random_source ctx ~pareto ~max_inbound ~other_rack ~src
+  done
+
+(* ----- Incast pattern ----- *)
+
+let pick_distinct ctx ~n ~from =
+  let arr = Array.init from (fun i -> i) in
+  for i = 0 to n - 1 do
+    let j = i + Random.State.int ctx.rng (from - i) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.sub arr 0 n
+
+let run_incast ctx ~jobs ~fanout ~request_segments ~response_segments
+    ~bg_mean_segments ~bg_cap_segments ~bg_shape =
+  let n = Fat_tree.n_hosts ctx.ft in
+  if n < fanout + 1 then invalid_arg "Driver: incast fanout exceeds hosts";
+  let rec start_job () =
+    let hosts = pick_distinct ctx ~n:(fanout + 1) ~from:n in
+    let client = hosts.(0) in
+    let t0 = Sim.now ctx.sim in
+    let responses = ref 0 in
+    for s = 1 to fanout do
+      let server = hosts.(s) in
+      launch_small ctx ~src:client ~dst:server
+        ~size_segments:request_segments ~on_complete:(fun () ->
+          launch_small ctx ~src:server ~dst:client
+            ~size_segments:response_segments ~on_complete:(fun () ->
+              incr responses;
+              if !responses = fanout then begin
+                Metrics.record_job ctx.metrics
+                  (Time.sub (Sim.now ctx.sim) t0);
+                start_job ()
+              end))
+    done
+  in
+  for _ = 1 to jobs do
+    start_job ()
+  done;
+  (* background large flows, endpoints never in the same rack; a
+     non-positive mean disables the background entirely (pure incast) *)
+  if bg_mean_segments > 0. then
+    run_random ctx ~mean_segments:bg_mean_segments
+      ~cap_segments:bg_cap_segments ~shape:bg_shape ~max_inbound:4
+      ~other_rack:true
+
+let run cfg =
+  let sim = Sim.create ~seed:cfg.seed () in
+  let net = Network.create sim in
+  let disc () =
+    Queue_disc.create
+      ~policy:(Queue_disc.Threshold_mark cfg.marking_threshold)
+      ~capacity_pkts:cfg.queue_pkts
+  in
+  let ft = Fat_tree.create ~net ~k:cfg.k ~disc () in
+  let ctx =
+    {
+      cfg;
+      sim;
+      net;
+      ft;
+      rng = Sim.rng sim;
+      metrics = Metrics.create ~rtt_subsample:cfg.rtt_subsample;
+      overrides = { Scheme.rto_min = cfg.rto_min; beta = cfg.beta; sack = cfg.sack };
+      next_flow = 0;
+      inbound = Array.make (Fat_tree.n_hosts ft) 0;
+      running = Hashtbl.create 256;
+    }
+  in
+  (match cfg.pattern with
+  | Permutation { min_segments; max_segments } ->
+    run_permutation ctx ~min_segments ~max_segments
+  | Random_pattern { mean_segments; cap_segments; shape; max_inbound } ->
+    run_random ctx ~mean_segments ~cap_segments ~shape ~max_inbound
+      ~other_rack:false
+  | Incast
+      {
+        jobs;
+        fanout;
+        request_segments;
+        response_segments;
+        bg_mean_segments;
+        bg_cap_segments;
+        bg_shape;
+      } ->
+    run_incast ctx ~jobs ~fanout ~request_segments ~response_segments
+      ~bg_mean_segments ~bg_cap_segments ~bg_shape);
+  Sim.run ~until:cfg.horizon sim;
+  (* Flows still running at the horizon are measured over their partial
+     lifetime (start → horizon), so slow schemes do not escape the average
+     by never finishing. Very young flows carry no signal and are
+     skipped. *)
+  let min_elapsed = Time.div cfg.horizon 10 in
+  Hashtbl.iter
+    (fun flow a ->
+      let elapsed = Time.sub cfg.horizon (Mptcp_flow.started_at a.a_handle) in
+      if elapsed >= min_elapsed then
+        Metrics.record_flow ctx.metrics
+          {
+            Metrics.flow;
+            scheme = a.a_scheme;
+            src = a.a_src;
+            dst = a.a_dst;
+            locality = a.a_locality;
+            size_segments = a.a_size;
+            started = Mptcp_flow.started_at a.a_handle;
+            finished = cfg.horizon;
+            goodput_bps = Mptcp_flow.goodput_bps_until a.a_handle cfg.horizon;
+            truncated = true;
+          })
+    ctx.running;
+  {
+    metrics = ctx.metrics;
+    net;
+    fat_tree = ft;
+    config = cfg;
+    events = Sim.events_executed sim;
+  }
+
+let utilization_by_layer (r : result) =
+  Metrics.utilization_by_layer ~net:r.net ~duration:r.config.horizon

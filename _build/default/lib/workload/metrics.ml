@@ -1,0 +1,115 @@
+module Time = Xmp_engine.Time
+module Distribution = Xmp_stats.Distribution
+module Fat_tree = Xmp_net.Fat_tree
+
+type flow_record = {
+  flow : int;
+  scheme : Scheme.t;
+  src : int;
+  dst : int;
+  locality : Fat_tree.locality;
+  size_segments : int;
+  started : Time.t;
+  finished : Time.t;
+  goodput_bps : float;
+  truncated : bool;
+}
+
+type t = {
+  rtt_subsample : int;
+  mutable flows : flow_record list;
+  mutable n_flows : int;
+  rtt_inner : Distribution.t;
+  rtt_rack : Distribution.t;
+  rtt_pod : Distribution.t;
+  mutable rtt_counter : int;
+  jobs : Distribution.t;
+}
+
+let create ~rtt_subsample =
+  if rtt_subsample < 1 then invalid_arg "Metrics.create";
+  {
+    rtt_subsample;
+    flows = [];
+    n_flows = 0;
+    rtt_inner = Distribution.create ();
+    rtt_rack = Distribution.create ();
+    rtt_pod = Distribution.create ();
+    rtt_counter = 0;
+    jobs = Distribution.create ();
+  }
+
+let record_flow t r =
+  t.flows <- r :: t.flows;
+  t.n_flows <- t.n_flows + 1
+
+let rtt_dist t = function
+  | Fat_tree.Inner_rack -> t.rtt_inner
+  | Fat_tree.Inter_rack -> t.rtt_rack
+  | Fat_tree.Inter_pod -> t.rtt_pod
+
+let record_rtt t ~locality rtt =
+  t.rtt_counter <- t.rtt_counter + 1;
+  if t.rtt_counter mod t.rtt_subsample = 0 then
+    Distribution.add (rtt_dist t locality) (Time.to_ms rtt)
+
+let record_job t d = Distribution.add t.jobs (Time.to_ms d)
+let completed_flows t = List.rev t.flows
+let n_completed_flows t = t.n_flows
+
+let mean_goodput_over t pred =
+  let sum = ref 0. and n = ref 0 in
+  List.iter
+    (fun r ->
+      if pred r then begin
+        sum := !sum +. r.goodput_bps;
+        incr n
+      end)
+    t.flows;
+  if !n = 0 then 0. else !sum /. float_of_int !n
+
+let mean_goodput_bps t = mean_goodput_over t (fun _ -> true)
+
+let mean_goodput_bps_of_scheme t scheme =
+  mean_goodput_over t (fun r -> r.scheme = scheme)
+
+let goodputs t =
+  let d = Distribution.create () in
+  List.iter (fun r -> Distribution.add d r.goodput_bps) t.flows;
+  d
+
+let localities = [ Fat_tree.Inter_pod; Fat_tree.Inter_rack; Fat_tree.Inner_rack ]
+
+let goodputs_by_locality t =
+  List.filter_map
+    (fun loc ->
+      let d = Distribution.create () in
+      List.iter
+        (fun r -> if r.locality = loc then Distribution.add d r.goodput_bps)
+        t.flows;
+      if Distribution.is_empty d then None else Some (loc, d))
+    localities
+
+let rtts_by_locality t =
+  List.filter_map
+    (fun loc ->
+      let d = rtt_dist t loc in
+      if Distribution.is_empty d then None else Some (loc, d))
+    localities
+
+let job_times_ms t = t.jobs
+let jobs_over_ms t threshold = Distribution.fraction_above t.jobs threshold
+
+let utilization_by_layer ~net ~duration =
+  List.filter_map
+    (fun layer ->
+      let links = Xmp_net.Network.links_tagged net layer in
+      if links = [] then None
+      else begin
+        let d = Distribution.create () in
+        List.iter
+          (fun l -> Distribution.add d (Xmp_net.Link.utilization l ~duration))
+          links;
+        Some (layer, d)
+      end)
+    Fat_tree.layers

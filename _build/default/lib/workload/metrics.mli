@@ -1,0 +1,69 @@
+(** Measurement collection for fat-tree evaluation runs: everything needed
+    to regenerate Tables 1–3 and Figures 8–11. *)
+
+module Distribution = Xmp_stats.Distribution
+
+type flow_record = {
+  flow : int;
+  scheme : Scheme.t;
+  src : int;  (** host index *)
+  dst : int;
+  locality : Xmp_net.Fat_tree.locality;
+  size_segments : int;
+  started : Xmp_engine.Time.t;
+  finished : Xmp_engine.Time.t;
+  goodput_bps : float;
+  truncated : bool;
+      (** flow was still running at the horizon; its goodput is measured
+          over start → horizon (the paper's "whole running time" for flows
+          whose run the simulation cut off). Short-lived truncated flows
+          (< 1/10 of the horizon) are not recorded at all. *)
+}
+
+type t
+
+val create : rtt_subsample:int -> t
+(** RTT samples are decimated by [rtt_subsample] (≥ 1) to bound memory. *)
+
+val record_flow : t -> flow_record -> unit
+
+val record_rtt :
+  t -> locality:Xmp_net.Fat_tree.locality -> Xmp_engine.Time.t -> unit
+
+val record_job : t -> Xmp_engine.Time.t -> unit
+(** A completed incast job with its completion time. *)
+
+val completed_flows : t -> flow_record list
+(** All recorded flows, including horizon-truncated ones. *)
+
+val n_completed_flows : t -> int
+
+val mean_goodput_bps : t -> float
+(** Over all recorded large flows (Table 1 cells). *)
+
+val mean_goodput_bps_of_scheme : t -> Scheme.t -> float
+(** Restricted to flows of one scheme (Table 2 cells). *)
+
+val goodputs : t -> Distribution.t
+(** All completed-flow goodputs, bps (Figure 8a/b CDFs). *)
+
+val goodputs_by_locality :
+  t -> (Xmp_net.Fat_tree.locality * Distribution.t) list
+(** Figure 8c/d bars. Localities with no flows are omitted. *)
+
+val rtts_by_locality :
+  t -> (Xmp_net.Fat_tree.locality * Distribution.t) list
+(** Milliseconds (Figure 10 bars). *)
+
+val job_times_ms : t -> Distribution.t
+(** Figure 9 CDF / Table 3. *)
+
+val jobs_over_ms : t -> float -> float
+(** Fraction of jobs slower than the threshold (Table 3's ">300ms"). *)
+
+val utilization_by_layer :
+  net:Xmp_net.Network.t ->
+  duration:Xmp_engine.Time.t ->
+  (string * Distribution.t) list
+(** Per-layer link utilization distributions at the end of a run
+    (Figure 11 bars); layers ordered as {!Xmp_net.Fat_tree.layers}. *)

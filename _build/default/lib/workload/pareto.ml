@@ -1,0 +1,14 @@
+type t = { shape : float; scale : float; cap : float }
+
+let create ~shape ~mean ~cap =
+  if shape <= 1. then invalid_arg "Pareto.create: shape must exceed 1";
+  if mean <= 0. || cap < mean then invalid_arg "Pareto.create: mean/cap";
+  { shape; scale = mean *. (shape -. 1.) /. shape; cap }
+
+let scale t = t.scale
+
+let sample t rng =
+  let u = 1. -. Random.State.float rng 1. (* in (0, 1] *) in
+  Float.min t.cap (t.scale /. (u ** (1. /. t.shape)))
+
+let sample_int t rng = Stdlib.max 1 (int_of_float (Float.round (sample t rng)))

@@ -1,0 +1,18 @@
+(** Bounded Pareto sampler for the paper's Random traffic pattern (§5.2.1:
+    shape 1.5, mean 192 MB, upper bound 768 MB — scaled in the default
+    experiments). *)
+
+type t
+
+val create : shape:float -> mean:float -> cap:float -> t
+(** [shape] must exceed 1 (finite mean). The scale parameter is derived
+    so the *unbounded* distribution has the given mean; [cap] truncates
+    the tail (the paper's upper bound). *)
+
+val scale : t -> float
+(** The derived minimum value [x_m = mean·(shape−1)/shape]. *)
+
+val sample : t -> Random.State.t -> float
+
+val sample_int : t -> Random.State.t -> int
+(** Rounded sample, at least 1. *)

@@ -1,0 +1,101 @@
+module Time = Xmp_engine.Time
+module Tcp = Xmp_transport.Tcp
+module Coupling = Xmp_mptcp.Coupling
+module Mptcp_flow = Xmp_mptcp.Mptcp_flow
+
+type t = Dctcp | Reno | Lia of int | Olia of int | Xmp of int
+
+let name = function
+  | Dctcp -> "DCTCP"
+  | Reno -> "TCP"
+  | Lia n -> Printf.sprintf "LIA-%d" n
+  | Olia n -> Printf.sprintf "OLIA-%d" n
+  | Xmp n -> Printf.sprintf "XMP-%d" n
+
+let of_name s =
+  let s = String.uppercase_ascii (String.trim s) in
+  let multipath prefix mk =
+    let plen = String.length prefix in
+    if
+      String.length s > plen + 1
+      && String.sub s 0 (plen + 1) = prefix ^ "-"
+    then
+      match int_of_string_opt (String.sub s (plen + 1) (String.length s - plen - 1)) with
+      | Some n when n >= 1 -> Some (mk n)
+      | Some _ | None -> None
+    else None
+  in
+  match s with
+  | "DCTCP" -> Some Dctcp
+  | "TCP" | "RENO" -> Some Reno
+  | _ -> (
+    match multipath "LIA" (fun n -> Lia n) with
+    | Some _ as r -> r
+    | None -> (
+      match multipath "OLIA" (fun n -> Olia n) with
+      | Some _ as r -> r
+      | None -> multipath "XMP" (fun n -> Xmp n)))
+
+let n_subflows = function
+  | Dctcp | Reno -> 1
+  | Lia n | Olia n | Xmp n -> n
+
+let is_multipath t = n_subflows t > 1
+
+let uses_ecn = function
+  | Dctcp | Xmp _ -> true
+  | Reno | Lia _ | Olia _ -> false
+
+type transport_overrides = { rto_min : Time.t; beta : int; sack : bool }
+
+let default_overrides = { rto_min = Time.ms 200; beta = 4; sack = false }
+
+let tcp_config t overrides =
+  let base =
+    match t with
+    | Xmp _ -> Xmp_core.Xmp.tcp_config
+    | Dctcp -> Xmp_core.Xmp.dctcp_tcp_config
+    | Reno | Lia _ | Olia _ -> Xmp_core.Xmp.plain_tcp_config
+  in
+  { base with Tcp.rto_min = overrides.rto_min; sack = overrides.sack }
+
+let coupling t overrides =
+  match t with
+  | Dctcp ->
+    Coupling.uncoupled ~name:"dctcp" (fun view ->
+        Xmp_transport.Dctcp.make view)
+  | Reno ->
+    Coupling.uncoupled ~name:"reno" (fun view ->
+        Xmp_transport.Reno.make view)
+  | Lia _ -> Xmp_mptcp.Lia.coupling ()
+  | Olia _ -> Xmp_mptcp.Olia.coupling ()
+  | Xmp _ ->
+    let params = { Xmp_core.Bos.default_params with beta = overrides.beta } in
+    Xmp_core.Trash.coupling ~params ()
+
+let launch ~net ~overrides ~flow ~src ~dst ~paths ?size_segments
+    ?on_complete ?on_subflow_acked ?on_rtt_sample t =
+  let wanted = n_subflows t in
+  let given = List.length paths in
+  if given = 0 || given > wanted then
+    invalid_arg
+      (Printf.sprintf "Scheme.launch: %s takes 1..%d paths, got %d" (name t)
+         wanted given);
+  Mptcp_flow.create ~net ~flow ~src ~dst ~paths ~coupling:(coupling t overrides)
+    ~config:(tcp_config t overrides) ?size_segments ?on_complete
+    ?on_subflow_acked ?on_rtt_sample ()
+
+let pick_paths ~rng ~available ~wanted =
+  if available <= 0 then invalid_arg "Scheme.pick_paths: available";
+  let wanted = Stdlib.min wanted available in
+  (* partial Fisher-Yates over 0..available-1 *)
+  let arr = Array.init available (fun i -> i) in
+  let picked = ref [] in
+  for i = 0 to wanted - 1 do
+    let j = i + Random.State.int rng (available - i) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp;
+    picked := arr.(i) :: !picked
+  done;
+  List.rev !picked

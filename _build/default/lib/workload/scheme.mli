@@ -1,0 +1,58 @@
+(** The data-transfer schemes the paper evaluates, unified behind one
+    launcher. The trailing digit in names like "XMP-2" is the number of
+    subflows a large flow establishes (§5.2.2). *)
+
+type t =
+  | Dctcp  (** single-path DCTCP over ECN switches *)
+  | Reno  (** plain single-path TCP, loss-driven *)
+  | Lia of int  (** MPTCP with Linked Increases, n subflows *)
+  | Olia of int  (** MPTCP with OLIA, n subflows (extension) *)
+  | Xmp of int  (** MPTCP with XMP (BOS + TraSh), n subflows *)
+
+val name : t -> string
+(** Paper-style name: "DCTCP", "TCP", "LIA-4", "XMP-2", "OLIA-2". *)
+
+val of_name : string -> t option
+(** Inverse of {!name} (case-insensitive). *)
+
+val n_subflows : t -> int
+
+val is_multipath : t -> bool
+
+val uses_ecn : t -> bool
+
+type transport_overrides = {
+  rto_min : Xmp_engine.Time.t;
+  beta : int;  (** XMP's window-reduction divisor *)
+  sack : bool;  (** selective acknowledgements for every flow *)
+}
+
+val default_overrides : transport_overrides
+(** RTOmin 200 ms, β = 4, SACK off (the paper's RTO-dominated regime). *)
+
+val tcp_config : t -> transport_overrides -> Xmp_transport.Tcp.config
+(** The transport configuration this scheme runs with: ECT + capped echo
+    for XMP, ECT + exact echo for DCTCP, plain for TCP/LIA/OLIA. *)
+
+val launch :
+  net:Xmp_net.Network.t ->
+  overrides:transport_overrides ->
+  flow:int ->
+  src:int ->
+  dst:int ->
+  paths:int list ->
+  ?size_segments:int ->
+  ?on_complete:(Xmp_mptcp.Mptcp_flow.t -> unit) ->
+  ?on_subflow_acked:(int -> int -> unit) ->
+  ?on_rtt_sample:(Xmp_engine.Time.t -> unit) ->
+  t ->
+  Xmp_mptcp.Mptcp_flow.t
+(** Starts a flow of this scheme. [paths] carries up to {!n_subflows}
+    selectors — fewer when the host pair has less path diversity than the
+    scheme wants (e.g. XMP-4 within a rack). *)
+
+val pick_paths :
+  rng:Random.State.t -> available:int -> wanted:int -> int list
+(** [wanted] distinct path selectors drawn uniformly from
+    [0..available-1] (fewer if [available < wanted]). This models the
+    choice of destination addresses when subflows are established. *)

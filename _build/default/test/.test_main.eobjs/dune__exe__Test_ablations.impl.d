@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest Filename Fun Printf String Sys Unix Xmp_core Xmp_engine Xmp_experiments Xmp_net Xmp_stats Xmp_transport

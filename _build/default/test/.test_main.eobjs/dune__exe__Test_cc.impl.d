@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Xmp_engine Xmp_transport

@@ -1,0 +1,1 @@
+test/test_d2tcp.ml: Alcotest Printf Xmp_core Xmp_engine Xmp_net Xmp_transport

@@ -1,0 +1,1 @@
+test/test_driver_extra.ml: Alcotest List Printf Xmp_engine Xmp_experiments Xmp_net Xmp_stats Xmp_workload

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest List QCheck QCheck_alcotest Xmp_engine

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array List Printf Xmp_engine Xmp_experiments Xmp_workload

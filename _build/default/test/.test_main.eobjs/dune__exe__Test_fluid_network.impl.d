@@ -1,0 +1,1 @@
+test/test_fluid_network.ml: Alcotest Float Printf Xmp_core Xmp_engine Xmp_net Xmp_stats Xmp_transport

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: List QCheck QCheck_alcotest Xmp_core Xmp_engine Xmp_mptcp Xmp_net Xmp_transport

@@ -1,0 +1,1 @@
+test/test_leaf_spine.ml: Alcotest Array List Printf Xmp_core Xmp_engine Xmp_mptcp Xmp_net Xmp_transport

@@ -1,0 +1,1 @@
+test/test_link.ml: Alcotest List Xmp_engine Xmp_net

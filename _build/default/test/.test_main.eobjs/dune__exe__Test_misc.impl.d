@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Xmp_engine Xmp_mptcp Xmp_net Xmp_transport

@@ -1,0 +1,1 @@
+test/test_mptcp.ml: Alcotest Array List Xmp_core Xmp_engine Xmp_mptcp Xmp_net Xmp_transport

@@ -1,0 +1,1 @@
+test/test_net_basics.ml: Alcotest Format List QCheck QCheck_alcotest String Xmp_net Xmp_stats

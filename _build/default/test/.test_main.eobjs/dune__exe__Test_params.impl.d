@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Float QCheck QCheck_alcotest Xmp_core Xmp_engine Xmp_net

@@ -1,0 +1,1 @@
+test/test_periodic.ml: Alcotest List Xmp_engine

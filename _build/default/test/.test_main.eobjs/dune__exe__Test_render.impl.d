@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Filename Fun List String Sys Unix Xmp_experiments Xmp_stats

@@ -1,0 +1,1 @@
+test/test_rtt_estimator.ml: Alcotest Xmp_engine Xmp_transport

@@ -1,0 +1,1 @@
+test/test_sack.ml: Alcotest List Printf Xmp_engine Xmp_net Xmp_transport

@@ -1,0 +1,1 @@
+test/test_slog.ml: Alcotest Filename Format Fun String Sys Unix Xmp_engine

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest List Xmp_core Xmp_engine Xmp_net Xmp_stats Xmp_transport

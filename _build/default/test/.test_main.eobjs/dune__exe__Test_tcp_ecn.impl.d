@@ -1,0 +1,1 @@
+test/test_tcp_ecn.ml: Alcotest Xmp_core Xmp_engine Xmp_net Xmp_transport

@@ -1,0 +1,1 @@
+test/test_tcp_edges.ml: Alcotest Xmp_engine Xmp_net Xmp_transport

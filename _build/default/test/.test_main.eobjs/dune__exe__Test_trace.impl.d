@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest List String Xmp_core Xmp_engine Xmp_net Xmp_transport

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List QCheck QCheck_alcotest Random Stdlib Xmp_engine Xmp_net Xmp_stats Xmp_transport Xmp_workload

@@ -1,0 +1,1 @@
+test/test_xmp_facade.ml: Alcotest Xmp_core Xmp_engine Xmp_net Xmp_transport

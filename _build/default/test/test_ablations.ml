@@ -1,0 +1,145 @@
+(* Smoke tests of the ablation benches: they must run, and their headline
+   directions must hold. *)
+
+module E = Xmp_experiments
+module Time = Xmp_engine.Time
+
+let test_k_sweep_point_directions () =
+  (* exposed indirectly through print_k_sweep; verify the underlying
+     physics with two direct probes at tiny scale via Fig1-style runs *)
+  let r_small = E.Fig1.run ~scale:0.04 { E.Fig1.dctcp = false; k = 10 } in
+  Alcotest.(check bool) "K=10 halving run works" true
+    (r_small.E.Fig1.utilization > 0.5)
+
+let capture f =
+  let file = Filename.temp_file "xmp_ablation" ".txt" in
+  let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close fd)
+    f;
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove file;
+  s
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_beta_sweep_prints () =
+  let out =
+    capture (fun () ->
+        E.Ablations.print_beta_sweep ~scale:0.02 ~betas:[ 3; 4 ] ())
+  in
+  Alcotest.(check bool) "has rows" true
+    (contains out "beta" && contains out "Jain");
+  Alcotest.(check bool) "both betas present" true
+    (contains out "3" && contains out "4")
+
+let test_k_sweep_prints () =
+  let out = capture (fun () -> E.Ablations.print_k_sweep ~ks:[ 4; 20 ] ()) in
+  Alcotest.(check bool) "mentions Equation 1" true (contains out "Equation 1");
+  Alcotest.(check bool) "rows for both K" true
+    (contains out "yes" && contains out "no")
+
+let test_queue_occupancy_prints () =
+  let out = capture (fun () -> E.Ablations.print_queue_occupancy ()) in
+  Alcotest.(check bool) "all four schemes" true
+    (contains out "XMP-1" && contains out "DCTCP" && contains out "TCP"
+    && contains out "LIA-1");
+  (* the ECN schemes' median occupancy must be far below the loss-driven
+     schemes' — extract is overkill; the table itself is checked by the
+     dedicated physics test below *)
+  Alcotest.(check bool) "has percentile columns" true (contains out "p90")
+
+let test_queue_occupancy_physics () =
+  (* direct check of the paper's premise without parsing tables: run the
+     same scenario both ways via the Driver-free helper in Ablations is
+     not exposed, so use a minimal inline version *)
+  let median_occupancy ~ecn =
+    let sim = Xmp_engine.Sim.create ~seed:29 () in
+    let net = Xmp_net.Network.create sim in
+    let policy =
+      if ecn then Xmp_net.Queue_disc.Threshold_mark 10
+      else Xmp_net.Queue_disc.Droptail
+    in
+    let disc () = Xmp_net.Queue_disc.create ~policy ~capacity_pkts:100 in
+    let tb =
+      Xmp_net.Testbed.create ~net ~n_left:2 ~n_right:2
+        ~bottlenecks:
+          [
+            {
+              Xmp_net.Testbed.rate = Xmp_net.Units.mbps 500.;
+              delay = Time.us 60;
+              disc;
+            };
+          ]
+        ()
+    in
+    for i = 0 to 1 do
+      if ecn then
+        ignore
+          (Xmp_core.Xmp.flow ~net ~flow:i
+             ~src:(Xmp_net.Testbed.left_id tb i)
+             ~dst:(Xmp_net.Testbed.right_id tb i)
+             ~paths:[ 0 ] ())
+      else
+        ignore
+          (Xmp_transport.Tcp.create ~net ~flow:i ~subflow:0
+             ~src:(Xmp_net.Testbed.left_id tb i)
+             ~dst:(Xmp_net.Testbed.right_id tb i)
+             ~path:0
+             ~cc:(fun v -> Xmp_transport.Reno.make v)
+             ())
+    done;
+    let queue = Xmp_net.Link.disc (Xmp_net.Testbed.bottleneck_fwd tb 0) in
+    let occ = Xmp_stats.Distribution.create () in
+    let rec sample () =
+      Xmp_stats.Distribution.add occ
+        (float_of_int (Xmp_net.Queue_disc.length queue));
+      Xmp_engine.Sim.after sim (Time.us 100) sample
+    in
+    Xmp_engine.Sim.at sim (Time.ms 20) sample;
+    Xmp_engine.Sim.run ~until:(Time.ms 150) sim;
+    Xmp_stats.Distribution.percentile occ 50.
+  in
+  let xmp_occ = median_occupancy ~ecn:true in
+  let tcp_occ = median_occupancy ~ecn:false in
+  Alcotest.(check bool) "XMP keeps the buffer near K" true (xmp_occ < 25.);
+  Alcotest.(check bool)
+    (Printf.sprintf "TCP fills the buffer (%.0f vs %.0f)" tcp_occ xmp_occ)
+    true
+    (tcp_occ > 2. *. xmp_occ)
+
+let test_rto_sweep_prints () =
+  let base =
+    { E.Fatree_eval.default_base with horizon = Time.ms 400 }
+  in
+  let out = capture (fun () -> E.Ablations.print_rto_min_sweep ~base ()) in
+  Alcotest.(check bool) "rows for both schemes" true
+    (contains out "LIA-2" && contains out "XMP-2");
+  Alcotest.(check bool) "rto values listed" true
+    (contains out "200" && contains out "20")
+
+let suite =
+  [
+    Alcotest.test_case "fig1 helper at tiny scale" `Quick
+      test_k_sweep_point_directions;
+    Alcotest.test_case "beta sweep prints" `Slow test_beta_sweep_prints;
+    Alcotest.test_case "k sweep prints" `Slow test_k_sweep_prints;
+    Alcotest.test_case "queue occupancy prints" `Slow
+      test_queue_occupancy_prints;
+    Alcotest.test_case "queue occupancy physics" `Quick
+      test_queue_occupancy_physics;
+    Alcotest.test_case "rto sweep prints" `Slow test_rto_sweep_prints;
+  ]

@@ -1,0 +1,166 @@
+module D2tcp = Xmp_transport.D2tcp
+module Cc = Xmp_transport.Cc
+module Sim = Xmp_engine.Sim
+module Time = Xmp_engine.Time
+module Net = Xmp_net
+module Tcp = Xmp_transport.Tcp
+module Testbed = Xmp_net.Testbed
+
+let checkf = Alcotest.(check (float 1e-9))
+let params = D2tcp.default_params
+
+let test_imminence_neutral () =
+  (* needing exactly the time available -> d = 1 *)
+  checkf "d = 1" 1.
+    (D2tcp.imminence ~params ~remaining_segments:100
+       ~rate_segments_per_s:1000. ~time_left_s:0.1)
+
+let test_imminence_clamps () =
+  checkf "far deadline clamps at 0.5" 0.5
+    (D2tcp.imminence ~params ~remaining_segments:1
+       ~rate_segments_per_s:10000. ~time_left_s:10.);
+  checkf "imminent deadline clamps at 2" 2.
+    (D2tcp.imminence ~params ~remaining_segments:100000
+       ~rate_segments_per_s:10. ~time_left_s:0.001);
+  checkf "missed deadline behaves most aggressive" 2.
+    (D2tcp.imminence ~params ~remaining_segments:10 ~rate_segments_per_s:10.
+       ~time_left_s:(-1.));
+  checkf "finished flow backs off most" 0.5
+    (D2tcp.imminence ~params ~remaining_segments:0 ~rate_segments_per_s:10.
+       ~time_left_s:1.)
+
+(* scripted-view unit check: imminent flows cut less than far ones *)
+type fake = { mutable una : int; mutable nxt : int; mutable now : Time.t }
+
+let fake_view () =
+  let f = { una = 0; nxt = 0; now = 0 } in
+  let view =
+    {
+      Cc.snd_una = (fun () -> f.una);
+      snd_nxt = (fun () -> f.nxt);
+      srtt = (fun () -> Time.us 200);
+      min_rtt = (fun () -> Time.us 200);
+      now = (fun () -> f.now);
+    }
+  in
+  (f, view)
+
+let grow cc f n =
+  for _ = 1 to n do
+    f.una <- f.una + 1;
+    if f.nxt < f.una then f.nxt <- f.una;
+    cc.Cc.on_ack ~ack:f.una ~newly_acked:1 ~ce_count:0
+  done
+
+let cut_with ~deadline =
+  let f, view = fake_view () in
+  let acked = ref 0 in
+  let cc =
+    D2tcp.make_cc
+      ~params:{ params with g = 1e-12 } (* keep alpha at 1 *)
+      ?deadline
+      ~acked:(fun () -> !acked)
+      () view
+  in
+  grow cc f 17;
+  acked := 17;
+  f.nxt <- 100;
+  let before = cc.Cc.cwnd () in
+  cc.Cc.on_ecn ~count:1;
+  (before, cc.Cc.cwnd ())
+
+let test_no_deadline_is_dctcp () =
+  let before, after = cut_with ~deadline:None in
+  checkf "alpha^1/2 = halving" (before /. 2.) after
+
+let test_imminent_cuts_less () =
+  (* deadline nearly missed: d = 2, cut = alpha^2/2 = 1/2... with alpha=1
+     both d give the same cut; use a mid alpha instead *)
+  let run ~alpha ~deadline =
+    let f, view = fake_view () in
+    let acked = ref 0 in
+    let cc =
+      D2tcp.make_cc
+        ~params:{ params with init_alpha = alpha; g = 1e-12 }
+        ?deadline
+        ~acked:(fun () -> !acked)
+        () view
+    in
+    grow cc f 17;
+    acked := 17;
+    f.nxt <- 100;
+    let before = cc.Cc.cwnd () in
+    cc.Cc.on_ecn ~count:1;
+    before -. cc.Cc.cwnd ()
+  in
+  let tight =
+    Some { D2tcp.total_segments = 1_000_000; deadline_at = Time.us 1 }
+  in
+  let loose =
+    Some { D2tcp.total_segments = 18; deadline_at = Time.sec 100. }
+  in
+  let cut_tight = run ~alpha:0.5 ~deadline:tight in
+  let cut_loose = run ~alpha:0.5 ~deadline:loose in
+  let cut_neutral = run ~alpha:0.5 ~deadline:None in
+  Alcotest.(check bool)
+    (Printf.sprintf "tight %.2f < neutral %.2f < loose %.2f" cut_tight
+       cut_neutral cut_loose)
+    true
+    (cut_tight < cut_neutral && cut_neutral < cut_loose)
+
+let test_deadline_flow_wins_bandwidth () =
+  (* two D2TCP flows share a marking bottleneck; the tight-deadline flow
+     should finish with more delivered data *)
+  let sim = Sim.create ~seed:8 () in
+  let net = Net.Network.create sim in
+  let disc () =
+    Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark 10)
+      ~capacity_pkts:100
+  in
+  let tb =
+    Testbed.create ~net ~n_left:2 ~n_right:2
+      ~bottlenecks:
+        [ { Testbed.rate = Net.Units.mbps 200.; delay = Time.us 50; disc } ]
+      ()
+  in
+  let mk ~host ~deadline =
+    let acked = ref 0 in
+    Tcp.create ~net ~flow:host ~subflow:0
+      ~src:(Testbed.left_id tb host)
+      ~dst:(Testbed.right_id tb host)
+      ~path:0
+      ~cc:(D2tcp.make_cc ?deadline ~acked:(fun () -> !acked) ())
+      ~config:Xmp_core.Xmp.dctcp_tcp_config
+      ~on_segment_acked:(fun n -> acked := !acked + n)
+      ()
+  in
+  let tight =
+    mk ~host:0
+      ~deadline:
+        (Some { D2tcp.total_segments = 20_000; deadline_at = Time.ms 100 })
+  in
+  let loose =
+    mk ~host:1
+      ~deadline:
+        (Some { D2tcp.total_segments = 100; deadline_at = Time.sec 30. })
+  in
+  Sim.run ~until:(Time.ms 400) sim;
+  let r_tight = Tcp.segments_acked tight in
+  let r_loose = Tcp.segments_acked loose in
+  Alcotest.(check bool)
+    (Printf.sprintf "tight-deadline flow gets more (%d vs %d)" r_tight
+       r_loose)
+    true
+    (float_of_int r_tight > 1.2 *. float_of_int r_loose)
+
+let suite =
+  [
+    Alcotest.test_case "imminence neutral point" `Quick
+      test_imminence_neutral;
+    Alcotest.test_case "imminence clamps" `Quick test_imminence_clamps;
+    Alcotest.test_case "no deadline = DCTCP" `Quick test_no_deadline_is_dctcp;
+    Alcotest.test_case "imminent flows cut less" `Quick
+      test_imminent_cuts_less;
+    Alcotest.test_case "tight deadline wins bandwidth" `Quick
+      test_deadline_flow_wins_bandwidth;
+  ]

@@ -1,0 +1,91 @@
+module Q = Xmp_engine.Event_queue
+
+let test_empty () =
+  let q = Q.create () in
+  Alcotest.(check bool) "empty" true (Q.is_empty q);
+  Alcotest.(check int) "length" 0 (Q.length q);
+  Alcotest.(check bool) "pop none" true (Q.pop q = None);
+  Alcotest.(check bool) "peek none" true (Q.peek_time q = None)
+
+let test_ordering () =
+  let q = Q.create () in
+  Q.add q ~time:30 ~seq:0 "c";
+  Q.add q ~time:10 ~seq:1 "a";
+  Q.add q ~time:20 ~seq:2 "b";
+  let pop () =
+    match Q.pop q with Some (_, _, v) -> v | None -> Alcotest.fail "empty"
+  in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ())
+
+let test_fifo_ties () =
+  let q = Q.create () in
+  for i = 0 to 9 do
+    Q.add q ~time:5 ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Q.pop q with
+    | Some (_, seq, v) ->
+      Alcotest.(check int) "seq order" i seq;
+      Alcotest.(check int) "payload order" i v
+    | None -> Alcotest.fail "queue exhausted early"
+  done
+
+let test_growth () =
+  let q = Q.create () in
+  let n = 10_000 in
+  for i = n downto 1 do
+    Q.add q ~time:i ~seq:(n - i) i
+  done;
+  Alcotest.(check int) "length" n (Q.length q);
+  let prev = ref min_int in
+  for _ = 1 to n do
+    match Q.pop q with
+    | Some (t, _, _) ->
+      Alcotest.(check bool) "non-decreasing" true (t >= !prev);
+      prev := t
+    | None -> Alcotest.fail "exhausted"
+  done;
+  Alcotest.(check bool) "drained" true (Q.is_empty q)
+
+let test_peek () =
+  let q = Q.create () in
+  Q.add q ~time:42 ~seq:0 ();
+  Alcotest.(check bool) "peek" true (Q.peek_time q = Some 42);
+  Alcotest.(check int) "peek does not pop" 1 (Q.length q)
+
+let test_clear () =
+  let q = Q.create () in
+  Q.add q ~time:1 ~seq:0 ();
+  Q.add q ~time:2 ~seq:1 ();
+  Q.clear q;
+  Alcotest.(check bool) "cleared" true (Q.is_empty q);
+  Q.add q ~time:3 ~seq:2 ();
+  Alcotest.(check bool) "usable after clear" true (Q.peek_time q = Some 3)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~count:200 ~name:"heap pops in (time, seq) order"
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let q = Q.create () in
+      List.iteri (fun i t -> Q.add q ~time:t ~seq:i t) times;
+      let rec drain acc =
+        match Q.pop q with
+        | Some (t, s, _) -> drain ((t, s) :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      let sorted = List.sort compare popped in
+      popped = sorted && List.length popped = List.length times)
+
+let suite =
+  [
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "time ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO on equal times" `Quick test_fifo_ties;
+    Alcotest.test_case "growth to 10k" `Quick test_growth;
+    Alcotest.test_case "peek" `Quick test_peek;
+    Alcotest.test_case "clear" `Quick test_clear;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+  ]

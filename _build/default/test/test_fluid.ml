@@ -1,0 +1,170 @@
+module Fluid = Xmp_core.Fluid
+
+let checkf = Alcotest.(check (float 1e-6))
+
+let test_equilibrium_p () =
+  (* Equation 3 with delta = 1: p = 1 / (1 + w/beta) *)
+  checkf "w=12, beta=4" 0.25 (Fluid.equilibrium_p ~beta:4 ~delta:1. ~w:12.);
+  checkf "w=0" 1. (Fluid.equilibrium_p ~beta:4 ~delta:1. ~w:0.)
+
+let test_derivative_zero_at_equilibrium () =
+  let beta = 4 and delta = 1. and t_round = 0.0002 in
+  let w = 24. in
+  let p = Fluid.equilibrium_p ~beta ~delta ~w in
+  checkf "dw/dt = 0" 0.
+    (Fluid.cwnd_derivative ~beta ~delta ~t_round ~p ~w)
+
+let test_equilibrium_rate_inverts () =
+  let beta = 4 and delta = 1.5 and t_round = 0.0003 in
+  let w = 30. in
+  let p = Fluid.equilibrium_p ~beta ~delta ~w in
+  let x = Fluid.equilibrium_rate ~beta ~delta ~t_round ~p in
+  checkf "x = w / T" (w /. t_round) x
+
+let test_utility_properties () =
+  let u = Fluid.utility ~beta:4 ~delta:1. ~t_round:0.0002 in
+  checkf "U(0) = 0" 0. (u 0.);
+  Alcotest.(check bool) "increasing" true (u 2000. > u 1000.);
+  (* strict concavity on a sample triple *)
+  Alcotest.(check bool) "concave" true
+    (u 1500. > (u 1000. +. u 2000.) /. 2.)
+
+let test_utility_deriv_is_congestion () =
+  (* Equation 7 equals Equation 8 when x = equilibrium rate: the marginal
+     utility is the equilibrium congestion level *)
+  let beta = 4 and delta = 1. and t_round = 0.0002 in
+  let w = 40. in
+  let p = Fluid.equilibrium_p ~beta ~delta ~w in
+  let x = w /. t_round in
+  checkf "U'(x) = p~" p (Fluid.utility_deriv ~beta ~delta ~t_round x)
+
+let test_integrate_converges_to_equilibrium () =
+  let beta = 4 and delta = 1. and t_round = 0.0002 in
+  (* a queue-like marking law, steepening toward w = 30 *)
+  let p_of_w w = Float.min 1. ((w /. 30.) ** 4.) in
+  let settle w0 =
+    Fluid.integrate_bos ~beta ~delta ~t_round ~p_of_w ~w0 ~dt:1e-6
+      ~steps:400_000
+  in
+  let from_above = settle 100. and from_below = settle 2. in
+  Alcotest.(check bool) "same fixed point from both sides" true
+    (Float.abs (from_above -. from_below) < 0.5);
+  let residual =
+    Fluid.cwnd_derivative ~beta ~delta ~t_round ~p:(p_of_w from_above)
+      ~w:from_above
+  in
+  (* dw/dt is O(5000) segments/s off equilibrium; demand near-zero *)
+  Alcotest.(check bool) "settled" true (Float.abs residual < 50.)
+
+let linear_path ~capacity ~rtt =
+  (* congestion grows from a small floor toward 1 as rate approaches and
+     exceeds the capacity *)
+  {
+    Fluid.rtt;
+    p_of_rate = (fun x -> Float.min 1. (0.005 +. (0.995 *. x /. capacity)));
+  }
+
+let test_rate_for_delta_monotone () =
+  let path = linear_path ~capacity:100_000. ~rtt:0.0002 in
+  let r1 = Fluid.rate_for_delta ~beta:4 path ~delta:0.5 in
+  let r2 = Fluid.rate_for_delta ~beta:4 path ~delta:1.0 in
+  let r3 = Fluid.rate_for_delta ~beta:4 path ~delta:2.0 in
+  Alcotest.(check bool) "delta raises the equilibrium rate" true
+    (r1 < r2 && r2 < r3)
+
+let test_rate_for_delta_solves_eq8 () =
+  let path = linear_path ~capacity:50_000. ~rtt:0.0004 in
+  let delta = 1.2 in
+  let x = Fluid.rate_for_delta ~beta:4 path ~delta in
+  let p = path.Fluid.p_of_rate x in
+  let x' = Fluid.equilibrium_rate ~beta:4 ~delta ~t_round:path.Fluid.rtt ~p in
+  Alcotest.(check bool) "fixed point of Equation 8" true
+    (Float.abs (x -. x') /. x < 1e-3)
+
+let test_trash_fixed_point_equalizes_congestion () =
+  (* unequal paths: TraSh converges to (nearly) equal congestion *)
+  let paths =
+    [
+      linear_path ~capacity:100_000. ~rtt:0.0002;
+      linear_path ~capacity:40_000. ~rtt:0.0002;
+      linear_path ~capacity:70_000. ~rtt:0.0003;
+    ]
+  in
+  let st = Fluid.trash_fixed_point ~beta:4 ~paths ~iterations:200 in
+  let spread = Fluid.congestion_spread ~beta:4 ~paths st in
+  Alcotest.(check bool) "congestion equalized" true (spread < 0.01);
+  Array.iter
+    (fun d -> Alcotest.(check bool) "deltas positive" true (d > 0.))
+    st.Fluid.deltas
+
+let test_trash_fixed_point_identical_paths () =
+  let paths =
+    [
+      linear_path ~capacity:50_000. ~rtt:0.0002;
+      linear_path ~capacity:50_000. ~rtt:0.0002;
+    ]
+  in
+  let st = Fluid.trash_fixed_point ~beta:4 ~paths ~iterations:100 in
+  Alcotest.(check bool) "equal rates on equal paths" true
+    (Float.abs (st.Fluid.rates.(0) -. st.Fluid.rates.(1))
+     /. st.Fluid.rates.(0)
+    < 1e-6);
+  Alcotest.(check bool) "deltas halve" true
+    (Float.abs (st.Fluid.deltas.(0) -. 0.5) < 1e-6)
+
+(* Proposition 1: if the path's congestion is below the flow's aggregate
+   congestion estimate U'(y), the Equation 9 update raises delta. *)
+let prop_proposition_1 =
+  QCheck.Test.make ~count:500 ~name:"Proposition 1"
+    QCheck.(
+      quad (float_range 1. 100.) (float_range 1. 100.)
+        (float_range 0.0001 0.001) (float_range 0.0001 0.001))
+    (fun (w_r, w_other, rtt_r, rtt_other) ->
+      let beta = 4 in
+      let delta_r = 1. in
+      (* current rates *)
+      let x_r = w_r /. rtt_r and x_o = w_other /. rtt_other in
+      let y = x_r +. x_o in
+      let t_min = Float.min rtt_r rtt_other in
+      let p_r = Fluid.equilibrium_p ~beta ~delta:delta_r ~w:w_r in
+      let u' = Fluid.utility_deriv ~beta ~delta:1. ~t_round:t_min y in
+      let delta_next =
+        Fluid.trash_delta ~rtt:rtt_r ~rate:x_r ~min_rtt:t_min ~total_rate:y
+      in
+      (* Proposition 1 direction: p < U' implies delta grows *)
+      (not (p_r < u')) || delta_next > delta_r -. 1e-12)
+
+let test_validation () =
+  Alcotest.check_raises "beta" (Invalid_argument "Fluid: beta must be >= 2")
+    (fun () -> ignore (Fluid.equilibrium_p ~beta:1 ~delta:1. ~w:1.));
+  Alcotest.check_raises "p=0"
+    (Invalid_argument "Fluid.equilibrium_rate: p must be positive")
+    (fun () ->
+      ignore (Fluid.equilibrium_rate ~beta:4 ~delta:1. ~t_round:1. ~p:0.));
+  Alcotest.check_raises "no paths"
+    (Invalid_argument "Fluid.trash_fixed_point: no paths") (fun () ->
+      ignore (Fluid.trash_fixed_point ~beta:4 ~paths:[] ~iterations:1))
+
+let suite =
+  [
+    Alcotest.test_case "equilibrium p (Eq. 3)" `Quick test_equilibrium_p;
+    Alcotest.test_case "dw/dt = 0 at equilibrium (Eq. 2/3)" `Quick
+      test_derivative_zero_at_equilibrium;
+    Alcotest.test_case "equilibrium rate inverts (Eq. 8)" `Quick
+      test_equilibrium_rate_inverts;
+    Alcotest.test_case "utility shape (Eq. 4)" `Quick test_utility_properties;
+    Alcotest.test_case "U' is the congestion level (Eq. 7)" `Quick
+      test_utility_deriv_is_congestion;
+    Alcotest.test_case "ODE integration settles" `Quick
+      test_integrate_converges_to_equilibrium;
+    Alcotest.test_case "rate monotone in delta" `Quick
+      test_rate_for_delta_monotone;
+    Alcotest.test_case "rate solves Equation 8" `Quick
+      test_rate_for_delta_solves_eq8;
+    Alcotest.test_case "TraSh equalizes congestion" `Quick
+      test_trash_fixed_point_equalizes_congestion;
+    Alcotest.test_case "identical paths split evenly" `Quick
+      test_trash_fixed_point_identical_paths;
+    QCheck_alcotest.to_alcotest prop_proposition_1;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,175 @@
+(* Randomized end-to-end robustness: whatever the loss pattern, queue
+   size, scheme or topology parameters, sized transfers must complete and
+   deliver exactly their bytes. These are the deep-bug catchers. *)
+
+module Sim = Xmp_engine.Sim
+module Time = Xmp_engine.Time
+module Net = Xmp_net
+module Tcp = Xmp_transport.Tcp
+module Flow = Xmp_mptcp.Mptcp_flow
+module Testbed = Xmp_net.Testbed
+
+let tcp_transfer_fuzz =
+  QCheck.Test.make ~count:40 ~name:"any sized TCP transfer completes exactly"
+    QCheck.(
+      quad (int_range 0 10_000) (int_range 3 60) (int_range 1 400) bool)
+    (fun (seed, capacity, size, sack) ->
+      let sim = Sim.create ~seed () in
+      let net = Net.Network.create sim in
+      let disc () =
+        Net.Queue_disc.create ~policy:Net.Queue_disc.Droptail
+          ~capacity_pkts:capacity
+      in
+      let tb =
+        Testbed.create ~net ~n_left:2 ~n_right:2
+          ~bottlenecks:
+            [
+              {
+                Testbed.rate = Net.Units.mbps 200.;
+                delay = Time.us 40;
+                disc;
+              };
+            ]
+          ()
+      in
+      let config = { Tcp.default_config with sack } in
+      (* a competing infinite flow supplies cross-traffic and losses *)
+      ignore
+        (Tcp.create ~net ~flow:2 ~subflow:0
+           ~src:(Testbed.left_id tb 1)
+           ~dst:(Testbed.right_id tb 1)
+           ~path:0
+           ~cc:(fun v -> Xmp_transport.Reno.make v)
+           ~config ());
+      let conn =
+        Tcp.create ~net ~flow:1 ~subflow:0
+          ~src:(Testbed.left_id tb 0)
+          ~dst:(Testbed.right_id tb 0)
+          ~path:0
+          ~cc:(fun v -> Xmp_transport.Reno.make v)
+          ~config
+          ~source:(Tcp.Limited (ref size))
+          ()
+      in
+      Sim.run ~until:(Time.sec 30.) sim;
+      Tcp.is_complete conn && Tcp.segments_acked conn = size)
+
+let mptcp_transfer_fuzz =
+  QCheck.Test.make ~count:30
+    ~name:"any sized MPTCP transfer completes exactly"
+    QCheck.(
+      quad (int_range 0 10_000) (int_range 1 3) (int_range 1 500)
+        (int_range 1 20))
+    (fun (seed, n_subflows, size, mark_k) ->
+      let sim = Sim.create ~seed () in
+      let net = Net.Network.create sim in
+      let disc () =
+        Net.Queue_disc.create
+          ~policy:(Net.Queue_disc.Threshold_mark mark_k) ~capacity_pkts:40
+      in
+      let spec =
+        { Testbed.rate = Net.Units.mbps 150.; delay = Time.us 60; disc }
+      in
+      let tb =
+        Testbed.create ~net ~n_left:1 ~n_right:1
+          ~bottlenecks:(List.init 3 (fun _ -> spec))
+          ()
+      in
+      let f =
+        Flow.create ~net ~flow:1
+          ~src:(Testbed.left_id tb 0)
+          ~dst:(Testbed.right_id tb 0)
+          ~paths:(List.init n_subflows (fun i -> i))
+          ~coupling:(Xmp_core.Trash.coupling ())
+          ~config:Xmp_core.Xmp.tcp_config ~size_segments:size ()
+      in
+      Sim.run ~until:(Time.sec 30.) sim;
+      Flow.is_complete f && Flow.segments_acked f = size)
+
+let blackout_fuzz =
+  QCheck.Test.make ~count:25
+    ~name:"transfers survive arbitrary link blackouts"
+    QCheck.(
+      quad (int_range 0 10_000) (int_range 1 50) (int_range 1 200)
+        (int_range 1 300))
+    (fun (seed, blackout_start_ms, blackout_len_ms, size) ->
+      let sim = Sim.create ~seed () in
+      let net = Net.Network.create sim in
+      let disc () =
+        Net.Queue_disc.create ~policy:Net.Queue_disc.Droptail
+          ~capacity_pkts:30
+      in
+      let tb =
+        Testbed.create ~net ~n_left:1 ~n_right:1
+          ~bottlenecks:
+            [
+              {
+                Testbed.rate = Net.Units.mbps 100.;
+                delay = Time.us 50;
+                disc;
+              };
+            ]
+          ()
+      in
+      let conn =
+        Tcp.create ~net ~flow:1 ~subflow:0
+          ~src:(Testbed.left_id tb 0)
+          ~dst:(Testbed.right_id tb 0)
+          ~path:0
+          ~cc:(fun v -> Xmp_transport.Reno.make v)
+          ~source:(Tcp.Limited (ref size))
+          ()
+      in
+      Sim.at sim (Time.ms blackout_start_ms) (fun () ->
+          Testbed.set_bottleneck_up tb 0 false);
+      Sim.at sim
+        (Time.ms (blackout_start_ms + blackout_len_ms))
+        (fun () -> Testbed.set_bottleneck_up tb 0 true);
+      Sim.run ~until:(Time.sec 120.) sim;
+      Tcp.is_complete conn && Tcp.segments_acked conn = size)
+
+let fat_tree_route_fuzz =
+  QCheck.Test.make ~count:100 ~name:"fat-tree delivers on every selector"
+    QCheck.(
+      quad (int_range 0 1) (int_range 0 127) (int_range 0 127)
+        (int_range 0 15))
+    (fun (k_pick, src_raw, dst_raw, path_raw) ->
+      let k = if k_pick = 0 then 4 else 6 in
+      let sim = Sim.create () in
+      let net = Net.Network.create sim in
+      let disc () =
+        Net.Queue_disc.create ~policy:Net.Queue_disc.Droptail
+          ~capacity_pkts:50
+      in
+      let ft = Net.Fat_tree.create ~net ~k ~disc () in
+      let n = Net.Fat_tree.n_hosts ft in
+      let src = src_raw mod n in
+      let dst = dst_raw mod n in
+      if src = dst then true
+      else begin
+        let paths = Net.Fat_tree.n_paths ft ~src ~dst in
+        let path = path_raw mod paths in
+        let delivered = ref false in
+        Net.Network.register_endpoint net
+          ~host:(Net.Fat_tree.host_id ft dst)
+          ~flow:1 ~subflow:0
+          (fun _ -> delivered := true);
+        Net.Node.send
+          (Net.Network.node net (Net.Fat_tree.host_id ft src))
+          (Net.Packet.data
+             ~uid:(Net.Network.fresh_uid net)
+             ~flow:1 ~subflow:0
+             ~src:(Net.Fat_tree.host_id ft src)
+             ~dst:(Net.Fat_tree.host_id ft dst)
+             ~path ~seq:0 ~ect:false ~cwr:false ~ts:0);
+        Sim.run sim;
+        !delivered
+      end)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest ~long:false tcp_transfer_fuzz;
+    QCheck_alcotest.to_alcotest ~long:false mptcp_transfer_fuzz;
+    QCheck_alcotest.to_alcotest ~long:false blackout_fuzz;
+    QCheck_alcotest.to_alcotest ~long:false fat_tree_route_fuzz;
+  ]

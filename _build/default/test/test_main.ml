@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "xmp"
+    [
+      ("engine.time", Test_time.suite);
+      ("engine.event_queue", Test_event_queue.suite);
+      ("engine.sim", Test_sim.suite);
+      ("engine.slog", Test_slog.suite);
+      ("engine.periodic", Test_periodic.suite);
+      ("stats", Test_stats.suite);
+      ("net.basics", Test_net_basics.suite);
+      ("net.link", Test_link.suite);
+      ("net.network", Test_network.suite);
+      ("net.topologies", Test_topologies.suite);
+      ("net.trace", Test_trace.suite);
+      ("net.leaf_spine", Test_leaf_spine.suite);
+      ("transport.estimator", Test_rtt_estimator.suite);
+      ("transport.cc", Test_cc.suite);
+      ("transport.tcp", Test_tcp.suite);
+      ("transport.tcp_ecn", Test_tcp_ecn.suite);
+      ("transport.tcp_edges", Test_tcp_edges.suite);
+      ("transport.sack", Test_sack.suite);
+      ("mptcp", Test_mptcp.suite);
+      ("core.params", Test_params.suite);
+      ("core.bos", Test_bos.suite);
+      ("core.trash", Test_trash.suite);
+      ("core.fluid", Test_fluid.suite);
+      ("core.fluid_network", Test_fluid_network.suite);
+      ("transport.d2tcp", Test_d2tcp.suite);
+      ("core.facade", Test_xmp_facade.suite);
+      ("workload", Test_workload.suite);
+      ("workload.driver_extra", Test_driver_extra.suite);
+      ("experiments", Test_experiments.suite);
+      ("experiments.render", Test_render.suite);
+      ("experiments.ablations", Test_ablations.suite);
+      ("misc", Test_misc.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]

@@ -1,0 +1,255 @@
+module Sim = Xmp_engine.Sim
+module Time = Xmp_engine.Time
+module Net = Xmp_net
+module Tcp = Xmp_transport.Tcp
+module Coupling = Xmp_mptcp.Coupling
+module Lia = Xmp_mptcp.Lia
+module Olia = Xmp_mptcp.Olia
+module Flow = Xmp_mptcp.Mptcp_flow
+module Testbed = Xmp_net.Testbed
+
+let checkf = Alcotest.(check (float 1e-6))
+
+let make_rig ?(m = 2) ?(rate = Net.Units.mbps 100.) () =
+  let sim = Sim.create ~seed:9 () in
+  let net = Net.Network.create sim in
+  let disc () =
+    Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark 10)
+      ~capacity_pkts:100
+  in
+  let spec = { Testbed.rate; delay = Time.us 50; disc } in
+  let tb =
+    Testbed.create ~net ~n_left:2 ~n_right:2
+      ~bottlenecks:(List.init m (fun _ -> spec))
+      ~access_delay:(Time.us 10) ()
+  in
+  (sim, net, tb)
+
+(* ----- coupling registry ----- *)
+
+let test_group_registry () =
+  let g = Coupling.group () in
+  Alcotest.(check int) "empty" 0 (List.length (Coupling.members g));
+  let m1 =
+    {
+      Coupling.cwnd = (fun () -> 10.);
+      srtt_s = (fun () -> 0.001);
+      in_slow_start = (fun () -> false);
+    }
+  in
+  let m2 =
+    {
+      Coupling.cwnd = (fun () -> 30.);
+      srtt_s = (fun () -> 0.002);
+      in_slow_start = (fun () -> true);
+    }
+  in
+  Coupling.register g m1;
+  Coupling.register g m2;
+  Alcotest.(check int) "two members" 2 (List.length (Coupling.members g));
+  checkf "total cwnd" 40. (Coupling.total_cwnd g);
+  checkf "total rate" ((10. /. 0.001) +. (30. /. 0.002)) (Coupling.total_rate g);
+  checkf "min srtt" 0.001 (Coupling.min_srtt g)
+
+(* ----- LIA alpha ----- *)
+
+let test_lia_alpha_single_path () =
+  (* one path: alpha = total * (w/rtt^2) / (w/rtt)^2 = 1 per unit...
+     alpha/total = 1/w, i.e. plain reno *)
+  let w = 20. and rtt = 0.01 in
+  let a = Lia.alpha ~windows_rtts:[ (w, rtt) ] in
+  checkf "alpha = rtt^0 scaling" (w *. (w /. (rtt *. rtt)) /. ((w /. rtt) ** 2.)) a;
+  checkf "increase equals 1/total" (1. /. w) (a /. w)
+
+let test_lia_alpha_equal_paths () =
+  (* n identical paths: increase per path = 1/(n^2 * w)... aggregate
+     behaves like one flow *)
+  let w = 10. and rtt = 0.001 in
+  let a = Lia.alpha ~windows_rtts:[ (w, rtt); (w, rtt) ] in
+  let total = 2. *. w in
+  (* alpha = total * (w/rtt²) / (2w/rtt)² = total / (4w) = 1/2 *)
+  checkf "alpha" 0.5 a;
+  checkf "per-ack increase" (0.25 /. w) (a /. total)
+
+let test_lia_alpha_degenerate () =
+  checkf "empty" 0. (Lia.alpha ~windows_rtts:[]);
+  checkf "zero rtt ignored" 0. (Lia.alpha ~windows_rtts:[ (10., 0.) ])
+
+(* ----- flow mechanics ----- *)
+
+let reno_uncoupled =
+  Coupling.uncoupled ~name:"reno" (fun v -> Xmp_transport.Reno.make v)
+
+let test_flow_completion () =
+  let sim, net, tb = make_rig () in
+  let completed = ref 0 in
+  let f =
+    Flow.create ~net ~flow:1
+      ~src:(Testbed.left_id tb 0)
+      ~dst:(Testbed.right_id tb 0)
+      ~paths:[ 0; 1 ] ~coupling:(Lia.coupling ())
+      ~size_segments:500
+      ~on_complete:(fun _ -> incr completed)
+      ()
+  in
+  Sim.run ~until:(Time.sec 2.) sim;
+  Alcotest.(check bool) "complete" true (Flow.is_complete f);
+  Alcotest.(check int) "once" 1 !completed;
+  Alcotest.(check int) "exactly the flow size" 500 (Flow.segments_acked f);
+  Alcotest.(check int) "two subflows" 2 (Flow.n_subflows f);
+  (* both subflows carried data over distinct paths *)
+  Alcotest.(check bool) "subflow 0 used" true
+    (Tcp.segments_acked (Flow.subflow f 0) > 0);
+  Alcotest.(check bool) "subflow 1 used" true
+    (Tcp.segments_acked (Flow.subflow f 1) > 0);
+  Alcotest.(check bool) "goodput positive" true (Flow.goodput_bps f > 0.)
+
+let test_flow_uses_both_paths () =
+  let sim, net, tb = make_rig () in
+  ignore
+    (Flow.create ~net ~flow:1
+       ~src:(Testbed.left_id tb 0)
+       ~dst:(Testbed.right_id tb 0)
+       ~paths:[ 0; 1 ]
+       ~coupling:(Xmp_core.Trash.coupling ())
+       ~config:Xmp_core.Xmp.tcp_config ());
+  Sim.run ~until:(Time.ms 500) sim;
+  (* an MPTCP flow over two 100 Mbps paths should beat one path's rate *)
+  let total_pkts =
+    Net.Link.packets_sent (Testbed.bottleneck_fwd tb 0)
+    + Net.Link.packets_sent (Testbed.bottleneck_fwd tb 1)
+  in
+  let single_path_cap = 100e6 *. 0.5 /. 8. /. 1500. in
+  Alcotest.(check bool) "aggregates both paths" true
+    (float_of_int total_pkts > 1.5 *. single_path_cap)
+
+let test_add_subflow () =
+  let sim, net, tb = make_rig () in
+  let f =
+    Flow.create ~net ~flow:1
+      ~src:(Testbed.left_id tb 0)
+      ~dst:(Testbed.right_id tb 0)
+      ~paths:[ 0 ]
+      ~coupling:(Xmp_core.Trash.coupling ())
+      ~config:Xmp_core.Xmp.tcp_config ()
+  in
+  Sim.at sim (Time.ms 50) (fun () -> ignore (Flow.add_subflow f ~path:1));
+  Sim.run ~until:(Time.ms 300) sim;
+  Alcotest.(check int) "now two subflows" 2 (Flow.n_subflows f);
+  Alcotest.(check bool) "late subflow carries data" true
+    (Tcp.segments_acked (Flow.subflow f 1) > 0)
+
+let test_goodput_until () =
+  let sim, net, tb = make_rig () in
+  let f =
+    Flow.create ~net ~flow:1
+      ~src:(Testbed.left_id tb 0)
+      ~dst:(Testbed.right_id tb 0)
+      ~paths:[ 0 ] ~coupling:reno_uncoupled ()
+  in
+  Sim.run ~until:(Time.ms 100) sim;
+  let g = Flow.goodput_bps_until f (Time.ms 100) in
+  Alcotest.(check bool) "bounded by path capacity" true (g <= 100e6);
+  Alcotest.(check bool) "substantial" true (g > 50e6);
+  Alcotest.(check bool) "unfinished goodput raises" true
+    (try
+       ignore (Flow.goodput_bps f);
+       false
+     with Invalid_argument _ -> true)
+
+let test_stop_flow () =
+  let sim, net, tb = make_rig () in
+  let f =
+    Flow.create ~net ~flow:1
+      ~src:(Testbed.left_id tb 0)
+      ~dst:(Testbed.right_id tb 0)
+      ~paths:[ 0; 1 ] ~coupling:reno_uncoupled ()
+  in
+  Sim.run ~until:(Time.ms 50) sim;
+  Flow.stop f;
+  let acked = Flow.segments_acked f in
+  Sim.run ~until:(Time.ms 150) sim;
+  Alcotest.(check int) "no progress after stop" acked (Flow.segments_acked f)
+
+let test_subflow_acked_callback () =
+  let sim, net, tb = make_rig () in
+  let per_subflow = Array.make 2 0 in
+  ignore
+    (Flow.create ~net ~flow:1
+       ~src:(Testbed.left_id tb 0)
+       ~dst:(Testbed.right_id tb 0)
+       ~paths:[ 0; 1 ] ~coupling:reno_uncoupled
+       ~on_subflow_acked:(fun idx n ->
+         per_subflow.(idx) <- per_subflow.(idx) + n)
+       ());
+  Sim.run ~until:(Time.ms 200) sim;
+  Alcotest.(check bool) "callbacks on both subflows" true
+    (per_subflow.(0) > 0 && per_subflow.(1) > 0)
+
+let test_validation () =
+  let _, net, tb = make_rig () in
+  Alcotest.check_raises "no paths"
+    (Invalid_argument "Mptcp_flow.create: paths") (fun () ->
+      ignore
+        (Flow.create ~net ~flow:1
+           ~src:(Testbed.left_id tb 0)
+           ~dst:(Testbed.right_id tb 0)
+           ~paths:[] ~coupling:reno_uncoupled ()))
+
+(* ----- OLIA vs LIA smoke: both complete transfers and couple ----- *)
+
+let test_olia_completes () =
+  let sim, net, tb = make_rig () in
+  let f =
+    Flow.create ~net ~flow:1
+      ~src:(Testbed.left_id tb 0)
+      ~dst:(Testbed.right_id tb 0)
+      ~paths:[ 0; 1 ] ~coupling:(Olia.coupling ()) ~size_segments:500 ()
+  in
+  Sim.run ~until:(Time.sec 2.) sim;
+  Alcotest.(check bool) "olia transfer completes" true (Flow.is_complete f)
+
+let test_coupled_fairness_on_shared_bottleneck () =
+  (* one bottleneck; a 2-subflow LIA flow against a single-path Reno flow:
+     coupling should keep the MPTCP flow from taking 2 shares *)
+  let sim, net, tb = make_rig ~m:1 () in
+  let lia =
+    Flow.create ~net ~flow:1
+      ~src:(Testbed.left_id tb 0)
+      ~dst:(Testbed.right_id tb 0)
+      ~paths:[ 0; 0 ] ~coupling:(Lia.coupling ()) ()
+  in
+  let reno =
+    Flow.create ~net ~flow:2
+      ~src:(Testbed.left_id tb 1)
+      ~dst:(Testbed.right_id tb 1)
+      ~paths:[ 0 ] ~coupling:reno_uncoupled ()
+  in
+  Sim.run ~until:(Time.sec 2.) sim;
+  let r_lia = float_of_int (Flow.segments_acked lia) in
+  let r_reno = float_of_int (Flow.segments_acked reno) in
+  (* uncoupled 2-subflow would take ~2/3 (ratio 2.0); coupled LIA should
+     stay well below that *)
+  Alcotest.(check bool) "lia not grabbing two shares" true
+    (r_lia /. r_reno < 1.6)
+
+let suite =
+  [
+    Alcotest.test_case "group registry" `Quick test_group_registry;
+    Alcotest.test_case "lia alpha single path" `Quick
+      test_lia_alpha_single_path;
+    Alcotest.test_case "lia alpha equal paths" `Quick
+      test_lia_alpha_equal_paths;
+    Alcotest.test_case "lia alpha degenerate" `Quick test_lia_alpha_degenerate;
+    Alcotest.test_case "flow completion" `Quick test_flow_completion;
+    Alcotest.test_case "flow uses both paths" `Quick test_flow_uses_both_paths;
+    Alcotest.test_case "late subflow addition" `Quick test_add_subflow;
+    Alcotest.test_case "goodput until" `Quick test_goodput_until;
+    Alcotest.test_case "stop flow" `Quick test_stop_flow;
+    Alcotest.test_case "subflow acked callback" `Quick
+      test_subflow_acked_callback;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "olia completes" `Quick test_olia_completes;
+    Alcotest.test_case "coupled fairness" `Quick
+      test_coupled_fairness_on_shared_bottleneck;
+  ]

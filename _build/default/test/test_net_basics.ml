@@ -1,0 +1,223 @@
+module Units = Xmp_net.Units
+module Packet = Xmp_net.Packet
+module Queue_disc = Xmp_net.Queue_disc
+
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ----- Units ----- *)
+
+let test_rates () =
+  Alcotest.(check int) "gbps" 1_000_000_000 (Units.gbps 1.);
+  Alcotest.(check int) "mbps" 300_000_000 (Units.mbps 300.);
+  Alcotest.(check int) "kbps" 56_000 (Units.kbps 56.);
+  checkf "to_mbps" 300. (Units.to_mbps (Units.mbps 300.));
+  checkf "to_gbps" 2.5 (Units.to_gbps (Units.gbps 2.5));
+  checkf "bytes per sec" 125_000_000. (Units.bytes_per_sec (Units.gbps 1.))
+
+let test_tx_time () =
+  (* 1500 B at 1 Gbps = 12 us exactly *)
+  Alcotest.(check int) "1500B @ 1G" 12_000
+    (Units.tx_time (Units.gbps 1.) ~bytes:1500);
+  (* rounds up, never faster than the rate *)
+  Alcotest.(check int) "1B @ 3bps rounds up"
+    ((8 * 1_000_000_000 / 3) + 1)
+    (Units.tx_time 3 ~bytes:1);
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Units.tx_time: rate must be positive") (fun () ->
+      ignore (Units.tx_time 0 ~bytes:1))
+
+let test_pp_rate () =
+  let s r = Format.asprintf "%a" Units.pp_rate r in
+  Alcotest.(check string) "gbps" "1.0Gbps" (s (Units.gbps 1.));
+  Alcotest.(check string) "mbps" "300Mbps" (s (Units.mbps 300.))
+
+(* ----- Packet ----- *)
+
+let test_packet_data () =
+  let p =
+    Packet.data ~uid:7 ~flow:1 ~subflow:2 ~src:3 ~dst:4 ~path:5 ~seq:6
+      ~ect:true ~cwr:false ~ts:123
+  in
+  Alcotest.(check int) "size" Packet.data_wire_bytes p.Packet.size;
+  Alcotest.(check bool) "kind" true (p.Packet.kind = Packet.Data);
+  Alcotest.(check bool) "ect" true p.Packet.ect;
+  Alcotest.(check bool) "ce starts clear" false p.Packet.ce;
+  Alcotest.(check int) "ece 0 on data" 0 p.Packet.ece_count
+
+let test_packet_ack () =
+  let p =
+    Packet.ack ~sack:[ (12, 15) ] ~uid:1 ~flow:1 ~subflow:0 ~src:4 ~dst:3
+      ~path:5 ~seq:9 ~ece_count:3 ~ts:55 ()
+  in
+  Alcotest.(check int) "ack size" Packet.ack_wire_bytes p.Packet.size;
+  Alcotest.(check bool) "acks are not ECT" false p.Packet.ect;
+  Alcotest.(check int) "ece count" 3 p.Packet.ece_count;
+  Alcotest.(check bool) "sack blocks carried" true (p.Packet.sack = [ (12, 15) ])
+
+let test_packet_pp () =
+  let p =
+    Packet.data ~uid:1 ~flow:2 ~subflow:0 ~src:1 ~dst:3 ~path:0 ~seq:5
+      ~ect:true ~cwr:false ~ts:0
+  in
+  p.Packet.ce <- true;
+  let s = Format.asprintf "%a" Packet.pp p in
+  Alcotest.(check bool) "mentions CE" true
+    (String.length s > 0
+    && String.contains s 'C'
+    && String.contains s 'E')
+
+(* ----- Queue_disc ----- *)
+
+let mk_data ?(ect = true) seq =
+  Packet.data ~uid:seq ~flow:0 ~subflow:0 ~src:0 ~dst:1 ~path:0 ~seq ~ect
+    ~cwr:false ~ts:0
+
+let test_droptail_overflow () =
+  let d = Queue_disc.create ~policy:Queue_disc.Droptail ~capacity_pkts:3 in
+  Alcotest.(check bool) "1" true (Queue_disc.enqueue d (mk_data 1));
+  Alcotest.(check bool) "2" true (Queue_disc.enqueue d (mk_data 2));
+  Alcotest.(check bool) "3" true (Queue_disc.enqueue d (mk_data 3));
+  Alcotest.(check bool) "overflow dropped" false
+    (Queue_disc.enqueue d (mk_data 4));
+  Alcotest.(check int) "len" 3 (Queue_disc.length d);
+  Alcotest.(check int) "dropped" 1 (Queue_disc.dropped d);
+  Alcotest.(check int) "enqueued" 3 (Queue_disc.enqueued d);
+  Alcotest.(check int) "never marks" 0 (Queue_disc.marked d)
+
+let test_fifo_order () =
+  let d = Queue_disc.create ~policy:Queue_disc.Droptail ~capacity_pkts:10 in
+  List.iter (fun i -> ignore (Queue_disc.enqueue d (mk_data i))) [ 1; 2; 3 ];
+  let pop () =
+    match Queue_disc.dequeue d with
+    | Some p -> p.Packet.seq
+    | None -> Alcotest.fail "empty"
+  in
+  Alcotest.(check int) "fifo 1" 1 (pop ());
+  Alcotest.(check int) "fifo 2" 2 (pop ());
+  Alcotest.(check int) "fifo 3" 3 (pop ());
+  Alcotest.(check bool) "then empty" true (Queue_disc.dequeue d = None)
+
+let test_threshold_marking () =
+  let k = 3 in
+  let d =
+    Queue_disc.create ~policy:(Queue_disc.Threshold_mark k) ~capacity_pkts:10
+  in
+  (* queue builds: packets enqueued while length > k get marked *)
+  let marked = ref [] in
+  for i = 1 to 7 do
+    let p = mk_data i in
+    ignore (Queue_disc.enqueue d p);
+    if p.Packet.ce then marked := i :: !marked
+  done;
+  (* arrivals 1..4 saw length 0..3 (not > 3); arrivals 5..7 saw 4..6 *)
+  Alcotest.(check (list int)) "marks start once length exceeds K" [ 5; 6; 7 ]
+    (List.rev !marked);
+  Alcotest.(check int) "marked counter" 3 (Queue_disc.marked d)
+
+let test_threshold_nonect_not_marked () =
+  let d =
+    Queue_disc.create ~policy:(Queue_disc.Threshold_mark 0) ~capacity_pkts:10
+  in
+  ignore (Queue_disc.enqueue d (mk_data 1));
+  let p = mk_data ~ect:false 2 in
+  ignore (Queue_disc.enqueue d p);
+  Alcotest.(check bool) "non-ECT never marked" false p.Packet.ce;
+  let p2 = mk_data 3 in
+  ignore (Queue_disc.enqueue d p2);
+  Alcotest.(check bool) "ECT marked" true p2.Packet.ce
+
+let test_clear () =
+  let d = Queue_disc.create ~policy:Queue_disc.Droptail ~capacity_pkts:10 in
+  List.iter (fun i -> ignore (Queue_disc.enqueue d (mk_data i))) [ 1; 2 ];
+  Alcotest.(check int) "clear count" 2 (Queue_disc.clear d);
+  Alcotest.(check int) "empty" 0 (Queue_disc.length d);
+  Alcotest.(check int) "cleared count as drops" 2 (Queue_disc.dropped d)
+
+let test_max_length () =
+  let d = Queue_disc.create ~policy:Queue_disc.Droptail ~capacity_pkts:10 in
+  List.iter (fun i -> ignore (Queue_disc.enqueue d (mk_data i))) [ 1; 2; 3 ];
+  ignore (Queue_disc.dequeue d);
+  Alcotest.(check int) "max length seen" 3 (Queue_disc.max_length_seen d)
+
+let test_red_marks_under_load () =
+  let params =
+    { Queue_disc.default_red with wq = 1.0; min_th = 2.; max_th = 4. }
+  in
+  let d =
+    Queue_disc.create ~policy:(Queue_disc.Red params) ~capacity_pkts:50
+  in
+  let marked = ref 0 in
+  for i = 1 to 30 do
+    let p = mk_data i in
+    ignore (Queue_disc.enqueue d p);
+    if p.Packet.ce then incr marked
+  done;
+  Alcotest.(check bool) "red marks when avg above max_th" true (!marked > 0);
+  Alcotest.(check int) "no drops while marking" 0 (Queue_disc.dropped d)
+
+let test_red_drops_when_not_marking () =
+  let params =
+    {
+      Queue_disc.default_red with
+      wq = 1.0;
+      min_th = 2.;
+      max_th = 4.;
+      mark_ecn = false;
+    }
+  in
+  let d =
+    Queue_disc.create ~policy:(Queue_disc.Red params) ~capacity_pkts:50
+  in
+  for i = 1 to 30 do
+    ignore (Queue_disc.enqueue d (mk_data i))
+  done;
+  Alcotest.(check bool) "red drops instead" true (Queue_disc.dropped d > 0);
+  Alcotest.(check int) "nothing marked" 0 (Queue_disc.marked d)
+
+let test_occupancy_sampling () =
+  let d = Queue_disc.create ~policy:Queue_disc.Droptail ~capacity_pkts:10 in
+  ignore (Queue_disc.enqueue d (mk_data 1));
+  Queue_disc.sample_length d;
+  ignore (Queue_disc.enqueue d (mk_data 2));
+  Queue_disc.sample_length d;
+  let stats = Queue_disc.occupancy_stats d in
+  Alcotest.(check int) "samples" 2 (Xmp_stats.Running.count stats);
+  checkf "mean occupancy" 1.5 (Xmp_stats.Running.mean stats)
+
+let prop_threshold_len_bounded =
+  QCheck.Test.make ~count:100
+    ~name:"queue length never exceeds capacity under random ops"
+    QCheck.(list (int_bound 1))
+    (fun ops ->
+      let d =
+        Queue_disc.create ~policy:(Queue_disc.Threshold_mark 3)
+          ~capacity_pkts:5
+      in
+      List.for_all
+        (fun op ->
+          if op = 0 then ignore (Queue_disc.enqueue d (mk_data 0))
+          else ignore (Queue_disc.dequeue d);
+          Queue_disc.length d <= 5 && Queue_disc.length d >= 0)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "rate units" `Quick test_rates;
+    Alcotest.test_case "tx time" `Quick test_tx_time;
+    Alcotest.test_case "rate printing" `Quick test_pp_rate;
+    Alcotest.test_case "data packet" `Quick test_packet_data;
+    Alcotest.test_case "ack packet" `Quick test_packet_ack;
+    Alcotest.test_case "packet printing" `Quick test_packet_pp;
+    Alcotest.test_case "droptail overflow" `Quick test_droptail_overflow;
+    Alcotest.test_case "FIFO order" `Quick test_fifo_order;
+    Alcotest.test_case "threshold marking" `Quick test_threshold_marking;
+    Alcotest.test_case "non-ECT never marked" `Quick
+      test_threshold_nonect_not_marked;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "max length stat" `Quick test_max_length;
+    Alcotest.test_case "RED marks" `Quick test_red_marks_under_load;
+    Alcotest.test_case "RED drops when not marking" `Quick
+      test_red_drops_when_not_marking;
+    Alcotest.test_case "occupancy sampling" `Quick test_occupancy_sampling;
+    QCheck_alcotest.to_alcotest prop_threshold_len_bounded;
+  ]

@@ -1,0 +1,151 @@
+module Sim = Xmp_engine.Sim
+module Time = Xmp_engine.Time
+module Net = Xmp_net
+module Network = Xmp_net.Network
+module Node = Xmp_net.Node
+module Packet = Xmp_net.Packet
+module Queue_disc = Xmp_net.Queue_disc
+
+let disc () = Queue_disc.create ~policy:Queue_disc.Droptail ~capacity_pkts:100
+
+let test_uids () =
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  Alcotest.(check int) "0" 0 (Network.fresh_uid net);
+  Alcotest.(check int) "1" 1 (Network.fresh_uid net)
+
+let test_nodes () =
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  let h = Network.add_host net ~name:"h0" in
+  let s = Network.add_switch net ~name:"s0" in
+  Alcotest.(check int) "host id" 0 (Node.id h);
+  Alcotest.(check int) "switch id" 1 (Node.id s);
+  Alcotest.(check int) "n_nodes" 2 (Network.n_nodes net);
+  Alcotest.(check bool) "kinds" true
+    (Node.kind h = Node.Host && Node.kind s = Node.Switch);
+  Alcotest.(check bool) "lookup" true (Network.node net 0 == h)
+
+let test_connect_and_forward () =
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  let a = Network.add_host net ~name:"a" in
+  let sw = Network.add_switch net ~name:"sw" in
+  let b = Network.add_host net ~name:"b" in
+  let rate = Net.Units.gbps 1. in
+  ignore (Network.connect net ~rate ~delay:(Time.us 1) ~disc a sw);
+  ignore (Network.connect net ~rate ~delay:(Time.us 1) ~disc sw b);
+  (* a: port 0 -> sw; sw: port 0 -> a, port 1 -> b *)
+  Node.set_route a (fun _ -> 0);
+  Node.set_route sw (fun p -> if p.Packet.dst = Node.id b then 1 else 0);
+  let received = ref [] in
+  Network.register_endpoint net ~host:(Node.id b) ~flow:1 ~subflow:0
+    (fun p -> received := p.Packet.seq :: !received);
+  let pkt =
+    Packet.data ~uid:0 ~flow:1 ~subflow:0 ~src:(Node.id a) ~dst:(Node.id b)
+      ~path:0 ~seq:42 ~ect:false ~cwr:false ~ts:0
+  in
+  Node.send a pkt;
+  Sim.run sim;
+  Alcotest.(check (list int)) "delivered through switch" [ 42 ] !received;
+  Alcotest.(check int) "delivered count" 1 (Network.packets_delivered net);
+  Alcotest.(check int) "switch forwarded" 1 (Node.packets_forwarded sw)
+
+let test_dead_letter () =
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  let a = Network.add_host net ~name:"a" in
+  let b = Network.add_host net ~name:"b" in
+  ignore
+    (Network.connect net ~rate:(Net.Units.gbps 1.) ~delay:(Time.us 1) ~disc a
+       b);
+  Node.set_route a (fun _ -> 0);
+  let pkt =
+    Packet.data ~uid:0 ~flow:9 ~subflow:0 ~src:(Node.id a) ~dst:(Node.id b)
+      ~path:0 ~seq:1 ~ect:false ~cwr:false ~ts:0
+  in
+  Node.send a pkt;
+  Sim.run sim;
+  Alcotest.(check int) "dead lettered" 1 (Network.packets_dead_lettered net);
+  Alcotest.(check int) "not delivered" 0 (Network.packets_delivered net)
+
+let test_unregister () =
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  let a = Network.add_host net ~name:"a" in
+  let b = Network.add_host net ~name:"b" in
+  ignore
+    (Network.connect net ~rate:(Net.Units.gbps 1.) ~delay:(Time.us 1) ~disc a
+       b);
+  Node.set_route a (fun _ -> 0);
+  let hits = ref 0 in
+  Network.register_endpoint net ~host:(Node.id b) ~flow:1 ~subflow:0
+    (fun _ -> incr hits);
+  Network.unregister_endpoint net ~host:(Node.id b) ~flow:1 ~subflow:0;
+  Node.send a
+    (Packet.data ~uid:0 ~flow:1 ~subflow:0 ~src:(Node.id a) ~dst:(Node.id b)
+       ~path:0 ~seq:1 ~ect:false ~cwr:false ~ts:0);
+  Sim.run sim;
+  Alcotest.(check int) "handler removed" 0 !hits
+
+let test_tags () =
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  let a = Network.add_switch net ~name:"a" in
+  let b = Network.add_switch net ~name:"b" in
+  let c = Network.add_switch net ~name:"c" in
+  ignore
+    (Network.connect net ~tag:"core" ~rate:(Net.Units.gbps 1.)
+       ~delay:(Time.us 1) ~disc a b);
+  ignore
+    (Network.connect net ~tag:"rack" ~rate:(Net.Units.gbps 1.)
+       ~delay:(Time.us 1) ~disc b c);
+  Alcotest.(check int) "4 directed links" 4 (List.length (Network.links net));
+  Alcotest.(check int) "2 core" 2 (List.length (Network.links_tagged net "core"));
+  Alcotest.(check int) "2 rack" 2 (List.length (Network.links_tagged net "rack"));
+  Alcotest.(check int) "0 other" 0 (List.length (Network.links_tagged net "x"));
+  match Network.links net with
+  | first :: _ ->
+    Alcotest.(check (option string))
+      "tag lookup" (Some "core")
+      (Network.tag_of_link net first)
+  | [] -> Alcotest.fail "no links"
+
+let test_asym_connect () =
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  let a = Network.add_switch net ~name:"a" in
+  let b = Network.add_switch net ~name:"b" in
+  let fwd, rev =
+    Network.connect_asym net ~rate_fwd:(Net.Units.gbps 10.)
+      ~rate_rev:(Net.Units.gbps 1.) ~delay:(Time.us 1) ~disc a b
+  in
+  Alcotest.(check int) "fwd rate" (Net.Units.gbps 10.) (Net.Link.rate fwd);
+  Alcotest.(check int) "rev rate" (Net.Units.gbps 1.) (Net.Link.rate rev)
+
+let test_host_rejects_transit () =
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  let a = Network.add_host net ~name:"a" in
+  let pkt =
+    Packet.data ~uid:0 ~flow:1 ~subflow:0 ~src:9 ~dst:99 ~path:0 ~seq:1
+      ~ect:false ~cwr:false ~ts:0
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       Node.receive a pkt;
+       false
+     with Failure _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "packet uids" `Quick test_uids;
+    Alcotest.test_case "node registry" `Quick test_nodes;
+    Alcotest.test_case "connect and forward" `Quick test_connect_and_forward;
+    Alcotest.test_case "dead letter" `Quick test_dead_letter;
+    Alcotest.test_case "unregister endpoint" `Quick test_unregister;
+    Alcotest.test_case "link tags" `Quick test_tags;
+    Alcotest.test_case "asymmetric connect" `Quick test_asym_connect;
+    Alcotest.test_case "host rejects transit" `Quick
+      test_host_rejects_transit;
+  ]

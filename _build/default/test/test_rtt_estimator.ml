@@ -1,0 +1,73 @@
+module R = Xmp_transport.Rtt_estimator
+module Time = Xmp_engine.Time
+
+let test_defaults () =
+  let e = R.create () in
+  Alcotest.(check bool) "no sample" false (R.has_sample e);
+  Alcotest.(check int) "initial srtt" (Time.ms 200) (R.srtt e);
+  Alcotest.(check bool) "initial min_rtt" true
+    (Time.is_infinite (R.min_rtt e))
+
+let test_first_sample () =
+  let e = R.create () in
+  R.sample e (Time.us 100);
+  Alcotest.(check bool) "has sample" true (R.has_sample e);
+  Alcotest.(check int) "srtt = sample" (Time.us 100) (R.srtt e);
+  Alcotest.(check int) "rttvar = sample/2" (Time.us 50) (R.rttvar e);
+  Alcotest.(check int) "min" (Time.us 100) (R.min_rtt e)
+
+let test_ewma () =
+  let e = R.create () in
+  R.sample e (Time.us 100);
+  R.sample e (Time.us 200);
+  (* srtt = 7/8*100 + 1/8*200 = 112.5 us *)
+  Alcotest.(check int) "srtt smoothing" (Time.ns 112_500) (R.srtt e);
+  Alcotest.(check int) "min keeps smallest" (Time.us 100) (R.min_rtt e)
+
+let test_rto_floor () =
+  let e = R.create () in
+  R.sample e (Time.us 100);
+  (* srtt + 4*rttvar = 300 us, far below the 200 ms floor *)
+  Alcotest.(check int) "rto floored" (Time.ms 200) (R.rto e)
+
+let test_rto_above_floor () =
+  let e = R.create ~rto_min:(Time.us 10) () in
+  R.sample e (Time.us 100);
+  Alcotest.(check int) "rto = srtt + 4 var" (Time.us 300) (R.rto e)
+
+let test_backoff () =
+  let e = R.create () in
+  R.sample e (Time.us 100);
+  R.backoff e;
+  Alcotest.(check int) "doubled" (Time.ms 400) (R.rto e);
+  R.backoff e;
+  Alcotest.(check int) "quadrupled" (Time.ms 800) (R.rto e);
+  R.reset_backoff e;
+  Alcotest.(check int) "reset" (Time.ms 200) (R.rto e)
+
+let test_rto_cap () =
+  let e = R.create ~rto_max:(Time.sec 1.) () in
+  R.sample e (Time.us 100);
+  for _ = 1 to 10 do
+    R.backoff e
+  done;
+  Alcotest.(check int) "capped" (Time.sec 1.) (R.rto e)
+
+let test_negative_rejected () =
+  let e = R.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Rtt_estimator.sample: negative") (fun () ->
+      R.sample e (-5))
+
+let suite =
+  [
+    Alcotest.test_case "defaults" `Quick test_defaults;
+    Alcotest.test_case "first sample" `Quick test_first_sample;
+    Alcotest.test_case "EWMA smoothing" `Quick test_ewma;
+    Alcotest.test_case "RTOmin floor" `Quick test_rto_floor;
+    Alcotest.test_case "RTO above floor" `Quick test_rto_above_floor;
+    Alcotest.test_case "exponential backoff" `Quick test_backoff;
+    Alcotest.test_case "RTO cap" `Quick test_rto_cap;
+    Alcotest.test_case "negative sample rejected" `Quick
+      test_negative_rejected;
+  ]

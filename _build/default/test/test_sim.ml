@@ -1,0 +1,132 @@
+module Sim = Xmp_engine.Sim
+module Time = Xmp_engine.Time
+
+let test_initial () =
+  let sim = Sim.create () in
+  Alcotest.(check int) "starts at zero" 0 (Sim.now sim);
+  Alcotest.(check int) "no events executed" 0 (Sim.events_executed sim);
+  Alcotest.(check int) "nothing pending" 0 (Sim.pending sim)
+
+let test_run_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.at sim 30 (fun () -> log := 3 :: !log);
+  Sim.at sim 10 (fun () -> log := 1 :: !log);
+  Sim.at sim 20 (fun () -> log := 2 :: !log);
+  Sim.run sim;
+  Alcotest.(check (list int)) "events in order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Sim.now sim)
+
+let test_after () =
+  let sim = Sim.create () in
+  let fired_at = ref (-1) in
+  Sim.at sim 100 (fun () ->
+      Sim.after sim 50 (fun () -> fired_at := Sim.now sim));
+  Sim.run sim;
+  Alcotest.(check int) "after is relative" 150 !fired_at
+
+let test_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  List.iter (fun t -> Sim.at sim t (fun () -> incr count)) [ 10; 20; 30; 40 ];
+  Sim.run ~until:25 sim;
+  Alcotest.(check int) "only events <= until" 2 !count;
+  Alcotest.(check int) "clock parked at until" 25 (Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "resumes" 4 !count
+
+let test_until_inclusive () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  Sim.at sim 25 (fun () -> fired := true);
+  Sim.run ~until:25 sim;
+  Alcotest.(check bool) "event at the cutoff runs" true !fired
+
+let test_past_scheduling_rejected () =
+  let sim = Sim.create () in
+  Sim.at sim 100 (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument "Sim: scheduling at 50ns before now 100ns")
+        (fun () -> Sim.at sim 50 ignore));
+  Sim.run sim
+
+let test_same_time_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Sim.at sim 5 (fun () -> log := i :: !log)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int))
+    "insertion order at equal time"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_timer_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let timer = Sim.timer_at sim 10 (fun () -> fired := true) in
+  Alcotest.(check bool) "active before" true (Sim.timer_active timer);
+  Sim.cancel timer;
+  Alcotest.(check bool) "inactive after cancel" false (Sim.timer_active timer);
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled timer never fires" false !fired;
+  Alcotest.(check int) "cancelled event not counted" 0
+    (Sim.events_executed sim)
+
+let test_timer_fires () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let timer = Sim.timer_after sim 10 (fun () -> fired := true) in
+  Sim.run sim;
+  Alcotest.(check bool) "fired" true !fired;
+  Alcotest.(check bool) "inactive after firing" false (Sim.timer_active timer);
+  (* double-cancel is a no-op *)
+  Sim.cancel timer
+
+let test_rng_determinism () =
+  let draw seed =
+    let sim = Sim.create ~seed () in
+    List.init 5 (fun _ -> Random.State.int (Sim.rng sim) 1000)
+  in
+  Alcotest.(check (list int)) "same seed same draws" (draw 9) (draw 9);
+  Alcotest.(check bool) "different seeds differ" true (draw 9 <> draw 10)
+
+let test_step () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  Sim.at sim 1 (fun () -> incr count);
+  Sim.at sim 2 (fun () -> incr count);
+  Alcotest.(check bool) "step true" true (Sim.step sim);
+  Alcotest.(check int) "one event" 1 !count;
+  Alcotest.(check bool) "step true" true (Sim.step sim);
+  Alcotest.(check bool) "step false when empty" false (Sim.step sim)
+
+let test_cascade () =
+  (* events scheduling events: a chain of 1000 *)
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec chain () =
+    incr count;
+    if !count < 1000 then Sim.after sim 1 chain
+  in
+  Sim.at sim 0 chain;
+  Sim.run sim;
+  Alcotest.(check int) "chain length" 1000 !count;
+  Alcotest.(check int) "clock" 999 (Sim.now sim)
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial;
+    Alcotest.test_case "run order" `Quick test_run_order;
+    Alcotest.test_case "after is relative" `Quick test_after;
+    Alcotest.test_case "run until" `Quick test_until;
+    Alcotest.test_case "until is inclusive" `Quick test_until_inclusive;
+    Alcotest.test_case "past scheduling rejected" `Quick
+      test_past_scheduling_rejected;
+    Alcotest.test_case "FIFO at same time" `Quick test_same_time_fifo;
+    Alcotest.test_case "timer cancel" `Quick test_timer_cancel;
+    Alcotest.test_case "timer fires once" `Quick test_timer_fires;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "single step" `Quick test_step;
+    Alcotest.test_case "event cascade" `Quick test_cascade;
+  ]

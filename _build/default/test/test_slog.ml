@@ -1,0 +1,75 @@
+module Slog = Xmp_engine.Slog
+module Sim = Xmp_engine.Sim
+
+(* capture stderr during [f] *)
+let capture_stderr f =
+  let file = Filename.temp_file "xmp_slog" ".txt" in
+  let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stderr in
+  flush stderr;
+  Format.pp_print_flush Format.err_formatter ();
+  Unix.dup2 fd Unix.stderr;
+  Fun.protect
+    ~finally:(fun () ->
+      Format.pp_print_flush Format.err_formatter ();
+      flush stderr;
+      Unix.dup2 saved Unix.stderr;
+      Unix.close saved;
+      Unix.close fd)
+    f;
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove file;
+  s
+
+let test_levels () =
+  Slog.set_level Slog.Quiet;
+  Alcotest.(check bool) "quiet" true (Slog.level () = Slog.Quiet);
+  Slog.set_level Slog.Debug;
+  Alcotest.(check bool) "debug" true (Slog.level () = Slog.Debug);
+  Slog.set_level Slog.Quiet
+
+let test_quiet_suppresses () =
+  let sim = Sim.create () in
+  Slog.set_level Slog.Quiet;
+  let out =
+    capture_stderr (fun () ->
+        Slog.info sim "should not appear %d" 1;
+        Slog.debug sim "nor this %s" "x")
+  in
+  Alcotest.(check string) "nothing logged" "" out
+
+let test_info_level () =
+  let sim = Sim.create () in
+  Sim.at sim (Xmp_engine.Time.us 12) (fun () ->
+      Slog.set_level Slog.Info;
+      let out =
+        capture_stderr (fun () ->
+            Slog.info sim "hello %d" 42;
+            Slog.debug sim "hidden")
+      in
+      Slog.set_level Slog.Quiet;
+      let contains needle =
+        let nl = String.length needle and hl = String.length out in
+        let rec go i =
+          i + nl <= hl && (String.sub out i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "info appears with timestamp" true
+        (String.length out > 0 && String.sub out 0 1 = "[");
+      Alcotest.(check bool) "timestamp rendered" true (contains "12us");
+      Alcotest.(check bool) "message rendered" true (contains "hello 42");
+      Alcotest.(check bool) "debug hidden at info level" false
+        (contains "hidden"))
+  ;
+  Sim.run sim
+
+let suite =
+  [
+    Alcotest.test_case "level get/set" `Quick test_levels;
+    Alcotest.test_case "quiet suppresses" `Quick test_quiet_suppresses;
+    Alcotest.test_case "info level output" `Quick test_info_level;
+  ]

@@ -1,0 +1,48 @@
+module Time = Xmp_engine.Time
+
+let check = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_units () =
+  check "us" 1_000 (Time.us 1);
+  check "ms" 1_000_000 (Time.ms 1);
+  check "sec" 1_000_000_000 (Time.sec 1.);
+  check "sec fraction" 1_500_000 (Time.sec 0.0015);
+  check "sec rounds" 1 (Time.sec 1.4e-9)
+
+let test_conversions () =
+  checkf "to_float_s" 0.25 (Time.to_float_s (Time.ms 250));
+  checkf "to_us" 12.5 (Time.to_us (Time.ns 12_500));
+  checkf "to_ms" 1.5 (Time.to_ms (Time.us 1_500))
+
+let test_arith () =
+  check "add" 30 (Time.add 10 20);
+  check "sub negative" (-10) (Time.sub 10 20);
+  check "mul" 60 (Time.mul 20 3);
+  check "div" 7 (Time.div 21 3);
+  check "min" 5 (Time.min 5 9);
+  check "max" 9 (Time.max 5 9)
+
+let test_infinity () =
+  Alcotest.(check bool) "inf is infinite" true (Time.is_infinite Time.infinity);
+  Alcotest.(check bool) "finite" false (Time.is_infinite (Time.sec 100.));
+  Alcotest.(check bool)
+    "inf bigger than anything" true
+    (Time.infinity > Time.sec 1e6)
+
+let test_pp () =
+  let s t = Format.asprintf "%a" Time.pp t in
+  Alcotest.(check string) "ns" "999ns" (s 999);
+  Alcotest.(check string) "us" "12us" (s (Time.us 12));
+  Alcotest.(check string) "ms" "1.500ms" (s (Time.us 1_500));
+  Alcotest.(check string) "s" "2.000s" (s (Time.sec 2.));
+  Alcotest.(check string) "inf" "inf" (s Time.infinity)
+
+let suite =
+  [
+    Alcotest.test_case "unit constructors" `Quick test_units;
+    Alcotest.test_case "conversions" `Quick test_conversions;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "infinity" `Quick test_infinity;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,283 @@
+module Sim = Xmp_engine.Sim
+module Time = Xmp_engine.Time
+module Net = Xmp_net
+module Network = Xmp_net.Network
+module Node = Xmp_net.Node
+module Packet = Xmp_net.Packet
+module Queue_disc = Xmp_net.Queue_disc
+module Testbed = Xmp_net.Testbed
+module Fat_tree = Xmp_net.Fat_tree
+
+let disc () = Queue_disc.create ~policy:Queue_disc.Droptail ~capacity_pkts:100
+
+let mk_testbed ?(n_left = 2) ?(n_right = 2) ?(m = 2) sim =
+  let net = Network.create sim in
+  let spec =
+    { Testbed.rate = Net.Units.gbps 1.; delay = Time.us 10; disc }
+  in
+  let tb =
+    Testbed.create ~net ~n_left ~n_right
+      ~bottlenecks:(List.init m (fun _ -> spec))
+      ~access_delay:(Time.us 5) ()
+  in
+  (net, tb)
+
+(* ----- Testbed ----- *)
+
+let send_and_await net ~src ~dst ~path =
+  let sim = Network.sim net in
+  let got = ref None in
+  Network.register_endpoint net ~host:dst ~flow:1 ~subflow:0 (fun p ->
+      got := Some (Sim.now sim, p));
+  Node.send
+    (Network.node net src)
+    (Packet.data ~uid:(Network.fresh_uid net) ~flow:1 ~subflow:0 ~src ~dst
+       ~path ~seq:0 ~ect:false ~cwr:false ~ts:0);
+  Sim.run sim;
+  Network.unregister_endpoint net ~host:dst ~flow:1 ~subflow:0;
+  !got
+
+let test_testbed_forward_paths () =
+  let sim = Sim.create () in
+  let net, tb = mk_testbed sim in
+  (* every (left, right, path) combination is routable *)
+  for i = 0 to 1 do
+    for j = 0 to 1 do
+      for path = 0 to 1 do
+        match
+          send_and_await net ~src:(Testbed.left_id tb i)
+            ~dst:(Testbed.right_id tb j) ~path
+        with
+        | Some _ -> ()
+        | None ->
+          Alcotest.failf "no delivery for left %d right %d path %d" i j path
+      done
+    done
+  done
+
+let test_testbed_reverse_path () =
+  let sim = Sim.create () in
+  let net, tb = mk_testbed sim in
+  (* right-to-left (the ACK direction) also works on both paths *)
+  for path = 0 to 1 do
+    match
+      send_and_await net
+        ~src:(Testbed.right_id tb 0)
+        ~dst:(Testbed.left_id tb 1) ~path
+    with
+    | Some _ -> ()
+    | None -> Alcotest.failf "no reverse delivery on path %d" path
+  done
+
+let test_testbed_path_selects_bottleneck () =
+  let sim = Sim.create () in
+  let net, tb = mk_testbed sim in
+  ignore
+    (send_and_await net ~src:(Testbed.left_id tb 0)
+       ~dst:(Testbed.right_id tb 0) ~path:1);
+  Alcotest.(check int) "bottleneck 0 unused" 0
+    (Net.Link.packets_sent (Testbed.bottleneck_fwd tb 0));
+  Alcotest.(check int) "bottleneck 1 carried it" 1
+    (Net.Link.packets_sent (Testbed.bottleneck_fwd tb 1))
+
+let test_testbed_delay_budget () =
+  let sim = Sim.create () in
+  let net, tb = mk_testbed sim in
+  (* one-way prop = 2 * access + bottleneck = 2*5 + 10 = 20 us, plus
+     serialization 12us * 3 hops at 1G/10G... compute exactly:
+     access links are 10 Gbps (1.2 us each), bottleneck 1 Gbps (12 us). *)
+  match
+    send_and_await net ~src:(Testbed.left_id tb 0)
+      ~dst:(Testbed.right_id tb 0) ~path:0
+  with
+  | Some (at, _) ->
+    Alcotest.(check int) "arrival time" (Time.ns 34_400) at;
+    Alcotest.(check int) "one_way_delay helper" (Time.us 20)
+      (Testbed.one_way_delay tb 0)
+  | None -> Alcotest.fail "no delivery"
+
+let test_testbed_down () =
+  let sim = Sim.create () in
+  let net, tb = mk_testbed sim in
+  Testbed.set_bottleneck_up tb 0 false;
+  Alcotest.(check bool) "none delivered" true
+    (send_and_await net ~src:(Testbed.left_id tb 0)
+       ~dst:(Testbed.right_id tb 0) ~path:0
+    = None);
+  Testbed.set_bottleneck_up tb 0 true;
+  Alcotest.(check bool) "recovered" true
+    (send_and_await net ~src:(Testbed.left_id tb 0)
+       ~dst:(Testbed.right_id tb 0) ~path:0
+    <> None)
+
+let test_testbed_validation () =
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  Alcotest.check_raises "no bottlenecks"
+    (Invalid_argument "Testbed.create: bottlenecks") (fun () ->
+      ignore (Testbed.create ~net ~n_left:1 ~n_right:1 ~bottlenecks:[] ()))
+
+(* ----- Fat tree ----- *)
+
+let mk_fat_tree ?(k = 4) sim =
+  let net = Network.create sim in
+  let ft = Fat_tree.create ~net ~k ~disc () in
+  (net, ft)
+
+let test_fat_tree_structure () =
+  let sim = Sim.create () in
+  let net, ft = mk_fat_tree sim in
+  Alcotest.(check int) "hosts" 16 (Fat_tree.n_hosts ft);
+  (* 16 hosts + 8 edge + 8 agg + 4 core = 36 nodes *)
+  Alcotest.(check int) "nodes" 36 (Network.n_nodes net);
+  (* directed links: rack 16*2, aggregation 16*2, core 16*2 *)
+  Alcotest.(check int) "links" 96 (List.length (Network.links net));
+  List.iter
+    (fun layer ->
+      Alcotest.(check int)
+        (layer ^ " links")
+        32
+        (List.length (Network.links_tagged net layer)))
+    Fat_tree.layers
+
+let test_fat_tree_k8_structure () =
+  let sim = Sim.create () in
+  let net, ft = mk_fat_tree ~k:8 sim in
+  Alcotest.(check int) "hosts" 128 (Fat_tree.n_hosts ft);
+  (* 128 hosts + 32 edge + 32 agg + 16 core = 208 *)
+  Alcotest.(check int) "nodes" 208 (Network.n_nodes net)
+
+let test_locality () =
+  let sim = Sim.create () in
+  let _, ft = mk_fat_tree sim in
+  (* k=4: hosts 0,1 share an edge; 0..3 share a pod *)
+  Alcotest.(check bool) "inner rack" true
+    (Fat_tree.locality ft ~src:0 ~dst:1 = Fat_tree.Inner_rack);
+  Alcotest.(check bool) "inter rack" true
+    (Fat_tree.locality ft ~src:0 ~dst:2 = Fat_tree.Inter_rack);
+  Alcotest.(check bool) "inter pod" true
+    (Fat_tree.locality ft ~src:0 ~dst:4 = Fat_tree.Inter_pod)
+
+let test_n_paths () =
+  let sim = Sim.create () in
+  let _, ft = mk_fat_tree sim in
+  Alcotest.(check int) "inner rack" 1 (Fat_tree.n_paths ft ~src:0 ~dst:1);
+  Alcotest.(check int) "inter rack" 2 (Fat_tree.n_paths ft ~src:0 ~dst:2);
+  Alcotest.(check int) "inter pod" 4 (Fat_tree.n_paths ft ~src:0 ~dst:4)
+
+let test_host_id_roundtrip () =
+  let sim = Sim.create () in
+  let _, ft = mk_fat_tree sim in
+  for i = 0 to Fat_tree.n_hosts ft - 1 do
+    Alcotest.(check int) "roundtrip" i
+      (Fat_tree.host_index ft (Fat_tree.host_id ft i))
+  done;
+  Alcotest.check_raises "bad index" (Invalid_argument "Fat_tree.host_id")
+    (fun () -> ignore (Fat_tree.host_id ft 16))
+
+let test_fat_tree_all_pairs_routable () =
+  let sim = Sim.create () in
+  let net, ft = mk_fat_tree sim in
+  let n = Fat_tree.n_hosts ft in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then begin
+        let paths = Fat_tree.n_paths ft ~src ~dst in
+        for path = 0 to paths - 1 do
+          match
+            send_and_await net ~src:(Fat_tree.host_id ft src)
+              ~dst:(Fat_tree.host_id ft dst) ~path
+          with
+          | Some _ -> ()
+          | None -> Alcotest.failf "unroutable %d->%d path %d" src dst path
+        done
+      end
+    done
+  done
+
+let test_fat_tree_path_diversity () =
+  (* distinct inter-pod path selectors traverse distinct core switches:
+     with 4 selectors and one probe each, the 4 core uplink pairs each see
+     exactly one packet *)
+  let sim = Sim.create () in
+  let net, ft = mk_fat_tree sim in
+  for path = 0 to 3 do
+    ignore
+      (send_and_await net ~src:(Fat_tree.host_id ft 0)
+         ~dst:(Fat_tree.host_id ft 12) ~path)
+  done;
+  let core_links = Network.links_tagged net "core" in
+  let used =
+    List.filter (fun l -> Net.Link.packets_sent l > 0) core_links
+  in
+  (* each probe crosses 2 directed core links (up to core, down from
+     core), all distinct across the 4 selectors *)
+  Alcotest.(check int) "8 distinct core links used" 8 (List.length used);
+  List.iter
+    (fun l ->
+      Alcotest.(check int) "each used once" 1 (Net.Link.packets_sent l))
+    used
+
+let test_fat_tree_ack_path_symmetry () =
+  (* a reply with the same path selector crosses the same core switch *)
+  let sim = Sim.create () in
+  let net, ft = mk_fat_tree sim in
+  let src = Fat_tree.host_id ft 0 and dst = Fat_tree.host_id ft 12 in
+  ignore (send_and_await net ~src ~dst ~path:3);
+  ignore (send_and_await net ~src:dst ~dst:src ~path:3);
+  let core_nodes_used = ref 0 in
+  for i = 0 to Network.n_nodes net - 1 do
+    let node = Network.node net i in
+    if
+      String.length (Node.name node) > 0
+      && (Node.name node).[0] = 'c'
+      && Node.packets_forwarded node > 0
+    then begin
+      incr core_nodes_used;
+      Alcotest.(check int) "core forwarded both directions" 2
+        (Node.packets_forwarded node)
+    end
+  done;
+  Alcotest.(check int) "exactly one core switch touched" 1 !core_nodes_used
+
+let test_fat_tree_validation () =
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  Alcotest.check_raises "odd k" (Invalid_argument "Fat_tree.create: k")
+    (fun () -> ignore (Fat_tree.create ~net ~k:3 ~disc ()))
+
+let test_max_rtt () =
+  let sim = Sim.create () in
+  let _, ft = mk_fat_tree sim in
+  (* 2 * 2 * (20 + 30 + 40) us = 360 us *)
+  Alcotest.(check int) "zero-load inter-pod RTT" (Time.us 360)
+    (Fat_tree.max_rtt_no_queue ft)
+
+let suite =
+  [
+    Alcotest.test_case "testbed forward paths" `Quick
+      test_testbed_forward_paths;
+    Alcotest.test_case "testbed reverse path" `Quick
+      test_testbed_reverse_path;
+    Alcotest.test_case "path selects bottleneck" `Quick
+      test_testbed_path_selects_bottleneck;
+    Alcotest.test_case "testbed delay budget" `Quick
+      test_testbed_delay_budget;
+    Alcotest.test_case "testbed bottleneck down" `Quick test_testbed_down;
+    Alcotest.test_case "testbed validation" `Quick test_testbed_validation;
+    Alcotest.test_case "fat tree structure (k=4)" `Quick
+      test_fat_tree_structure;
+    Alcotest.test_case "fat tree structure (k=8)" `Quick
+      test_fat_tree_k8_structure;
+    Alcotest.test_case "locality classes" `Quick test_locality;
+    Alcotest.test_case "path counts" `Quick test_n_paths;
+    Alcotest.test_case "host id roundtrip" `Quick test_host_id_roundtrip;
+    Alcotest.test_case "all pairs routable" `Quick
+      test_fat_tree_all_pairs_routable;
+    Alcotest.test_case "core path diversity" `Quick
+      test_fat_tree_path_diversity;
+    Alcotest.test_case "ack path symmetry" `Quick
+      test_fat_tree_ack_path_symmetry;
+    Alcotest.test_case "fat tree validation" `Quick test_fat_tree_validation;
+    Alcotest.test_case "zero-load RTT" `Quick test_max_rtt;
+  ]

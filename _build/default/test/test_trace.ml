@@ -1,0 +1,95 @@
+module Sim = Xmp_engine.Sim
+module Time = Xmp_engine.Time
+module Net = Xmp_net
+module Trace = Xmp_net.Trace
+module Tcp = Xmp_transport.Tcp
+module Testbed = Xmp_net.Testbed
+
+let make_rig ~policy ~capacity =
+  let sim = Sim.create ~seed:13 () in
+  let net = Net.Network.create sim in
+  let disc () = Net.Queue_disc.create ~policy ~capacity_pkts:capacity in
+  let tb =
+    Testbed.create ~net ~n_left:1 ~n_right:1
+      ~bottlenecks:
+        [ { Testbed.rate = Net.Units.mbps 100.; delay = Time.us 50; disc } ]
+      ()
+  in
+  (sim, net, tb)
+
+let start_flow ~net ~tb ~size =
+  Tcp.create ~net ~flow:1 ~subflow:0
+    ~src:(Testbed.left_id tb 0)
+    ~dst:(Testbed.right_id tb 0)
+    ~path:0
+    ~cc:(Xmp_core.Bos.make ())
+    ~config:Xmp_core.Xmp.tcp_config
+    ~source:(Tcp.Limited (ref size))
+    ()
+
+let test_records_deliveries () =
+  let sim, net, tb = make_rig ~policy:Net.Queue_disc.Droptail ~capacity:50 in
+  let trace = Trace.create ~sim () in
+  Trace.watch_link trace (Testbed.bottleneck_fwd tb 0);
+  let conn = start_flow ~net ~tb ~size:20 in
+  Sim.run ~until:(Time.sec 1.) sim;
+  Alcotest.(check bool) "done" true (Tcp.is_complete conn);
+  Alcotest.(check int) "20 data deliveries" 20
+    (Trace.count_kind trace Trace.Delivered);
+  Alcotest.(check int) "no marks on droptail" 0
+    (Trace.count_kind trace Trace.Marked);
+  let events = Trace.events trace in
+  Alcotest.(check int) "stored all" 20 (List.length events);
+  (* timestamps are non-decreasing and carry metadata *)
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+      a.Trace.at <= b.Trace.at && ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "chronological" true (ordered events);
+  List.iter
+    (fun e -> Alcotest.(check int) "flow id" 1 e.Trace.flow)
+    events
+
+let test_records_marks_and_drops () =
+  let sim, net, tb =
+    make_rig ~policy:(Net.Queue_disc.Threshold_mark 2) ~capacity:5
+  in
+  let trace = Trace.create ~sim () in
+  Trace.watch_link trace (Testbed.bottleneck_fwd tb 0);
+  let conn = start_flow ~net ~tb ~size:400 in
+  Sim.run ~until:(Time.sec 10.) sim;
+  Alcotest.(check bool) "done" true (Tcp.is_complete conn);
+  let disc = Net.Link.disc (Testbed.bottleneck_fwd tb 0) in
+  Alcotest.(check int) "mark events = counter"
+    (Net.Queue_disc.marked disc)
+    (Trace.count_kind trace Trace.Marked);
+  Alcotest.(check int) "drop events = counter"
+    (Net.Queue_disc.dropped disc)
+    (Trace.count_kind trace Trace.Dropped)
+
+let test_filter_and_limit () =
+  let sim, net, tb = make_rig ~policy:Net.Queue_disc.Droptail ~capacity:50 in
+  let trace =
+    Trace.create ~sim
+      ~filter:(fun p -> p.Net.Packet.seq mod 2 = 0)
+      ~limit:3 ()
+  in
+  Trace.watch_link trace (Testbed.bottleneck_fwd tb 0);
+  ignore (start_flow ~net ~tb ~size:20);
+  Sim.run ~until:(Time.sec 1.) sim;
+  Alcotest.(check int) "filter keeps even seqs" 10 (Trace.count trace);
+  Alcotest.(check int) "storage capped" 3 (List.length (Trace.events trace));
+  Alcotest.(check bool) "dump renders stored lines" true
+    (List.length (String.split_on_char '\n' (String.trim (Trace.dump trace)))
+    = 3);
+  Trace.clear trace;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.events trace))
+
+let suite =
+  [
+    Alcotest.test_case "records deliveries" `Quick test_records_deliveries;
+    Alcotest.test_case "records marks and drops" `Quick
+      test_records_marks_and_drops;
+    Alcotest.test_case "filter and limit" `Quick test_filter_and_limit;
+  ]

@@ -1,0 +1,297 @@
+module Pareto = Xmp_workload.Pareto
+module Scheme = Xmp_workload.Scheme
+module Driver = Xmp_workload.Driver
+module Metrics = Xmp_workload.Metrics
+module Time = Xmp_engine.Time
+module Distribution = Xmp_stats.Distribution
+
+(* ----- Pareto ----- *)
+
+let test_pareto_scale () =
+  let p = Pareto.create ~shape:1.5 ~mean:300. ~cap:1200. in
+  Alcotest.(check (float 1e-9)) "x_m = mean/3" 100. (Pareto.scale p)
+
+let test_pareto_validation () =
+  Alcotest.check_raises "shape <= 1"
+    (Invalid_argument "Pareto.create: shape must exceed 1") (fun () ->
+      ignore (Pareto.create ~shape:1. ~mean:10. ~cap:20.));
+  Alcotest.check_raises "cap below mean"
+    (Invalid_argument "Pareto.create: mean/cap") (fun () ->
+      ignore (Pareto.create ~shape:2. ~mean:10. ~cap:5.))
+
+let prop_pareto_bounds =
+  QCheck.Test.make ~count:500 ~name:"pareto samples within [x_m, cap]"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let p = Pareto.create ~shape:1.5 ~mean:300. ~cap:1200. in
+      let rng = Random.State.make [| seed |] in
+      let x = Pareto.sample p rng in
+      x >= Pareto.scale p -. 1e-9 && x <= 1200. +. 1e-9)
+
+let test_pareto_mean_reasonable () =
+  let p = Pareto.create ~shape:1.5 ~mean:300. ~cap:100_000. in
+  let rng = Random.State.make [| 7 |] in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Pareto.sample p rng
+  done;
+  let mean = !sum /. float_of_int n in
+  (* heavy tail: generous tolerance, but the right ballpark *)
+  Alcotest.(check bool) "empirical mean near 300" true
+    (mean > 180. && mean < 420.)
+
+let test_pareto_sample_int () =
+  let p = Pareto.create ~shape:1.5 ~mean:2. ~cap:4. in
+  let rng = Random.State.make [| 3 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "at least 1" true (Pareto.sample_int p rng >= 1)
+  done
+
+(* ----- Scheme ----- *)
+
+let test_scheme_names () =
+  Alcotest.(check string) "dctcp" "DCTCP" (Scheme.name Scheme.Dctcp);
+  Alcotest.(check string) "tcp" "TCP" (Scheme.name Scheme.Reno);
+  Alcotest.(check string) "lia" "LIA-4" (Scheme.name (Scheme.Lia 4));
+  Alcotest.(check string) "xmp" "XMP-2" (Scheme.name (Scheme.Xmp 2));
+  Alcotest.(check string) "olia" "OLIA-3" (Scheme.name (Scheme.Olia 3))
+
+let test_scheme_parse () =
+  Alcotest.(check bool) "roundtrip" true
+    (List.for_all
+       (fun s -> Scheme.of_name (Scheme.name s) = Some s)
+       [ Scheme.Dctcp; Scheme.Reno; Scheme.Lia 2; Scheme.Olia 8; Scheme.Xmp 1 ]);
+  Alcotest.(check bool) "case insensitive" true
+    (Scheme.of_name "xmp-4" = Some (Scheme.Xmp 4));
+  Alcotest.(check bool) "reno alias" true (Scheme.of_name "reno" = Some Scheme.Reno);
+  Alcotest.(check bool) "garbage" true (Scheme.of_name "QUIC" = None);
+  Alcotest.(check bool) "bad count" true (Scheme.of_name "XMP-0" = None)
+
+let test_scheme_properties () =
+  Alcotest.(check int) "dctcp single" 1 (Scheme.n_subflows Scheme.Dctcp);
+  Alcotest.(check int) "xmp-4" 4 (Scheme.n_subflows (Scheme.Xmp 4));
+  Alcotest.(check bool) "ecn schemes" true
+    (Scheme.uses_ecn Scheme.Dctcp && Scheme.uses_ecn (Scheme.Xmp 2));
+  Alcotest.(check bool) "loss schemes" true
+    ((not (Scheme.uses_ecn Scheme.Reno)) && not (Scheme.uses_ecn (Scheme.Lia 2)));
+  Alcotest.(check bool) "multipath flag" true
+    (Scheme.is_multipath (Scheme.Lia 2) && not (Scheme.is_multipath Scheme.Dctcp))
+
+let test_scheme_config () =
+  let o = Scheme.default_overrides in
+  let xmp_cfg = Scheme.tcp_config (Scheme.Xmp 2) o in
+  Alcotest.(check bool) "xmp is ect" true xmp_cfg.Xmp_transport.Tcp.ect;
+  Alcotest.(check bool) "xmp echo capped at 3" true
+    (xmp_cfg.Xmp_transport.Tcp.echo = Xmp_transport.Tcp.Counted (Some 3));
+  let dctcp_cfg = Scheme.tcp_config Scheme.Dctcp o in
+  Alcotest.(check bool) "dctcp echo exact" true
+    (dctcp_cfg.Xmp_transport.Tcp.echo = Xmp_transport.Tcp.Counted None);
+  let tcp_cfg = Scheme.tcp_config Scheme.Reno o in
+  Alcotest.(check bool) "tcp not ect" false tcp_cfg.Xmp_transport.Tcp.ect;
+  let custom = { o with Scheme.rto_min = Time.ms 10 } in
+  Alcotest.(check int) "rto override" (Time.ms 10)
+    (Scheme.tcp_config Scheme.Reno custom).Xmp_transport.Tcp.rto_min
+
+let prop_pick_paths_distinct =
+  QCheck.Test.make ~count:300 ~name:"pick_paths: distinct, in range"
+    QCheck.(triple (int_range 1 20) (int_range 1 10) (int_bound 10_000))
+    (fun (available, wanted, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let paths = Scheme.pick_paths ~rng ~available ~wanted in
+      List.length paths = Stdlib.min wanted available
+      && List.length (List.sort_uniq compare paths) = List.length paths
+      && List.for_all (fun p -> p >= 0 && p < available) paths)
+
+(* ----- Metrics ----- *)
+
+let flow_record ?(scheme = Scheme.Xmp 2) ?(locality = Xmp_net.Fat_tree.Inter_pod)
+    ?(goodput = 5e8) flow =
+  {
+    Metrics.flow;
+    scheme;
+    src = 0;
+    dst = 4;
+    locality;
+    size_segments = 100;
+    started = 0;
+    finished = Time.ms 10;
+    goodput_bps = goodput;
+    truncated = false;
+  }
+
+let test_metrics_goodput () =
+  let m = Metrics.create ~rtt_subsample:1 in
+  Metrics.record_flow m (flow_record ~goodput:4e8 1);
+  Metrics.record_flow m (flow_record ~goodput:6e8 2);
+  Alcotest.(check (float 1e-3)) "mean" 5e8 (Metrics.mean_goodput_bps m);
+  Alcotest.(check int) "count" 2 (Metrics.n_completed_flows m)
+
+let test_metrics_by_scheme () =
+  let m = Metrics.create ~rtt_subsample:1 in
+  Metrics.record_flow m (flow_record ~scheme:(Scheme.Xmp 2) ~goodput:4e8 1);
+  Metrics.record_flow m (flow_record ~scheme:(Scheme.Lia 2) ~goodput:2e8 2);
+  Alcotest.(check (float 1e-3)) "xmp" 4e8
+    (Metrics.mean_goodput_bps_of_scheme m (Scheme.Xmp 2));
+  Alcotest.(check (float 1e-3)) "lia" 2e8
+    (Metrics.mean_goodput_bps_of_scheme m (Scheme.Lia 2));
+  Alcotest.(check (float 1e-3)) "absent scheme" 0.
+    (Metrics.mean_goodput_bps_of_scheme m Scheme.Dctcp)
+
+let test_metrics_rtt_subsampling () =
+  let m = Metrics.create ~rtt_subsample:4 in
+  for _ = 1 to 16 do
+    Metrics.record_rtt m ~locality:Xmp_net.Fat_tree.Inner_rack (Time.us 100)
+  done;
+  match Metrics.rtts_by_locality m with
+  | [ (loc, d) ] ->
+    Alcotest.(check bool) "inner rack" true (loc = Xmp_net.Fat_tree.Inner_rack);
+    Alcotest.(check int) "1 in 4 kept" 4 (Distribution.count d)
+  | _ -> Alcotest.fail "expected one locality"
+
+let test_metrics_jobs () =
+  let m = Metrics.create ~rtt_subsample:1 in
+  Metrics.record_job m (Time.ms 50);
+  Metrics.record_job m (Time.ms 350);
+  Alcotest.(check (float 1e-6)) "over 300" 0.5 (Metrics.jobs_over_ms m 300.);
+  Alcotest.(check int) "count" 2 (Distribution.count (Metrics.job_times_ms m))
+
+(* ----- Driver (mini end-to-end runs) ----- *)
+
+let mini_config pattern scheme =
+  {
+    Driver.default_config with
+    horizon = Time.ms 300;
+    assignment = Driver.Uniform scheme;
+    pattern;
+  }
+
+let small_permutation =
+  Driver.Permutation { min_segments = 50; max_segments = 100 }
+
+let small_random =
+  Driver.Random_pattern
+    { mean_segments = 60.; cap_segments = 200.; shape = 1.5; max_inbound = 4 }
+
+let small_incast =
+  Driver.Incast
+    {
+      jobs = 2;
+      fanout = 8;
+      request_segments = 2;
+      response_segments = 45;
+      bg_mean_segments = 60.;
+      bg_cap_segments = 200.;
+      bg_shape = 1.5;
+    }
+
+let test_driver_permutation () =
+  let r = Driver.run (mini_config small_permutation (Scheme.Xmp 2)) in
+  let m = r.Driver.metrics in
+  Alcotest.(check bool) "flows completed" true
+    (Metrics.n_completed_flows m >= 16);
+  Alcotest.(check bool) "goodput sane" true
+    (Metrics.mean_goodput_bps m > 1e7 && Metrics.mean_goodput_bps m < 1e9);
+  (* permutation: every host is a source of the first wave *)
+  let srcs =
+    List.sort_uniq compare
+      (List.map (fun (f : Metrics.flow_record) -> f.src)
+         (Metrics.completed_flows m))
+  in
+  Alcotest.(check int) "all 16 hosts sent" 16 (List.length srcs)
+
+let test_driver_permutation_never_self () =
+  let r = Driver.run (mini_config small_permutation Scheme.Dctcp) in
+  List.iter
+    (fun (f : Metrics.flow_record) ->
+      Alcotest.(check bool) "src <> dst" true (f.src <> f.dst))
+    (Metrics.completed_flows r.Driver.metrics)
+
+let test_driver_random_inbound_cap () =
+  let r = Driver.run (mini_config small_random (Scheme.Xmp 2)) in
+  let m = r.Driver.metrics in
+  Alcotest.(check bool) "flows completed" true
+    (Metrics.n_completed_flows m > 16)
+
+let test_driver_incast () =
+  let r = Driver.run (mini_config small_incast Scheme.Dctcp) in
+  let m = r.Driver.metrics in
+  Alcotest.(check bool) "jobs completed" true
+    (Distribution.count (Metrics.job_times_ms m) > 0);
+  (* background flows never share a rack *)
+  List.iter
+    (fun (f : Metrics.flow_record) ->
+      Alcotest.(check bool) "not inner rack" true
+        (f.locality <> Xmp_net.Fat_tree.Inner_rack))
+    (Metrics.completed_flows m)
+
+let test_driver_split_assignment () =
+  let cfg =
+    {
+      (mini_config small_random (Scheme.Xmp 2)) with
+      Driver.assignment = Driver.Split (Scheme.Xmp 2, Scheme.Lia 2);
+    }
+  in
+  let r = Driver.run cfg in
+  let m = r.Driver.metrics in
+  let schemes =
+    List.sort_uniq compare
+      (List.map (fun (f : Metrics.flow_record) -> f.scheme)
+         (Metrics.completed_flows m))
+  in
+  Alcotest.(check int) "both schemes present" 2 (List.length schemes);
+  (* even hosts run XMP, odd hosts run LIA *)
+  List.iter
+    (fun (f : Metrics.flow_record) ->
+      let expect = if f.src mod 2 = 0 then Scheme.Xmp 2 else Scheme.Lia 2 in
+      Alcotest.(check bool) "host parity assignment" true (f.scheme = expect))
+    (Metrics.completed_flows m)
+
+let test_driver_determinism () =
+  let run () =
+    let r = Driver.run (mini_config small_permutation (Scheme.Xmp 2)) in
+    ( Metrics.n_completed_flows r.Driver.metrics,
+      r.Driver.events,
+      Metrics.mean_goodput_bps r.Driver.metrics )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bit-identical reruns" true (a = b)
+
+let test_driver_utilization () =
+  let r = Driver.run (mini_config small_permutation (Scheme.Xmp 4)) in
+  let layers = Driver.utilization_by_layer r in
+  Alcotest.(check int) "three layers" 3 (List.length layers);
+  List.iter
+    (fun (_, d) ->
+      Alcotest.(check bool) "utilization within [0,1]" true
+        (Distribution.min d >= 0. && Distribution.max d <= 1.0001))
+    layers
+
+let suite =
+  [
+    Alcotest.test_case "pareto scale" `Quick test_pareto_scale;
+    Alcotest.test_case "pareto validation" `Quick test_pareto_validation;
+    QCheck_alcotest.to_alcotest prop_pareto_bounds;
+    Alcotest.test_case "pareto empirical mean" `Quick
+      test_pareto_mean_reasonable;
+    Alcotest.test_case "pareto integer samples" `Quick test_pareto_sample_int;
+    Alcotest.test_case "scheme names" `Quick test_scheme_names;
+    Alcotest.test_case "scheme parsing" `Quick test_scheme_parse;
+    Alcotest.test_case "scheme properties" `Quick test_scheme_properties;
+    Alcotest.test_case "scheme transport configs" `Quick test_scheme_config;
+    QCheck_alcotest.to_alcotest prop_pick_paths_distinct;
+    Alcotest.test_case "metrics goodput" `Quick test_metrics_goodput;
+    Alcotest.test_case "metrics by scheme" `Quick test_metrics_by_scheme;
+    Alcotest.test_case "metrics rtt subsampling" `Quick
+      test_metrics_rtt_subsampling;
+    Alcotest.test_case "metrics jobs" `Quick test_metrics_jobs;
+    Alcotest.test_case "driver permutation" `Slow test_driver_permutation;
+    Alcotest.test_case "permutation never self" `Slow
+      test_driver_permutation_never_self;
+    Alcotest.test_case "driver random" `Slow test_driver_random_inbound_cap;
+    Alcotest.test_case "driver incast" `Slow test_driver_incast;
+    Alcotest.test_case "driver split assignment" `Slow
+      test_driver_split_assignment;
+    Alcotest.test_case "driver determinism" `Slow test_driver_determinism;
+    Alcotest.test_case "driver utilization" `Slow test_driver_utilization;
+  ]

@@ -1,0 +1,101 @@
+module Xmp = Xmp_core.Xmp
+module Params = Xmp_core.Params
+module Tcp = Xmp_transport.Tcp
+module Queue_disc = Xmp_net.Queue_disc
+module Sim = Xmp_engine.Sim
+module Time = Xmp_engine.Time
+
+let test_switch_disc () =
+  let make = Xmp.switch_disc ~params:(Params.make ~beta:4 ~k:7) ~queue_pkts:50 () in
+  let d = make in
+  let disc = d () in
+  Alcotest.(check int) "capacity" 50 (Queue_disc.capacity disc);
+  Alcotest.(check bool) "policy is threshold at K" true
+    (Queue_disc.policy disc = Queue_disc.Threshold_mark 7);
+  (* the factory makes independent queues *)
+  let disc2 = d () in
+  ignore
+    (Queue_disc.enqueue disc
+       (Xmp_net.Packet.data ~uid:0 ~flow:0 ~subflow:0 ~src:0 ~dst:1 ~path:0
+          ~seq:0 ~ect:true ~cwr:false ~ts:0));
+  Alcotest.(check int) "independent state" 0 (Queue_disc.length disc2);
+  Alcotest.(check int) "first has the packet" 1 (Queue_disc.length disc)
+
+let test_configs () =
+  Alcotest.(check bool) "xmp config is ECT" true Xmp.tcp_config.Tcp.ect;
+  Alcotest.(check bool) "xmp echo capped at 3" true
+    (Xmp.tcp_config.Tcp.echo = Tcp.Counted (Some 3));
+  Alcotest.(check bool) "dctcp echo exact" true
+    (Xmp.dctcp_tcp_config.Tcp.echo = Tcp.Counted None);
+  Alcotest.(check bool) "plain not ECT" false Xmp.plain_tcp_config.Tcp.ect;
+  Alcotest.(check int) "paper RTOmin" (Time.ms 200)
+    Xmp.tcp_config.Tcp.rto_min
+
+let test_bos_params () =
+  let p = Xmp.bos_params (Params.make ~beta:6 ~k:15) in
+  Alcotest.(check int) "beta carried over" 6 p.Xmp_core.Bos.beta;
+  Alcotest.(check (float 1e-9)) "floor stays 2" 2. p.Xmp_core.Bos.min_cwnd
+
+let test_facade_flow_runs () =
+  let sim = Sim.create ~seed:2 () in
+  let net = Xmp_net.Network.create sim in
+  let disc = Xmp.switch_disc () in
+  let tb =
+    Xmp_net.Testbed.create ~net ~n_left:1 ~n_right:1
+      ~bottlenecks:
+        [
+          {
+            Xmp_net.Testbed.rate = Xmp_net.Units.mbps 100.;
+            delay = Time.us 50;
+            disc;
+          };
+        ]
+      ()
+  in
+  let completed = ref false in
+  ignore
+    (Xmp.flow ~net ~flow:1
+       ~src:(Xmp_net.Testbed.left_id tb 0)
+       ~dst:(Xmp_net.Testbed.right_id tb 0)
+       ~paths:[ 0 ] ~size_segments:100
+       ~on_complete:(fun _ -> completed := true)
+       ());
+  Sim.run ~until:(Time.sec 1.) sim;
+  Alcotest.(check bool) "facade flow completes" true !completed
+
+let test_facade_bos_is_cc_factory () =
+  (* the single-path BOS factory is usable directly with Tcp *)
+  let sim = Sim.create ~seed:2 () in
+  let net = Xmp_net.Network.create sim in
+  let disc = Xmp.switch_disc () in
+  let tb =
+    Xmp_net.Testbed.create ~net ~n_left:1 ~n_right:1
+      ~bottlenecks:
+        [
+          {
+            Xmp_net.Testbed.rate = Xmp_net.Units.mbps 100.;
+            delay = Time.us 50;
+            disc;
+          };
+        ]
+      ()
+  in
+  let conn =
+    Tcp.create ~net ~flow:1 ~subflow:0
+      ~src:(Xmp_net.Testbed.left_id tb 0)
+      ~dst:(Xmp_net.Testbed.right_id tb 0)
+      ~path:0 ~cc:(Xmp.bos ()) ~config:Xmp.tcp_config ()
+  in
+  Sim.run ~until:(Time.ms 100) sim;
+  Alcotest.(check string) "cc name" "bos" (Tcp.cc_name conn);
+  Alcotest.(check bool) "progressing" true (Tcp.segments_acked conn > 100)
+
+let suite =
+  [
+    Alcotest.test_case "switch_disc factory" `Quick test_switch_disc;
+    Alcotest.test_case "transport configs" `Quick test_configs;
+    Alcotest.test_case "bos params" `Quick test_bos_params;
+    Alcotest.test_case "facade flow" `Quick test_facade_flow_runs;
+    Alcotest.test_case "facade bos factory" `Quick
+      test_facade_bos_is_cc_factory;
+  ]
