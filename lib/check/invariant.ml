@@ -1,0 +1,37 @@
+exception Violation of string
+
+type mode = Raise | Warn
+
+let enabled_flag = ref true
+let mode_flag = ref Raise
+let checked_count = ref 0
+let violation_count = ref 0
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+let mode () = !mode_flag
+let set_mode m = mode_flag := m
+let checks_run () = !checked_count
+let violations () = !violation_count
+
+let reset_counters () =
+  checked_count := 0;
+  violation_count := 0
+
+let fail ~name detail =
+  violation_count := !violation_count + 1;
+  let msg = Printf.sprintf "invariant %s violated: %s" name (detail ()) in
+  match !mode_flag with
+  | Raise -> raise (Violation msg)
+  | Warn -> Format.eprintf "[invariant] %s@." msg
+
+let require ~name cond detail =
+  if !enabled_flag then begin
+    checked_count := !checked_count + 1;
+    if not cond then fail ~name detail
+  end
+
+let with_enabled b f =
+  let saved = !enabled_flag in
+  enabled_flag := b;
+  Fun.protect ~finally:(fun () -> enabled_flag := saved) f

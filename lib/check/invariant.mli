@@ -1,0 +1,46 @@
+(** Runtime invariant checker.
+
+    Engine, net and transport layers assert structural invariants through
+    this module: event dispatch times are monotone, queue occupancy stays
+    within bounds, ECN marks only happen above the marking threshold,
+    congestion windows never drop below one segment, and per-subflow
+    in-flight accounting stays conserved.
+
+    Checks are globally toggled (cheap O(1) predicates; on by default and
+    always on under the test suite). A failing check raises {!Violation}
+    in the default [Raise] mode, or logs to stderr in [Warn] mode for
+    long production runs where a corrupted metric beats a crash. *)
+
+exception Violation of string
+
+type mode =
+  | Raise  (** a violated invariant raises {!Violation} (default) *)
+  | Warn  (** a violated invariant logs one line to stderr *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Global toggle. [Sim.create ?invariants] forwards to this, so a
+    simulation opts in or out at construction time. *)
+
+val mode : unit -> mode
+
+val set_mode : mode -> unit
+
+val require : name:string -> bool -> (unit -> string) -> unit
+(** [require ~name cond detail] checks [cond] when enabled. The [detail]
+    thunk only runs on failure, so call sites pay one branch and no
+    formatting on the hot path. *)
+
+val checks_run : unit -> int
+(** Checks evaluated since start (or {!reset_counters}). *)
+
+val violations : unit -> int
+(** Violations seen — only observable above zero in [Warn] mode, since
+    [Raise] aborts the run. *)
+
+val reset_counters : unit -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** [with_enabled b f] runs [f] with the toggle set to [b], restoring the
+    previous state afterwards (exception-safe). *)

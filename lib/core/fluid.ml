@@ -23,7 +23,8 @@ let utility_deriv ~beta ~delta ~t_round y =
   1. /. (1. +. (y *. t_round /. (delta *. float_of_int beta)))
 
 let trash_delta ~rtt ~rate ~min_rtt ~total_rate =
-  if min_rtt <= 0. || total_rate <= 0. then 1.
+  (* float scalars in seconds, not Time.t *)
+  if min_rtt <= 0. || total_rate <= 0. then 1. (* xmplint: allow poly-compare-time *)
   else rtt *. rate /. (min_rtt *. total_rate)
 
 let integrate_bos ~beta ~delta ~t_round ~p_of_w ~w0 ~dt ~steps =

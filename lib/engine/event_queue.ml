@@ -8,7 +8,9 @@ let length h = h.len
 
 let is_empty h = h.len = 0
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let earlier a b =
+  let c = Time.compare a.time b.time in
+  c < 0 || (c = 0 && Int.compare a.seq b.seq < 0)
 
 let grow h =
   let cap = Array.length h.arr in
@@ -60,9 +62,18 @@ let pop h =
     h.len <- h.len - 1;
     if h.len > 0 then begin
       h.arr.(0) <- h.arr.(h.len);
+      (* The slot above the live region would otherwise pin the moved
+         entry's payload; the root entry is live anyway, so aliasing it
+         there retains nothing extra. *)
+      h.arr.(h.len) <- h.arr.(0);
       sift_down h 0
-    end;
+    end
+    else
+      (* Emptied: drop the whole array rather than pin stale payloads. *)
+      h.arr <- [||];
     Some (top.time, top.seq, top.payload)
   end
 
-let clear h = h.len <- 0
+let clear h =
+  h.len <- 0;
+  h.arr <- [||]

@@ -15,7 +15,8 @@ let rec schedule t delay =
       end)
 
 let start ?first_after sim ~interval callback =
-  if interval <= 0 then invalid_arg "Periodic.start: interval";
+  if Time.compare interval Time.zero <= 0 then
+    invalid_arg "Periodic.start: interval";
   let t = { sim; interval; callback; active = true; ticks = 0 } in
   let first = match first_after with Some d -> d | None -> interval in
   schedule t first;

@@ -10,7 +10,12 @@ type t = {
   random : Random.State.t;
 }
 
-let create ?(seed = 42) () =
+module Invariant = Xmp_check.Invariant
+
+let create ?(seed = 42) ?invariants () =
+  (match invariants with
+  | Some b -> Invariant.set_enabled b
+  | None -> ());
   {
     now = Time.zero;
     heap = Event_queue.create ();
@@ -25,7 +30,7 @@ let events_executed t = t.executed
 let pending t = Event_queue.length t.heap
 
 let schedule t time f =
-  if time < t.now then
+  if Time.compare time t.now < 0 then
     invalid_arg
       (Format.asprintf "Sim: scheduling at %a before now %a" Time.pp time
          Time.pp t.now);
@@ -45,6 +50,10 @@ let step t =
   match Event_queue.pop t.heap with
   | None -> false
   | Some (time, _seq, ev) ->
+    Invariant.require ~name:"sim.dispatch-monotone"
+      (Time.compare time t.now >= 0) (fun () ->
+        Format.asprintf "event at %a dispatched after clock reached %a"
+          Time.pp time Time.pp t.now);
     t.now <- time;
     if ev.live then begin
       ev.live <- false;
@@ -58,7 +67,7 @@ let run ?(until = Time.infinity) t =
   while !continue do
     match Event_queue.peek_time t.heap with
     | None -> continue := false
-    | Some time when time > until ->
+    | Some time when Time.compare time until > 0 ->
       t.now <- until;
       continue := false
     | Some _ -> ignore (step t)

@@ -10,9 +10,11 @@ type t
 type timer
 (** Handle to a cancellable scheduled event. *)
 
-val create : ?seed:int -> unit -> t
-(** [create ?seed ()] makes a fresh simulator at time 0. The random state is
-    seeded with [seed] (default 42), so runs are reproducible. *)
+val create : ?seed:int -> ?invariants:bool -> unit -> t
+(** [create ?seed ?invariants ()] makes a fresh simulator at time 0. The
+    random state is seeded with [seed] (default 42), so runs are
+    reproducible. [invariants], when given, sets the global
+    {!Xmp_check.Invariant} toggle for this run (checks default to on). *)
 
 val now : t -> Time.t
 

@@ -64,7 +64,7 @@ let print_k_sweep ?(ks = [ 2; 4; 6; 8; 10; 15; 20; 40 ]) ?(beta = 4) () =
       ~packet_bytes:Net.Packet.data_wire_bytes
   in
   let k_min = Xmp_core.Params.min_k ~bdp_packets:bdp ~beta in
-  Printf.printf "BDP = %.1f packets; Equation 1 bound: K >= %d\n" bdp k_min;
+  Render.printf "BDP = %.1f packets; Equation 1 bound: K >= %d\n" bdp k_min;
   let rows =
     List.map
       (fun k ->
@@ -129,7 +129,7 @@ let print_coupling_comparison ?(base = Fatree_eval.default_base) () =
 let print_flow_size_sweep ?(base = Fatree_eval.default_base) () =
   Render.heading
     "Ablation: flow size vs LIA's multipath gain (Permutation, Mbps)";
-  print_endline
+  Render.say
     "Short flows restart slow start constantly; the synchronized restart\n\
      losses hit many-subflow LIA hardest (tiny per-subflow windows cannot\n\
      fast-retransmit, so every loss costs a 200 ms RTO). The paper's\n\
@@ -157,7 +157,7 @@ let print_flow_size_sweep ?(base = Fatree_eval.default_base) () =
 let print_incast_fanout_sweep ?(base = Fatree_eval.default_base) () =
   Render.heading
     "Ablation: pure incast fanout (no background flows, TCP small flows)";
-  print_endline
+  Render.say
     "The TCP-collapse mechanics behind Figure 9 and Table 3 (Vasudevan et\n\
      al., cited in section 6): once the synchronized responses overflow\n\
      the client's edge-port buffer, jobs pay the 200 ms RTOmin.";
@@ -269,7 +269,7 @@ let queue_occupancy_point ~beta ~k scheme =
 let print_sack_comparison ?(base = Fatree_eval.default_base) () =
   Render.heading
     "Ablation: SACK vs go-back-N recovery (Permutation goodput, Mbps)";
-  print_endline
+  Render.say
     "The paper's LIA/TCP results are dominated by 200 ms RTO recovery.\n\
      Giving the loss-driven schemes SACK-based recovery (a modern stack)\n\
      closes much of their gap to the ECN schemes - i.e. part of what the\n\

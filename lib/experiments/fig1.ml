@@ -1,7 +1,6 @@
 module Sim = Xmp_engine.Sim
 module Time = Xmp_engine.Time
 module Net = Xmp_net
-module Tcp = Xmp_transport.Tcp
 module Mptcp_flow = Xmp_mptcp.Mptcp_flow
 module Coupling = Xmp_mptcp.Coupling
 
@@ -116,7 +115,7 @@ let print r =
   Render.subheading
     (Printf.sprintf "Figure 1 panel: %s" (variant_name r.variant));
   Render.series_table ~bucket_s:r.bucket_s ~every:2 r.rates;
-  Printf.printf
+  Render.printf
     "bottleneck utilization = %.3f, Jain index (4 flows active) = %.3f\n"
     r.utilization r.jain_all_active
 

@@ -105,7 +105,7 @@ let run ?(scale = 0.2) ?(seed = 11) ~beta () =
 let print r =
   Render.subheading (Printf.sprintf "Figure 4 panel: beta = %d" r.beta);
   Render.series_table ~bucket_s:r.bucket_s ~every:2 r.rates;
-  Printf.printf
+  Render.printf
     "Flow 2-1 share while DN1 loaded = %.3f; total-rate retention = %.3f\n"
     r.shifted_share r.compensation
 

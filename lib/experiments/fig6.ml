@@ -82,7 +82,7 @@ let run ?(scale = 0.2) ?(seed = 13) ~beta () =
       match !f4_cell with Some f -> Mptcp_flow.stop f | None -> ());
   Sim.run ~until:(Time.sec horizon_s) sim;
   let norm = float_of_int bottleneck_rate in
-  let names = List.sort compare !subflow_names in
+  let names = List.sort String.compare !subflow_names in
   let subflow_rates =
     List.map (fun n -> (n, Probe.normalized probe n ~norm_bps:norm)) names
   in
@@ -130,9 +130,9 @@ let run ?(scale = 0.2) ?(seed = 13) ~beta () =
 let print r =
   Render.subheading (Printf.sprintf "Figure 6 panel: beta = %d" r.beta);
   Render.series_table ~bucket_s:r.bucket_s ~every:2 r.subflow_rates;
-  Printf.printf "per-flow totals:\n";
+  Render.printf "per-flow totals:\n";
   Render.series_table ~bucket_s:r.bucket_s ~every:5 r.flow_rates;
-  Printf.printf "Jain index across flows (all active) = %.3f\n" r.jain_flows
+  Render.printf "Jain index across flows (all active) = %.3f\n" r.jain_flows
 
 let run_and_print_all ?scale () =
   Render.heading

@@ -1,6 +1,14 @@
 module Table = Xmp_stats.Table
 module Distribution = Xmp_stats.Distribution
 
+(* This module (with Table) is the one sanctioned stdout sink in lib/ —
+   xmplint's stdout-in-lib rule allowlists it, so every experiment prints
+   through these helpers. *)
+
+let printf fmt = Printf.printf fmt
+
+let say line = print_endline line
+
 let heading title =
   let bar = String.make (String.length title + 4) '=' in
   Printf.printf "\n%s\n= %s =\n%s\n" bar title bar

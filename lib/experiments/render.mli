@@ -1,6 +1,15 @@
 (** Text rendering of experiment outputs in the shapes the paper's tables
     and figures use. *)
 
+val printf : ('a, out_channel, unit) format -> 'a
+(** The sanctioned stdout formatter for experiment output. Experiment
+    modules must not call [Printf.printf] directly (enforced by xmplint's
+    [stdout-in-lib] rule); routing prints through here keeps a single
+    choke point for future redirection of experiment output. *)
+
+val say : string -> unit
+(** Prints one line to experiment output. *)
+
 val heading : string -> unit
 (** Prints a boxed section title. *)
 

@@ -16,15 +16,15 @@ let total_cwnd g =
 let total_rate g =
   List.fold_left
     (fun acc m ->
-      let rtt = m.srtt_s () in
-      if rtt > 0. then acc +. (m.cwnd () /. rtt) else acc)
+      let rtt_s = m.srtt_s () in
+      if rtt_s > 0. then acc +. (m.cwnd () /. rtt_s) else acc)
     0. g.members
 
 let min_srtt g =
   List.fold_left
     (fun acc m ->
-      let rtt = m.srtt_s () in
-      if rtt > 0. then Float.min acc rtt else acc)
+      let rtt_s = m.srtt_s () in
+      if rtt_s > 0. then Float.min acc rtt_s else acc)
     Float.max_float g.members
 
 type t = { name : string; fresh : unit -> int -> Xmp_transport.Cc.factory }

@@ -5,13 +5,13 @@ let alpha ~windows_rtts =
   let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. windows_rtts in
   let best =
     List.fold_left
-      (fun acc (w, rtt) ->
-        if rtt > 0. then Float.max acc (w /. (rtt *. rtt)) else acc)
+      (fun acc (w, rtt_s) ->
+        if rtt_s > 0. then Float.max acc (w /. (rtt_s *. rtt_s)) else acc)
       0. windows_rtts
   in
   let denom =
     List.fold_left
-      (fun acc (w, rtt) -> if rtt > 0. then acc +. (w /. rtt) else acc)
+      (fun acc (w, rtt_s) -> if rtt_s > 0. then acc +. (w /. rtt_s) else acc)
       0. windows_rtts
   in
   if denom <= 0. || total <= 0. then 0.

@@ -24,8 +24,30 @@ type t = {
 
 let nop2 _ _ = ()
 
+module Invariant = Xmp_check.Invariant
+
+(* Per-subflow accounting must stay conserved: the flow-level ack counter
+   is fed exclusively by subflow callbacks, so it always equals the sum of
+   the subflows' own counters, and no subflow can complete twice. *)
+let check_conservation t =
+  Invariant.require ~name:"mptcp.subflow-completions"
+    (t.n_done <= Array.length t.subflows)
+    (fun () ->
+      Printf.sprintf "flow %d: %d completions for %d subflows" t.flow
+        t.n_done (Array.length t.subflows));
+  Invariant.require ~name:"mptcp.acked-conservation"
+    (t.acked
+    = Array.fold_left (fun acc c -> acc + Tcp.segments_acked c) 0 t.subflows)
+    (fun () ->
+      Printf.sprintf "flow %d: flow-level acked %d <> sum of subflows %d"
+        t.flow t.acked
+        (Array.fold_left (fun acc c -> acc + Tcp.segments_acked c) 0
+           t.subflows))
+
 let check_complete t =
-  if t.n_done = Array.length t.subflows && t.completed_at = None then begin
+  check_conservation t;
+  if t.n_done = Array.length t.subflows && Option.is_none t.completed_at
+  then begin
     t.completed_at <- Some (Xmp_engine.Sim.now (Network.sim t.net));
     t.on_complete t
   end
@@ -86,7 +108,7 @@ let create ~net ~flow ~src ~dst ~paths ~coupling ?config ?size_segments
   t
 
 let add_subflow t ~path =
-  if t.completed_at <> None then
+  if Option.is_some t.completed_at then
     invalid_arg "Mptcp_flow.add_subflow: flow already complete";
   launch_subflow t ~path
 
@@ -102,7 +124,8 @@ let subflow t i =
 
 let subflows t = Array.copy t.subflows
 let segments_acked t = t.acked
-let is_complete t = t.completed_at <> None
+let size_segments t = t.size_segments
+let is_complete t = Option.is_some t.completed_at
 let completed_at t = t.completed_at
 let started_at t = t.started_at
 

@@ -50,6 +50,9 @@ val subflows : t -> Xmp_transport.Tcp.t array
 val segments_acked : t -> int
 (** Across all subflows. *)
 
+val size_segments : t -> int option
+(** The size the flow was created with; [None] for bulk flows. *)
+
 val is_complete : t -> bool
 
 val completed_at : t -> Xmp_engine.Time.t option

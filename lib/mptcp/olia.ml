@@ -17,8 +17,8 @@ let alpha_for paths me =
   if n <= 1 then 0.
   else begin
     let quality p =
-      let rtt = p.member.Coupling.srtt_s () in
-      if rtt > 0. then interloss p *. interloss p /. rtt else 0.
+      let rtt_s = p.member.Coupling.srtt_s () in
+      if rtt_s > 0. then interloss p *. interloss p /. rtt_s else 0.
     in
     let best_q = List.fold_left (fun acc p -> Float.max acc (quality p)) 0. paths in
     let max_w =
@@ -54,15 +54,15 @@ let coupling ?(params = Reno.default_params) () =
           let denom =
             List.fold_left
               (fun acc q ->
-                let rtt = q.member.Coupling.srtt_s () in
-                if rtt > 0. then acc +. (q.member.Coupling.cwnd () /. rtt)
+                let rtt_s = q.member.Coupling.srtt_s () in
+                if rtt_s > 0. then acc +. (q.member.Coupling.cwnd () /. rtt_s)
                 else acc)
               0. all
           in
-          let rtt = p.member.Coupling.srtt_s () in
-          if denom <= 0. || rtt <= 0. then 1. /. cwnd
+          let rtt_s = p.member.Coupling.srtt_s () in
+          if denom <= 0. || rtt_s <= 0. then 1. /. cwnd
           else begin
-            let base = cwnd /. (rtt *. rtt) /. (denom *. denom) in
+            let base = cwnd /. (rtt_s *. rtt_s) /. (denom *. denom) in
             let extra = alpha_for all p /. cwnd in
             base +. extra
           end

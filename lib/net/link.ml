@@ -1,5 +1,6 @@
 module Sim = Xmp_engine.Sim
 module Time = Xmp_engine.Time
+module Invariant = Xmp_check.Invariant
 
 type t = {
   sim : Sim.t;
@@ -44,6 +45,11 @@ let is_up t = t.up
 
 let rec transmit t (p : Packet.t) =
   t.busy <- true;
+  Invariant.require ~name:"link.queue-within-capacity"
+    (Queue_disc.length t.disc <= Queue_disc.capacity t.disc) (fun () ->
+      Printf.sprintf "%s holds %d packets, capacity %d" t.name
+        (Queue_disc.length t.disc)
+        (Queue_disc.capacity t.disc));
   let tx = Units.tx_time t.rate ~bytes:p.size in
   Sim.after t.sim tx (fun () ->
       t.bytes_sent <- t.bytes_sent + p.size;

@@ -1,3 +1,5 @@
+module Invariant = Xmp_check.Invariant
+
 type red_params = {
   wq : float;
   min_th : float;
@@ -91,7 +93,10 @@ let append t p =
   Queue.push p t.q;
   t.len <- t.len + 1;
   t.enqueued <- t.enqueued + 1;
-  if t.len > t.max_len then t.max_len <- t.len
+  if t.len > t.max_len then t.max_len <- t.len;
+  Invariant.require ~name:"queue.occupancy-bounds"
+    (t.len >= 0 && t.len <= t.capacity) (fun () ->
+      Printf.sprintf "occupancy %d outside [0, %d]" t.len t.capacity)
 
 let drop t p =
   t.dropped <- t.dropped + 1;
@@ -106,7 +111,12 @@ let enqueue t (p : Packet.t) =
       append t p;
       true
     | Threshold_mark k ->
-      if t.len > k then mark t p;
+      if t.len > k then begin
+        Invariant.require ~name:"queue.mark-above-threshold" (t.len >= k)
+          (fun () ->
+            Printf.sprintf "ECN mark at occupancy %d below K=%d" t.len k);
+        mark t p
+      end;
       append t p;
       true
     | Red params -> (
@@ -127,6 +137,8 @@ let dequeue t =
   if t.len = 0 then None
   else begin
     t.len <- t.len - 1;
+    Invariant.require ~name:"queue.occupancy-bounds" (t.len >= 0) (fun () ->
+        Printf.sprintf "occupancy %d went negative" t.len);
     Some (Queue.pop t.q)
   end
 

@@ -50,7 +50,8 @@ let current_d s =
     let now = s.view.Cc.now () in
     let srtt = s.view.Cc.srtt () in
     let rate =
-      if srtt > 0 then s.cwnd /. Time.to_float_s srtt else 0.
+      if Time.compare srtt Time.zero > 0 then s.cwnd /. Time.to_float_s srtt
+      else 0.
     in
     imminence ~params:s.params
       ~remaining_segments:(dl.total_segments - s.acked ())

@@ -25,8 +25,9 @@ let create ?(rto_min = default_rto_min) ?(rto_max = default_rto_max) () =
   }
 
 let sample t rtt =
-  if rtt < 0 then invalid_arg "Rtt_estimator.sample: negative";
-  if rtt < t.min_rtt then t.min_rtt <- rtt;
+  if Time.compare rtt Time.zero < 0 then
+    invalid_arg "Rtt_estimator.sample: negative";
+  if Time.compare rtt t.min_rtt < 0 then t.min_rtt <- rtt;
   if not t.has_sample then begin
     t.srtt <- rtt;
     t.rttvar <- Time.div rtt 2;

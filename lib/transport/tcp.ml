@@ -1,5 +1,6 @@
 module Sim = Xmp_engine.Sim
 module Time = Xmp_engine.Time
+module Invariant = Xmp_check.Invariant
 module Network = Xmp_net.Network
 module Node = Xmp_net.Node
 module Packet = Xmp_net.Packet
@@ -122,7 +123,7 @@ let teardown t =
   end
 
 let complete t =
-  if t.completed_at = None then begin
+  if Option.is_none t.completed_at then begin
     t.completed_at <- Some (Sim.now t.sim);
     teardown t;
     t.on_complete ()
@@ -157,7 +158,7 @@ and watchdog_fire t epoch =
     t.watchdog_time <- Time.infinity;
     if outstanding t > 0 then begin
       let now = Sim.now t.sim in
-      if now >= t.rto_deadline then begin
+      if Time.compare now t.rto_deadline >= 0 then begin
         t.timeouts <- t.timeouts + 1;
         Rtt_estimator.backoff t.est;
         t.cc.Cc.on_timeout ();
@@ -175,7 +176,7 @@ and watchdog_fire t epoch =
   end
 
 and ensure_watchdog t =
-  if outstanding t > 0 && t.rto_deadline < t.watchdog_time then
+  if outstanding t > 0 && Time.compare t.rto_deadline t.watchdog_time < 0 then
     schedule_watchdog t t.rto_deadline
 
 and refresh_rto t =
@@ -184,6 +185,14 @@ and refresh_rto t =
 
 and send_pending t =
   if not t.torn_down then begin
+    Invariant.require ~name:"tcp.cwnd-at-least-one-mss"
+      (t.cc.Cc.cwnd () >= 1.) (fun () ->
+        Printf.sprintf "flow %d subflow %d: %s cwnd %.3f < 1 segment" t.flow
+          t.subflow t.cc.Cc.name (t.cc.Cc.cwnd ()));
+    Invariant.require ~name:"tcp.inflight-conservation"
+      (t.snd_una <= t.snd_nxt && t.snd_nxt <= t.snd_max) (fun () ->
+        Printf.sprintf "flow %d subflow %d: una=%d nxt=%d max=%d" t.flow
+          t.subflow t.snd_una t.snd_nxt t.snd_max);
     let window = Stdlib.max 1 (int_of_float (t.cc.Cc.cwnd ())) in
     if flight t < window then begin
       (* skip segments the SACK scoreboard says the receiver already has *)
@@ -324,6 +333,11 @@ let sender_rx t (p : Packet.t) =
     if p.ece_count > 0 then t.cc.Cc.on_ecn ~count:p.ece_count;
     ingest_sack t p;
     if p.seq > t.snd_una then begin
+      Invariant.require ~name:"tcp.ack-within-sent" (p.seq <= t.snd_max)
+        (fun () ->
+          Printf.sprintf "flow %d subflow %d: cumulative ACK %d beyond \
+                          snd_max %d"
+            t.flow t.subflow p.seq t.snd_max);
       let newly = p.seq - t.snd_una in
       t.snd_una <- p.seq;
       if p.seq > t.snd_nxt then t.snd_nxt <- p.seq;
@@ -331,7 +345,7 @@ let sender_rx t (p : Packet.t) =
       prune_scoreboard t;
       let now = Sim.now t.sim in
       let rtt = Time.sub now p.ts in
-      if rtt >= 0 then begin
+      if Time.compare rtt Time.zero >= 0 then begin
         Rtt_estimator.sample t.est rtt;
         t.on_rtt_sample rtt
       end;
@@ -459,6 +473,6 @@ let segments_sent t = t.segments_sent
 let retransmits t = t.retransmits
 let timeouts t = t.timeouts
 let fast_retransmits t = t.fast_retransmits
-let is_complete t = t.completed_at <> None
+let is_complete t = Option.is_some t.completed_at
 let completed_at t = t.completed_at
 let started_at t = t.started_at

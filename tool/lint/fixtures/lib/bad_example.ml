@@ -1,0 +1,23 @@
+(* Deliberately broken file exercising every xmplint rule. It is never
+   compiled; the fixture run in tool/lint's runtest rule asserts xmplint
+   exits nonzero on it. *)
+
+let start = Unix.gettimeofday ()
+
+let elapsed () = Sys.time () -. start
+
+let _ = Random.self_init ()
+
+let jitter () = Random.float 1.0
+
+let cast (x : int) : float = Obj.magic x
+
+let expired t deadline = t.time > deadline
+
+let same_stamp a b = a.send_time = b.send_time
+
+let sort_stamps l = List.sort compare l
+
+let debug msg = Printf.printf "debug: %s\n" msg
+
+let shout = print_endline

@@ -1,0 +1,638 @@
+(* xmplint — project-specific static analysis for the XMP simulator.
+
+   The reproduction's figures depend on deterministic, seed-reproducible
+   runs; this linter rejects the constructs that silently break that
+   contract. It is pure OCaml over the stdlib (no parser dependencies): a
+   comment/string-stripping pass followed by a line tokenizer, which is
+   enough for every rule below because each rule is keyed on identifier
+   usage rather than deep syntax.
+
+   Rules (diagnostic ids in brackets):
+   - [wall-clock]      no Unix.gettimeofday / Unix.time / Sys.time — the
+                       simulator clock is the only time source (bench/ is
+                       allowlisted: it times real executions).
+   - [unix-in-lib]     no Unix.* at all inside lib/, bin/ or examples/.
+   - [unseeded-random] only Random.State.* (explicitly seeded) is allowed;
+                       Random.self_init and the global Random.* functions
+                       are nondeterministic.
+   - [obj-magic]       no Obj.magic, anywhere.
+   - [poly-compare-time] no polymorphic =, <>, <, >, <=, >= adjacent to a
+                       timestamp-ish identifier in lib/ — use Time.compare
+                       (the rule skips lines that already go through an
+                       X.compare function).
+   - [bare-compare]    no bare polymorphic `compare` / Stdlib.compare /
+                       Hashtbl.hash in lib/ — name the monomorphic one.
+   - [stdout-in-lib]   no printing to stdout from lib/ except through the
+                       sanctioned sinks (Xmp_stats.Table, Render); logs go
+                       through Slog (stderr).
+   - [missing-mli]     every lib/ module ships an interface.
+
+   A finding can be waived with a pragma comment on the same line or the
+   line above: (* xmplint: allow <rule-id> *). File-level waivers live in
+   [file_allowlist] below. Exit status is 1 if any finding survives. *)
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics                                                         *)
+
+type finding = { path : string; line : int; rule : string; msg : string }
+
+let findings : finding list ref = ref []
+
+let report ~path ~line ~rule msg =
+  findings := { path; line; rule; msg } :: !findings
+
+(* ------------------------------------------------------------------ *)
+(* Comment / string stripping with pragma collection                   *)
+
+type pragma = { p_line : int; p_rule : string }
+
+(* Replaces comments, string literals and char literals with spaces
+   (newlines preserved, so line/column structure survives), and records
+   every "xmplint: allow <rule>" pragma with the line range its comment
+   touches. *)
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let pragmas = ref [] in
+  let line = ref 1 in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let record_pragma ~start_line ~stop_line text =
+    let key = "xmplint: allow " in
+    let klen = String.length key in
+    let tlen = String.length text in
+    let rec scan i =
+      if i + klen <= tlen then
+        if String.sub text i klen = key then begin
+          let j = ref (i + klen) in
+          let start = !j in
+          while
+            !j < tlen
+            && (match text.[!j] with
+               | 'a' .. 'z' | '0' .. '9' | '-' -> true
+               | _ -> false)
+          do
+            incr j
+          done;
+          if !j > start then begin
+            let rule = String.sub text start (!j - start) in
+            for l = start_line to stop_line + 1 do
+              pragmas := { p_line = l; p_rule = rule } :: !pragmas
+            done
+          end;
+          scan !j
+        end
+        else scan (i + 1)
+    in
+    scan 0
+  in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  (* skip a string literal body starting after the opening quote *)
+  let rec skip_string i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | '"' ->
+        blank i;
+        i + 1
+      | '\\' when i + 1 < n ->
+        blank i;
+        bump src.[i + 1];
+        blank (i + 1);
+        skip_string (i + 2)
+      | c ->
+        bump c;
+        blank i;
+        skip_string (i + 1)
+  in
+  (* {id|...|id} quoted strings *)
+  let skip_quoted i =
+    (* i points just after '{'; read the delimiter id *)
+    let j = ref i in
+    while
+      !j < n
+      && (match src.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+    do
+      incr j
+    done;
+    if !j < n && src.[!j] = '|' then begin
+      let delim = String.sub src i (!j - i) in
+      let close = "|" ^ delim ^ "}" in
+      let clen = String.length close in
+      let k = ref (!j + 1) in
+      let stop = ref (-1) in
+      while !stop < 0 && !k + clen <= n do
+        if String.sub src !k clen = close then stop := !k + clen
+        else begin
+          bump src.[!k];
+          incr k
+        end
+      done;
+      let stop = if !stop < 0 then n else !stop in
+      for x = i - 1 to stop - 1 do
+        blank x
+      done;
+      Some stop
+    end
+    else None
+  in
+  let rec skip_comment depth i start_line =
+    if i >= n then i
+    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
+      blank i;
+      blank (i + 1);
+      skip_comment (depth + 1) (i + 2) start_line
+    end
+    else if i + 1 < n && src.[i] = '*' && src.[i + 1] = ')' then begin
+      blank i;
+      blank (i + 1);
+      if depth = 1 then i + 2 else skip_comment (depth - 1) (i + 2) start_line
+    end
+    else begin
+      bump src.[i];
+      blank i;
+      skip_comment depth (i + 1) start_line
+    end
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '"' then begin
+      blank !i;
+      i := skip_string (!i + 1)
+    end
+    else if c = '{' && !i + 1 < n then begin
+      match skip_quoted (!i + 1) with
+      | Some stop -> i := stop
+      | None -> incr i
+    end
+    else if !i + 1 < n && c = '(' && src.[!i + 1] = '*' then begin
+      let start_line = !line in
+      let start = !i in
+      let stop = skip_comment 1 (!i + 2) start_line in
+      let stop = if stop > n then n else stop in
+      blank start;
+      blank (start + 1);
+      record_pragma ~start_line ~stop_line:!line
+        (String.sub src start (stop - start));
+      i := stop
+    end
+    else if
+      c = '\''
+      && !i + 2 < n
+      && src.[!i + 1] <> '\\'
+      && src.[!i + 2] = '\''
+    then begin
+      (* simple char literal 'x' *)
+      blank !i;
+      blank (!i + 1);
+      blank (!i + 2);
+      i := !i + 3
+    end
+    else if c = '\'' && !i + 1 < n && src.[!i + 1] = '\\' then begin
+      (* escaped char literal: blank until the closing quote *)
+      let j = ref (!i + 2) in
+      while !j < n && src.[!j] <> '\'' do
+        incr j
+      done;
+      for x = !i to Stdlib.min !j (n - 1) do
+        blank x
+      done;
+      i := !j + 1
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  (Bytes.to_string out, !pragmas)
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                           *)
+
+type tok = Ident of string | Op of string | Num of string | Punct of char
+
+let is_ident_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+  | _ -> false
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+let is_symbol_char c = String.contains "!$%&*+-./:<=>?@^|~" c
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+(* Tokenizes one (already stripped) line. Dotted module paths come out as
+   a single Ident ("Time.compare"); maximal runs of symbol characters
+   come out as a single Op ("->", ">=", "|>"), so a ">" token really is a
+   comparison and not a fragment of an arrow or bind operator. *)
+let tokenize line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      let continue = ref true in
+      while !continue do
+        while !i < n && is_ident_char line.[!i] do
+          incr i
+        done;
+        (* absorb ".Ident" continuations into a dotted path *)
+        if !i + 1 < n && line.[!i] = '.' && is_ident_start line.[!i + 1]
+        then i := !i + 1
+        else continue := false
+      done;
+      toks := Ident (String.sub line start (!i - start)) :: !toks
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while
+        !i < n
+        && (is_digit line.[!i]
+           || line.[!i] = '_'
+           || line.[!i] = '.'
+           || line.[!i] = 'x'
+           || line.[!i] = 'e')
+      do
+        incr i
+      done;
+      toks := Num (String.sub line start (!i - start)) :: !toks
+    end
+    else if is_symbol_char c then begin
+      let start = !i in
+      while !i < n && is_symbol_char line.[!i] do
+        incr i
+      done;
+      toks := Op (String.sub line start (!i - start)) :: !toks
+    end
+    else begin
+      toks := Punct c :: !toks;
+      incr i
+    end
+  done;
+  Array.of_list (List.rev !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Rule configuration                                                  *)
+
+type category = Lib | Bin | Bench | Examples | Test | OtherDir
+
+let category_of path =
+  match String.index_opt path '/' with
+  | None -> OtherDir
+  | Some i -> (
+    match String.sub path 0 i with
+    | "lib" -> Lib
+    | "bin" -> Bin
+    | "bench" -> Bench
+    | "examples" -> Examples
+    | "test" -> Test
+    | _ -> OtherDir)
+
+(* File-level waivers: (rule, exact path) pairs. *)
+let file_allowlist =
+  [
+    (* bench times real executions of the simulator *)
+    ("wall-clock", "bench/main.ml");
+    (* the sanctioned stdout sinks *)
+    ("stdout-in-lib", "lib/stats/table.ml");
+    ("stdout-in-lib", "lib/experiments/render.ml");
+  ]
+
+let file_allowed rule path = List.mem (rule, path) file_allowlist
+
+let wall_clock_idents =
+  [
+    "Unix.gettimeofday";
+    "Unix.time";
+    "Unix.gmtime";
+    "Unix.localtime";
+    "Sys.time";
+  ]
+
+let stdout_idents =
+  [
+    "print_string";
+    "print_endline";
+    "print_newline";
+    "print_char";
+    "print_int";
+    "print_float";
+    "print_bytes";
+    "Printf.printf";
+    "Format.printf";
+    "Format.print_string";
+    "Format.print_newline";
+    "Format.print_flush";
+    "Stdlib.print_string";
+    "Stdlib.print_endline";
+    "Stdlib.print_newline";
+    "Stdlib.print_char";
+    "Stdlib.print_int";
+    "Stdlib.print_float";
+  ]
+
+let bare_compare_idents = [ "compare"; "Stdlib.compare"; "Hashtbl.hash" ]
+
+let has_suffix s suf =
+  let ls = String.length s and lf = String.length suf in
+  ls >= lf && String.sub s (ls - lf) lf = suf
+
+let last_component name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+(* Identifiers that denote simulated timestamps (or RTTs, which are
+   Time.t in the transport layer). Comparisons adjacent to one of these
+   must go through Time.compare / Int.compare. *)
+let timeish name =
+  let last = last_component name in
+  List.mem last
+    [ "time"; "now"; "ts"; "deadline"; "interval"; "rtt"; "srtt"; "min_rtt" ]
+  || has_suffix last "_time"
+  || has_suffix last "_deadline"
+  || has_suffix last "_at"
+  || has_suffix last "_ts"
+
+let comparison_ops = [ "="; "<>"; "<"; ">"; "<="; ">=" ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-line checks                                                     *)
+
+let check_idents ~path ~cat ~line_no toks =
+  Array.iter
+    (fun tok ->
+      match tok with
+      | Ident name ->
+        if List.mem name wall_clock_idents && cat <> Bench then
+          report ~path ~line:line_no ~rule:"wall-clock"
+            (Printf.sprintf
+               "%s reads the wall clock; simulated time must come from \
+                Sim.now"
+               name);
+        if name = "Obj.magic" then
+          report ~path ~line:line_no ~rule:"obj-magic"
+            "Obj.magic defeats the type system";
+        if
+          name = "Random.self_init"
+          || name = "Random.State.make_self_init"
+        then
+          report ~path ~line:line_no ~rule:"unseeded-random"
+            (name ^ " is nondeterministic; seed explicitly")
+        else if
+          String.length name > 7
+          && String.sub name 0 7 = "Random."
+          && not
+               (name = "Random.State"
+               || (String.length name > 13
+                  && String.sub name 0 13 = "Random.State."))
+        then
+          report ~path ~line:line_no ~rule:"unseeded-random"
+            (name
+           ^ " uses the global RNG; use Random.State.* with an explicit \
+              seed (Sim.rng)");
+        if
+          (cat = Lib || cat = Bin || cat = Examples)
+          && String.length name > 5
+          && String.sub name 0 5 = "Unix."
+          && not (file_allowed "wall-clock" path)
+        then
+          report ~path ~line:line_no ~rule:"unix-in-lib"
+            (name ^ ": the Unix module is off-limits in simulator code");
+        if
+          cat = Lib
+          && List.mem name stdout_idents
+          && not (file_allowed "stdout-in-lib" path)
+        then
+          report ~path ~line:line_no ~rule:"stdout-in-lib"
+            (name
+           ^ " prints to stdout from lib/; route through Render/Table or \
+              Slog")
+      | Op _ | Num _ | Punct _ -> ())
+    toks
+
+let check_bare_compare ~path ~cat ~line_no toks =
+  if cat = Lib then
+    Array.iteri
+      (fun i tok ->
+        match tok with
+        | Ident name when List.mem name bare_compare_idents ->
+          let prev = if i > 0 then Some toks.(i - 1) else None in
+          let next =
+            if i + 1 < Array.length toks then Some toks.(i + 1) else None
+          in
+          let is_definition =
+            match prev with
+            | Some (Ident ("let" | "and" | "val" | "method" | "external")) ->
+              true
+            | Some (Op "~") -> true (* labelled argument *)
+            | _ -> false
+          in
+          let is_field_init =
+            match next with Some (Op ("=" | ":")) -> true | _ -> false
+          in
+          if not (is_definition || is_field_init) then
+            report ~path ~line:line_no ~rule:"bare-compare"
+              (name
+             ^ " is polymorphic; use Time.compare / Int.compare / \
+                Float.compare")
+        | _ -> ())
+      toks
+
+(* A comparison operator already routed through X.compare: the compared
+   value is the int result, e.g. [Time.compare a b < 0]. *)
+let line_has_compare_call toks before =
+  let found = ref false in
+  Array.iteri
+    (fun i tok ->
+      if i < before then
+        match tok with
+        | Ident name when has_suffix name ".compare" -> found := true
+        | _ -> ())
+    toks;
+  !found
+
+let check_poly_compare ~path ~cat ~line_no toks =
+  if cat = Lib then
+    Array.iteri
+      (fun i tok ->
+        match tok with
+        | Op op when List.mem op comparison_ops ->
+          let prev = if i > 0 then Some toks.(i - 1) else None in
+          let prev2 = if i > 1 then Some toks.(i - 2) else None in
+          let next =
+            if i + 1 < Array.length toks then Some toks.(i + 1) else None
+          in
+          let timeish_tok = function
+            | Some (Ident name) -> timeish name
+            | _ -> false
+          in
+          let dotted_timeish_tok = function
+            | Some (Ident name) -> timeish name && String.contains name '.'
+            | _ -> false
+          in
+          let option_tok = function
+            | Some (Ident ("None" | "Some")) -> true
+            | _ -> false
+          in
+          let binding =
+            match prev2 with
+            | Some (Ident ("let" | "and" | "rec" | "module" | "type")) ->
+              true
+            | _ -> false
+          in
+          let flagged =
+            match op with
+            | "=" | "<>" ->
+              (* Equality on a timestamp (or Time.t option) field access.
+                 Bare left identifiers are record-literal field
+                 initialisers, not comparisons, so only dotted accesses
+                 count. *)
+              (not binding)
+              && ((dotted_timeish_tok prev && (option_tok next || timeish_tok next))
+                 || (dotted_timeish_tok next && option_tok prev))
+            | _ ->
+              (timeish_tok prev || timeish_tok next)
+              && not (line_has_compare_call toks i)
+          in
+          if flagged then
+            report ~path ~line:line_no ~rule:"poly-compare-time"
+              (Printf.sprintf
+                 "polymorphic %s next to a timestamp; use Time.compare \
+                  (or Option.is_none/is_some)"
+                 op)
+        | _ -> ())
+      toks
+
+(* ------------------------------------------------------------------ *)
+(* File / tree walking                                                 *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let lint_file path =
+  let cat = category_of path in
+  let src = read_file path in
+  let stripped, pragmas = strip src in
+  let allowed_by_pragma line rule =
+    List.exists (fun p -> p.p_line = line && p.p_rule = rule) pragmas
+  in
+  let before = List.length !findings in
+  let lines = String.split_on_char '\n' stripped in
+  List.iteri
+    (fun idx line ->
+      let line_no = idx + 1 in
+      let toks = tokenize line in
+      check_idents ~path ~cat ~line_no toks;
+      check_bare_compare ~path ~cat ~line_no toks;
+      check_poly_compare ~path ~cat ~line_no toks)
+    lines;
+  (* drop findings waived by pragmas *)
+  let fresh, old =
+    let rec split i acc = function
+      | rest when i = 0 -> (acc, rest)
+      | f :: rest -> split (i - 1) (f :: acc) rest
+      | [] -> (acc, [])
+    in
+    split (List.length !findings - before) [] !findings
+  in
+  findings :=
+    List.rev_append
+      (List.rev
+         (List.filter (fun f -> not (allowed_by_pragma f.line f.rule)) fresh))
+      old
+
+let rec walk dir acc =
+  let entries = Array.to_list (Sys.readdir dir) in
+  List.fold_left
+    (fun acc name ->
+      if name = "" || name.[0] = '.' || name.[0] = '_' then acc
+      else begin
+        let path = if dir = "." then name else Filename.concat dir name in
+        if Sys.is_directory path then walk path acc
+        else if
+          Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+        then path :: acc
+        else acc
+      end)
+    acc
+    (List.sort String.compare entries)
+
+let check_mli_presence files =
+  List.iter
+    (fun path ->
+      if category_of path = Lib && Filename.check_suffix path ".ml" then begin
+        let mli = path ^ "i" in
+        if not (List.mem mli files) then
+          report ~path ~line:1 ~rule:"missing-mli"
+            "lib/ module without an interface file"
+      end)
+    files
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let usage = "xmplint [--root DIR] DIR...\n"
+
+let () =
+  let root = ref "." in
+  let dirs = ref [] in
+  let rec parse = function
+    | "--root" :: dir :: rest ->
+      root := dir;
+      parse rest
+    | "--help" :: _ ->
+      print_string usage;
+      exit 0
+    | dir :: rest ->
+      dirs := dir :: !dirs;
+      parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let dirs = List.rev !dirs in
+  if dirs = [] then begin
+    prerr_string usage;
+    exit 2
+  end;
+  Sys.chdir !root;
+  let files =
+    List.concat_map
+      (fun d ->
+        if Sys.file_exists d && Sys.is_directory d then List.rev (walk d [])
+        else begin
+          Printf.eprintf "xmplint: no such directory: %s\n" d;
+          exit 2
+        end)
+      dirs
+  in
+  List.iter lint_file files;
+  check_mli_presence files;
+  let all =
+    List.sort
+      (fun a b ->
+        match String.compare a.path b.path with
+        | 0 -> Int.compare a.line b.line
+        | c -> c)
+      !findings
+  in
+  List.iter
+    (fun f ->
+      Printf.printf "%s:%d: [%s] %s\n" f.path f.line f.rule f.msg)
+    all;
+  match all with
+  | [] ->
+    Printf.printf "xmplint: %d files clean\n" (List.length files);
+    exit 0
+  | _ ->
+    Printf.printf "xmplint: %d finding(s)\n" (List.length all);
+    exit 1
