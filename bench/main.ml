@@ -2,35 +2,41 @@
    evaluation (Figures 1, 4, 6, 7, 8, 9, 10, 11; Tables 1, 2, 3), plus
    ablation benches and micro-benchmarks of the simulator's hot paths.
 
+   Every experiment is a registered Xmp_experiments.Scenarios scenario:
+   an independent seeded simulation with a stable content digest. The
+   runner executes the selected set across --jobs worker processes and
+   caches each scenario's rendered output under _xmp_cache/<digest>, so
+   re-runs and partial sweeps skip already-computed scenarios. Scenario
+   output goes to stdout in deterministic (registration) order whatever
+   the job count; progress and cache statistics go to stderr.
+
    Usage:
      dune exec bench/main.exe                 # everything (default scale)
      dune exec bench/main.exe -- table1 fig9  # a subset
      dune exec bench/main.exe -- --quick      # fast sanity pass
+     dune exec bench/main.exe -- --quick --jobs 4   # parallel workers
+     dune exec bench/main.exe -- --no-cache fig7    # force re-simulation
      dune exec bench/main.exe -- --paper-scale table1   # k=8 fat tree
      dune exec bench/main.exe -- micro        # bechamel micro-benches *)
 
 module E = Xmp_experiments
+module Runner = Xmp_runner.Runner
 module Time = Xmp_engine.Time
 
 type mode = Default | Quick | Paper
 
 let mode = ref Default
 
-let fig_scale () =
-  match !mode with Default -> 0.2 | Quick -> 0.1 | Paper -> 1.0
-
-let base () =
+let config () =
   match !mode with
-  | Default -> E.Fatree_eval.default_base
-  | Quick -> { E.Fatree_eval.default_base with horizon = Time.sec 0.5 }
-  | Paper -> E.Fatree_eval.paper_scale_base
+  | Default -> E.Scenarios.default
+  | Quick -> E.Scenarios.quick
+  | Paper -> E.Scenarios.paper
 
-let timed name f =
-  let t0 = Unix.gettimeofday () in
-  f ();
-  Printf.printf "[%s finished in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+(* ----- micro-benchmarks (Bechamel) -----
 
-(* ----- micro-benchmarks (Bechamel) ----- *)
+   Not a scenario: bechamel measures this machine's wall clock, so the
+   output is neither deterministic nor cacheable. *)
 
 let heap_test =
   Bechamel.Test.make ~name:"event_queue push+pop x1000"
@@ -140,57 +146,7 @@ let micro () =
         results)
     [ heap_test; disc_test; fluid_test; sim_test ]
 
-(* ----- experiment registry: one entry per paper table/figure ----- *)
-
-let experiments : (string * string * (unit -> unit)) list =
-  [
-    ( "fig1",
-      "DCTCP vs halving-cwnd on one bottleneck",
-      fun () -> E.Fig1.run_and_print_all ~scale:(fig_scale ()) () );
-    ( "fig4",
-      "traffic shifting on testbed 3(a)",
-      fun () -> E.Fig4.run_and_print_all ~scale:(fig_scale ()) () );
-    ( "fig6",
-      "fairness on testbed 3(b)",
-      fun () -> E.Fig6.run_and_print_all ~scale:(fig_scale ()) () );
-    ( "fig7",
-      "rate compensation on the ring",
-      fun () -> E.Fig7.run_and_print_all ~scale:(fig_scale ()) () );
-    ( "table1",
-      "average goodput matrix",
-      fun () -> E.Fatree_eval.print_table1 (base ()) );
-    ( "fig8",
-      "goodput distributions",
-      fun () -> E.Fatree_eval.print_fig8 (base ()) );
-    ( "fig9",
-      "job completion time CDF",
-      fun () -> E.Fatree_eval.print_fig9 (base ()) );
-    ( "fig10",
-      "RTT distributions",
-      fun () -> E.Fatree_eval.print_fig10 (base ()) );
-    ( "fig11",
-      "link utilization by layer",
-      fun () -> E.Fatree_eval.print_fig11 (base ()) );
-    ( "table2",
-      "coexistence goodput",
-      fun () -> E.Coexistence.print_table2 ~base:(base ()) () );
-    ( "table3",
-      "job completion times",
-      fun () -> E.Fatree_eval.print_table3 (base ()) );
-    ( "ablations",
-      "beta/K/subflow/coupling sweeps",
-      fun () ->
-        E.Ablations.print_beta_sweep ~scale:(fig_scale ()) ();
-        E.Ablations.print_k_sweep ();
-        E.Ablations.print_subflow_sweep ~base:(base ()) ();
-        E.Ablations.print_coupling_comparison ~base:(base ()) ();
-        E.Ablations.print_flow_size_sweep ~base:(base ()) ();
-        E.Ablations.print_incast_fanout_sweep ~base:(base ()) ();
-        E.Ablations.print_rto_min_sweep ~base:(base ()) ();
-        E.Ablations.print_sack_comparison ~base:(base ()) ();
-        E.Ablations.print_queue_occupancy () );
-    ("micro", "simulator micro-benchmarks", micro);
-  ]
+(* ----- argument parsing and dispatch ----- *)
 
 let default_set =
   [
@@ -200,39 +156,66 @@ let default_set =
 
 let usage () =
   print_endline
-    "usage: main.exe [--quick|--paper-scale] [experiment ...]\nexperiments:";
+    "usage: main.exe [--quick|--paper-scale] [--jobs N] [--no-cache] \
+     [experiment ...]\noptions:";
+  print_endline
+    "  --jobs N     run scenarios across N worker processes (default 1)";
+  print_endline
+    "  --no-cache   ignore and do not write _xmp_cache/ result entries";
+  print_endline "experiments:";
   List.iter
-    (fun (id, doc, _) -> Printf.printf "  %-10s %s\n" id doc)
-    experiments
+    (fun s ->
+      Printf.printf "  %-22s %s\n" s.Xmp_runner.Scenario.name
+        s.Xmp_runner.Scenario.descr)
+    (E.Scenarios.all E.Scenarios.default);
+  Printf.printf "  %-22s %s\n" "ablations" "every ablations.* sweep";
+  Printf.printf "  %-22s %s\n" "micro"
+    "simulator micro-benchmarks (never cached)"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let selected = ref [] in
+  let jobs = ref 1 in
+  let cache = ref (Runner.Cache_dir Xmp_runner.Cache.default_dir) in
   let bad = ref false in
-  List.iter
-    (fun a ->
-      match a with
-      | "--quick" -> mode := Quick
-      | "--paper-scale" -> mode := Paper
-      | "--help" | "-h" ->
-        usage ();
-        exit 0
-      | id when List.exists (fun (i, _, _) -> i = id) experiments ->
-        selected := id :: !selected
-      | unknown ->
-        Printf.eprintf "unknown argument: %s\n" unknown;
-        bad := true)
-    args;
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      mode := Quick;
+      parse rest
+    | "--paper-scale" :: rest ->
+      mode := Paper;
+      parse rest
+    | "--no-cache" :: rest ->
+      cache := Runner.No_cache;
+      parse rest
+    | ("--jobs" | "-j") :: n :: rest when int_of_string_opt n <> None ->
+      jobs := int_of_string n;
+      parse rest
+    | ("--jobs" | "-j") :: _ ->
+      prerr_endline "--jobs needs an integer argument";
+      bad := true
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | id :: rest ->
+      selected := id :: !selected;
+      parse rest
+  in
+  parse args;
   if !bad then begin
     usage ();
     exit 2
   end;
-  let to_run = if !selected = [] then default_set else List.rev !selected in
-  let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun id ->
-      let _, _, f = List.find (fun (i, _, _) -> i = id) experiments in
-      timed id f)
-    to_run;
-  Printf.printf "\nAll requested benches done in %.1fs\n"
-    (Unix.gettimeofday () -. t0)
+  let requested = if !selected = [] then default_set else List.rev !selected in
+  let run_micro = List.mem "micro" requested in
+  let scenario_ids = List.filter (fun id -> id <> "micro") requested in
+  (match E.Scenarios.select (config ()) scenario_ids with
+  | Error unknown ->
+    Printf.eprintf "unknown experiment: %s\n" unknown;
+    usage ();
+    exit 2
+  | Ok [] -> ()
+  | Ok scenarios ->
+    ignore (Runner.run_and_print ~jobs:!jobs ~cache:!cache scenarios));
+  if run_micro then micro ()

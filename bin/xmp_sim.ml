@@ -4,11 +4,14 @@
      xmp_sim fig1|fig4|fig6|fig7      — time-series testbed experiments
      xmp_sim matrix                   — fat-tree goodput matrix (Table 1)
      xmp_sim eval                     — one (scheme, pattern) run in detail
+     xmp_sim sweep                    — scheme×pattern matrix through the
+                                        parallel, cached scenario runner
      xmp_sim coexist                  — Table 2
      xmp_sim ablation                 — parameter sweeps *)
 
 open Cmdliner
 module E = Xmp_experiments
+module Runner = Xmp_runner.Runner
 module Time = Xmp_engine.Time
 module Scheme = Xmp_workload.Scheme
 
@@ -146,39 +149,107 @@ let matrix_cmd =
       const run $ k_arity_t $ horizon_t $ seed_t $ marking_t $ queue_t
       $ beta_t)
 
+let print_eval base scheme pattern =
+  let r = E.Fatree_eval.result base scheme pattern in
+  let m = r.Xmp_workload.Driver.metrics in
+  E.Render.heading
+    (Printf.sprintf "%s under %s" (Scheme.name scheme)
+       (E.Fatree_eval.pattern_name pattern));
+  Printf.printf "large flows recorded: %d\n"
+    (Xmp_workload.Metrics.n_completed_flows m);
+  Printf.printf "mean goodput: %.1f Mbps\n"
+    (Xmp_workload.Metrics.mean_goodput_bps m /. 1e6);
+  let jobs = Xmp_workload.Metrics.job_times_ms m in
+  if not (Xmp_stats.Distribution.is_empty jobs) then
+    Printf.printf "jobs: %d, mean completion %.1f ms, >300ms %.1f%%\n"
+      (Xmp_stats.Distribution.count jobs)
+      (Xmp_stats.Distribution.mean jobs)
+      (100. *. Xmp_workload.Metrics.jobs_over_ms m 300.);
+  E.Render.subheading "link utilization by layer";
+  E.Render.five_number_table ~value_header:"layer"
+    (Xmp_workload.Driver.utilization_by_layer r);
+  E.Render.subheading "RTT by locality (ms)";
+  E.Render.five_number_table ~value_header:"locality"
+    (List.map
+       (fun (loc, d) -> (Xmp_net.Fat_tree.locality_name loc, d))
+       (Xmp_workload.Metrics.rtts_by_locality m));
+  Printf.printf "events executed: %d\n" r.Xmp_workload.Driver.events
+
 let eval_cmd =
   let run k horizon seed mark queue beta sack scheme pattern =
     let base = base_of ~sack k horizon seed mark queue beta in
-    let r = E.Fatree_eval.result base scheme pattern in
-    let m = r.Xmp_workload.Driver.metrics in
-    E.Render.heading
-      (Printf.sprintf "%s under %s" (Scheme.name scheme)
-         (E.Fatree_eval.pattern_name pattern));
-    Printf.printf "large flows recorded: %d\n"
-      (Xmp_workload.Metrics.n_completed_flows m);
-    Printf.printf "mean goodput: %.1f Mbps\n"
-      (Xmp_workload.Metrics.mean_goodput_bps m /. 1e6);
-    let jobs = Xmp_workload.Metrics.job_times_ms m in
-    if not (Xmp_stats.Distribution.is_empty jobs) then
-      Printf.printf "jobs: %d, mean completion %.1f ms, >300ms %.1f%%\n"
-        (Xmp_stats.Distribution.count jobs)
-        (Xmp_stats.Distribution.mean jobs)
-        (100. *. Xmp_workload.Metrics.jobs_over_ms m 300.);
-    E.Render.subheading "link utilization by layer";
-    E.Render.five_number_table ~value_header:"layer"
-      (Xmp_workload.Driver.utilization_by_layer r);
-    E.Render.subheading "RTT by locality (ms)";
-    E.Render.five_number_table ~value_header:"locality"
-      (List.map
-         (fun (loc, d) -> (Xmp_net.Fat_tree.locality_name loc, d))
-         (Xmp_workload.Metrics.rtts_by_locality m));
-    Printf.printf "events executed: %d\n" r.Xmp_workload.Driver.events
+    print_eval base scheme pattern
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"One fat-tree run in detail")
     Term.(
       const run $ k_arity_t $ horizon_t $ seed_t $ marking_t $ queue_t
       $ beta_t $ sack_t $ scheme_t $ pattern_t)
+
+(* ----- sweep: the scenario runner exposed for user experiments ----- *)
+
+let jobs_t =
+  let doc = "Number of worker processes for the scenario runner." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let no_cache_t =
+  let doc = "Ignore and do not write _xmp_cache/ result entries." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let schemes_t =
+  let doc = "Comma-separated transfer schemes to sweep." in
+  Arg.(
+    value
+    & opt (list scheme_conv)
+        [ Scheme.Dctcp; Scheme.Lia 4; Scheme.Xmp 2; Scheme.Xmp 4 ]
+    & info [ "schemes" ] ~docv:"SCHEMES" ~doc)
+
+let patterns_t =
+  let doc = "Comma-separated traffic patterns to sweep." in
+  Arg.(
+    value
+    & opt (list pattern_conv)
+        [ E.Fatree_eval.Permutation; E.Fatree_eval.Random;
+          E.Fatree_eval.Incast ]
+    & info [ "patterns" ] ~docv:"PATTERNS" ~doc)
+
+let sweep_cmd =
+  let run k horizon seed mark queue beta sack schemes patterns jobs no_cache =
+    let base = base_of ~sack k horizon seed mark queue beta in
+    let scenarios =
+      List.concat_map
+        (fun scheme ->
+          List.map
+            (fun pattern ->
+              let pname =
+                String.lowercase_ascii (E.Fatree_eval.pattern_name pattern)
+              in
+              Xmp_runner.Scenario.create
+                ~name:
+                  (Printf.sprintf "eval:%s/%s" (Scheme.name scheme) pname)
+                ~descr:"one (scheme, pattern) fat-tree run in detail"
+                ~params:
+                  (("scheme", Scheme.name scheme)
+                  :: ("pattern", pname)
+                  :: E.Scenarios.base_params base)
+                (fun () -> print_eval base scheme pattern))
+            patterns)
+        schemes
+    in
+    let cache =
+      if no_cache then Runner.No_cache
+      else Runner.Cache_dir Xmp_runner.Cache.default_dir
+    in
+    ignore (Runner.run_and_print ~jobs ~cache scenarios)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Scheme-by-pattern evaluation matrix, run across worker processes \
+          with digest-keyed result caching")
+    Term.(
+      const run $ k_arity_t $ horizon_t $ seed_t $ marking_t $ queue_t
+      $ beta_t $ sack_t $ schemes_t $ patterns_t $ jobs_t $ no_cache_t)
 
 let coexist_cmd =
   let run k horizon seed mark beta =
@@ -207,7 +278,7 @@ let main_cmd =
     (Cmd.info "xmp_sim" ~version:"1.0.0" ~doc)
     [
       fig1_cmd; fig4_cmd; fig6_cmd; fig7_cmd; matrix_cmd; eval_cmd;
-      coexist_cmd; ablation_cmd;
+      sweep_cmd; coexist_cmd; ablation_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

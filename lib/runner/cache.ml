@@ -1,0 +1,78 @@
+let default_dir = "_xmp_cache"
+
+(* Entry layout: one header line, then the raw payload bytes.
+
+     xmp-cache 1 <md5hex-of-payload> <payload-length>\n
+     <payload>
+
+   The header's checksum and length make every failure mode detectable:
+   truncation changes the length, corruption changes the checksum, and a
+   file that never was an entry fails the header parse. *)
+
+let magic = "xmp-cache"
+let version = "1"
+
+let entry_path ~dir ~key =
+  (* keys are hex digests; refuse anything that could escape [dir] *)
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'f' | '0' .. '9' -> ()
+      | _ -> invalid_arg ("Cache: malformed key " ^ key))
+    key;
+  Filename.concat dir key
+
+let header payload =
+  Printf.sprintf "%s %s %s %d\n" magic version
+    (Digest.to_hex (Digest.string payload))
+    (String.length payload)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse entry =
+  match String.index_opt entry '\n' with
+  | None -> None
+  | Some nl -> (
+    let payload = String.sub entry (nl + 1) (String.length entry - nl - 1) in
+    match String.split_on_char ' ' (String.sub entry 0 nl) with
+    | [ m; v; sum; len ]
+      when m = magic && v = version
+           && int_of_string_opt len = Some (String.length payload)
+           && sum = Digest.to_hex (Digest.string payload) ->
+      Some payload
+    | _ -> None)
+
+let load ~dir ~key =
+  let path = entry_path ~dir ~key in
+  if not (Sys.file_exists path) then None
+  else
+    match parse (read_file path) with
+    | Some payload -> Some payload
+    | None | (exception Sys_error _) ->
+      (* corrupt / truncated / unreadable: drop it and recompute *)
+      (try Sys.remove path with Sys_error _ -> ());
+      None
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+
+let store ~dir ~key payload =
+  ensure_dir dir;
+  let path = entry_path ~dir ~key in
+  let tmp = Filename.concat dir (".tmp." ^ key) in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (header payload);
+     output_string oc payload;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

@@ -1,0 +1,22 @@
+(** Digest-keyed result cache on disk.
+
+    One file per completed scenario under a cache directory (default
+    [_xmp_cache/]), named by the scenario's content digest. Each entry
+    carries its own payload checksum and length, so a corrupted,
+    truncated or half-written entry is detected on load, discarded, and
+    recomputed instead of being served. Writes go through a temp file in
+    the same directory followed by an atomic rename, so a crash mid-write
+    can leave at most a stale [.tmp.*] file, never a bad entry. *)
+
+val default_dir : string
+(** ["_xmp_cache"], relative to the working directory. *)
+
+val load : dir:string -> key:string -> string option
+(** The verified payload for [key], or [None] if the entry is absent or
+    fails verification (in which case the bad file is removed). *)
+
+val store : dir:string -> key:string -> string -> unit
+(** Atomically (re)writes the entry for [key], creating [dir] if needed. *)
+
+val entry_path : dir:string -> key:string -> string
+(** Where [key]'s entry lives — exposed for tests that corrupt it. *)

@@ -166,10 +166,59 @@ let fat_tree_route_fuzz =
         !delivered
       end)
 
+(* ----- scenario digests (the runner's cache keys) ----- *)
+
+module Scenario = Xmp_runner.Scenario
+module Runner = Xmp_runner.Runner
+
+let scenario_digest_fuzz =
+  QCheck.Test.make ~count:300
+    ~name:"scenario digest: any param perturbation changes it"
+    QCheck.(
+      quad (int_range 0 100_000) (int_range 0 100_000) (int_range 1 1000)
+        (int_range 1 1000))
+    (fun (seed, size, dseed, dsize) ->
+      let mk seed size =
+        Scenario.create ~name:"fuzz"
+          ~params:
+            [ ("seed", string_of_int seed); ("size", string_of_int size) ]
+          (fun () -> ())
+      in
+      let d = Scenario.digest (mk seed size) in
+      String.equal d (Scenario.digest (mk seed size))
+      && (not (String.equal d (Scenario.digest (mk (seed + dseed) size))))
+      && (not (String.equal d (Scenario.digest (mk seed (size + dsize)))))
+      && not
+           (String.equal d
+              (Scenario.digest
+                 (Scenario.create ~name:"fuzz2"
+                    ~params:
+                      [
+                        ("seed", string_of_int seed);
+                        ("size", string_of_int size);
+                      ]
+                    (fun () -> ())))))
+
+let scenario_digest_semantics_fuzz =
+  QCheck.Test.make ~count:10
+    ~name:"equal scenario digests imply byte-equal results"
+    QCheck.(pair (int_range 0 500) (int_range 1 120))
+    (fun (seed, size) ->
+      (* two independently built scenarios with the same parameters:
+         same digest, and — determinism — the same rendered bytes *)
+      let a = Test_runner.tiny ~seed ~size in
+      let b = Test_runner.tiny ~seed ~size in
+      String.equal (Scenario.digest a) (Scenario.digest b)
+      && String.equal
+           (Runner.capture a.Scenario.run)
+           (Runner.capture b.Scenario.run))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest ~long:false tcp_transfer_fuzz;
     QCheck_alcotest.to_alcotest ~long:false mptcp_transfer_fuzz;
     QCheck_alcotest.to_alcotest ~long:false blackout_fuzz;
     QCheck_alcotest.to_alcotest ~long:false fat_tree_route_fuzz;
+    QCheck_alcotest.to_alcotest ~long:false scenario_digest_fuzz;
+    QCheck_alcotest.to_alcotest ~long:false scenario_digest_semantics_fuzz;
   ]
