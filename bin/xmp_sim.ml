@@ -6,6 +6,8 @@
      xmp_sim eval                     — one (scheme, pattern) run in detail
      xmp_sim sweep                    — scheme×pattern matrix through the
                                         parallel, cached scenario runner
+     xmp_sim trace                    — one instrumented run, flight
+                                        recording exported as CSV/JSONL
      xmp_sim coexist                  — Table 2
      xmp_sim ablation                 — parameter sweeps *)
 
@@ -251,6 +253,111 @@ let sweep_cmd =
       const run $ k_arity_t $ horizon_t $ seed_t $ marking_t $ queue_t
       $ beta_t $ sack_t $ schemes_t $ patterns_t $ jobs_t $ no_cache_t)
 
+(* ----- trace: one instrumented experiment, recording exported ----- *)
+
+module Tel = Xmp_telemetry
+
+let experiment_t =
+  let doc =
+    "Experiment to trace: $(b,fig1), $(b,fig4), $(b,fig6) or $(b,fig7)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("fig1", `Fig1); ("fig4", `Fig4); ("fig6", `Fig6); ("fig7", `Fig7) ]) `Fig4
+    & info [ "experiment" ] ~docv:"NAME" ~doc)
+
+let event_kind_conv =
+  let parse s =
+    if List.mem s Tel.Event.all_kinds then Ok s
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "unknown event kind %S (known: %s)" s
+              (String.concat ", " Tel.Event.all_kinds)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let events_filter_t =
+  let doc =
+    "Comma-separated event kinds to keep (e.g. $(b,ce-mark,cwnd-change)); \
+     default: all."
+  in
+  Arg.(
+    value
+    & opt (some (list event_kind_conv)) None
+    & info [ "events" ] ~docv:"KINDS" ~doc)
+
+let format_t =
+  let doc = "Stdout format when $(b,--out) is absent: $(b,csv) or $(b,jsonl)." in
+  Arg.(
+    value
+    & opt (enum [ ("csv", `Csv); ("jsonl", `Jsonl) ]) `Csv
+    & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+let out_t =
+  let doc =
+    "Write $(docv).csv and $(docv).jsonl (the event recording) plus \
+     $(docv).metrics.csv and $(docv).metrics.jsonl (the metrics registry) \
+     instead of printing to stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"PREFIX" ~doc)
+
+let capacity_t =
+  let doc = "Flight-recorder capacity in events (oldest are evicted)." in
+  Arg.(value & opt int 65536 & info [ "capacity" ] ~docv:"EVENTS" ~doc)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let trace_cmd =
+  let run experiment scale beta mark events format out capacity =
+    let sink = Tel.Sink.create ~recorder_capacity:capacity () in
+    (match experiment with
+    | `Fig1 -> ignore (E.Fig1.run ~scale ~telemetry:sink { E.Fig1.dctcp = true; k = mark })
+    | `Fig4 -> ignore (E.Fig4.run ~scale ~beta ~telemetry:sink ())
+    | `Fig6 -> ignore (E.Fig6.run ~scale ~beta ~telemetry:sink ())
+    | `Fig7 -> ignore (E.Fig7.run ~scale ~beta ~k:mark ~telemetry:sink ()));
+    let recorder = Tel.Sink.recorder sink in
+    let registry = Tel.Sink.registry sink in
+    let keep =
+      Option.map
+        (fun kinds ev -> List.mem (Tel.Event.kind ev) kinds)
+        events
+    in
+    let events_csv = Tel.Export.events_csv ?keep recorder in
+    let events_jsonl = Tel.Export.events_jsonl ?keep recorder in
+    (match out with
+    | Some prefix ->
+      write_file (prefix ^ ".csv") events_csv;
+      write_file (prefix ^ ".jsonl") events_jsonl;
+      write_file (prefix ^ ".metrics.csv") (Tel.Export.metrics_csv registry);
+      write_file (prefix ^ ".metrics.jsonl")
+        (Tel.Export.metrics_jsonl registry);
+      Printf.eprintf "[trace] wrote %s.{csv,jsonl,metrics.csv,metrics.jsonl}\n"
+        prefix
+    | None -> (
+      match format with
+      | `Csv -> print_string events_csv
+      | `Jsonl -> print_string events_jsonl));
+    Printf.eprintf
+      "[trace] %d events retained (%d recorded, %d evicted), %d metrics\n%!"
+      (Tel.Recorder.length recorder)
+      (Tel.Recorder.total recorder)
+      (Tel.Recorder.dropped recorder)
+      (Tel.Registry.cardinal registry)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one experiment with telemetry enabled and export its flight \
+          recording (and metrics registry) as CSV / JSONL")
+    Term.(
+      const run $ experiment_t $ scale_t $ beta_t $ marking_t
+      $ events_filter_t $ format_t $ out_t $ capacity_t)
+
 let coexist_cmd =
   let run k horizon seed mark beta =
     let base = base_of k horizon seed mark 100 beta in
@@ -278,7 +385,7 @@ let main_cmd =
     (Cmd.info "xmp_sim" ~version:"1.0.0" ~doc)
     [
       fig1_cmd; fig4_cmd; fig6_cmd; fig7_cmd; matrix_cmd; eval_cmd;
-      sweep_cmd; coexist_cmd; ablation_cmd;
+      sweep_cmd; trace_cmd; coexist_cmd; ablation_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -12,7 +12,7 @@ module Tcp = Xmp_transport.Tcp
 module D2tcp = Xmp_transport.D2tcp
 
 let () =
-  let sim = Sim.create ~seed:12 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 12 } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark 10)

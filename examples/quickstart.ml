@@ -15,7 +15,7 @@ module Flow = Xmp_mptcp.Mptcp_flow
 
 let () =
   (* 1. A simulator and an empty network. *)
-  let sim = Sim.create ~seed:42 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 42 } () in
   let net = Net.Network.create sim in
 
   (* 2. Switch queues: the paper's marking rule — CE-mark ECT packets when
@@ -39,11 +39,16 @@ let () =
       ~src:(Net.Testbed.left_id tb 0)
       ~dst:(Net.Testbed.right_id tb 0)
       ~paths:[ 0; 1 ] ~size_segments
-      ~on_complete:(fun f ->
-        Printf.printf "flow completed at %.3f s\n"
-          (Time.to_float_s (Sim.now sim));
-        Printf.printf "goodput: %.1f Mbps over two 1 Gbps paths\n"
-          (Flow.goodput_bps f /. 1e6))
+      ~observer:
+        {
+          Flow.silent with
+          on_complete =
+            (fun f ->
+              Printf.printf "flow completed at %.3f s\n"
+                (Time.to_float_s (Sim.now sim));
+              Printf.printf "goodput: %.1f Mbps over two 1 Gbps paths\n"
+                (Flow.goodput_bps f /. 1e6));
+        }
       ()
   in
 

@@ -20,7 +20,7 @@ let xmp_flow ~net ~flow ~src ~dst ~paths =
   Xmp_core.Xmp.flow ~net ~flow ~src ~dst ~paths ()
 
 let () =
-  let sim = Sim.create ~seed:3 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 3 } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark 15)

@@ -1,4 +1,5 @@
 module Cc = Xmp_transport.Cc
+module Tel = Xmp_telemetry
 
 type params = { beta : int; init_cwnd : float; min_cwnd : float }
 
@@ -33,6 +34,18 @@ let make ?(params = default_params) ?(delta = fun () -> 1.)
     }
   in
   let in_slow_start () = s.cwnd <= s.ssthresh in
+  let tel = view.Cc.telemetry in
+  (* one branch when the sink is disabled; called only after cwnd moved *)
+  let emit_cwnd () =
+    if Tel.Sink.active tel.Tel.Sink.sink then
+      Tel.Sink.event tel.Tel.Sink.sink ~time_ns:(view.Cc.now ())
+        (Tel.Event.Cwnd_change
+           {
+             flow = tel.Tel.Sink.flow;
+             subflow = tel.Tel.Sink.subflow;
+             cwnd = s.cwnd;
+           })
+  in
   let on_ack ~ack ~newly_acked:_ ~ce_count:_ =
     (* per-round operations (Algorithm 1) *)
     if ack > s.beg_seq then begin
@@ -40,13 +53,17 @@ let make ?(params = default_params) ?(delta = fun () -> 1.)
         s.adder <- s.adder +. delta ();
         let whole = Float.of_int (int_of_float s.adder) in
         s.cwnd <- s.cwnd +. whole;
-        s.adder <- s.adder -. whole
+        s.adder <- s.adder -. whole;
+        if whole > 0. then emit_cwnd ()
       end;
       s.beg_seq <- s.view.Cc.snd_nxt ();
       on_round ()
     end;
     (* per-ack operations *)
-    if s.reduction = Normal && in_slow_start () then s.cwnd <- s.cwnd +. 1.;
+    if s.reduction = Normal && in_slow_start () then begin
+      s.cwnd <- s.cwnd +. 1.;
+      emit_cwnd ()
+    end;
     if s.reduction <> Normal && ack >= s.cwr_seq then s.reduction <- Normal
   in
   let on_ecn ~count:_ =
@@ -55,7 +72,8 @@ let make ?(params = default_params) ?(delta = fun () -> 1.)
       s.cwr_seq <- s.view.Cc.snd_nxt ();
       if not (in_slow_start ()) then begin
         let cut = Float.max (s.cwnd /. float_of_int s.params.beta) 1. in
-        s.cwnd <- Float.max (s.cwnd -. cut) s.params.min_cwnd
+        s.cwnd <- Float.max (s.cwnd -. cut) s.params.min_cwnd;
+        emit_cwnd ()
       end;
       (* leave (or stay out of) slow start without re-entering it *)
       s.ssthresh <- s.cwnd -. 1.
@@ -63,11 +81,13 @@ let make ?(params = default_params) ?(delta = fun () -> 1.)
   in
   let on_fast_retransmit () =
     s.cwnd <- Float.max (s.cwnd /. 2.) s.params.min_cwnd;
-    s.ssthresh <- s.cwnd -. 1.
+    s.ssthresh <- s.cwnd -. 1.;
+    emit_cwnd ()
   in
   let on_timeout () =
     s.ssthresh <- Float.max (s.cwnd /. 2.) s.params.min_cwnd;
-    s.cwnd <- 1.
+    s.cwnd <- 1.;
+    emit_cwnd ()
   in
   {
     Cc.name = "bos";

@@ -16,9 +16,7 @@ let switch_disc ?(params = Params.default) ?(queue_pkts = 100) () () =
     ~policy:(Queue_disc.Threshold_mark params.Params.k)
     ~capacity_pkts:queue_pkts
 
-let flow ~net ~flow ~src ~dst ~paths ?params ?size_segments ?on_complete
-    ?on_subflow_acked ?on_rtt_sample () =
+let flow ~net ~flow ~src ~dst ~paths ?params ?size_segments ?observer () =
   let coupling = Trash.coupling ?params () in
   Xmp_mptcp.Mptcp_flow.create ~net ~flow ~src ~dst ~paths ~coupling
-    ~config:tcp_config ?size_segments ?on_complete ?on_subflow_acked
-    ?on_rtt_sample ()
+    ~config:tcp_config ?size_segments ?observer ()

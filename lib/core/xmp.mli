@@ -49,9 +49,9 @@ val flow :
   paths:int list ->
   ?params:Bos.params ->
   ?size_segments:int ->
-  ?on_complete:(Xmp_mptcp.Mptcp_flow.t -> unit) ->
-  ?on_subflow_acked:(int -> int -> unit) ->
-  ?on_rtt_sample:(Xmp_engine.Time.t -> unit) ->
+  ?observer:Xmp_mptcp.Mptcp_flow.observer ->
   unit ->
   Xmp_mptcp.Mptcp_flow.t
-(** An MPTCP flow running XMP with the paper's transport settings. *)
+(** An MPTCP flow running XMP with the paper's transport settings.
+    [observer] (default {!Xmp_mptcp.Mptcp_flow.silent}) receives the
+    flow's lifecycle events. *)

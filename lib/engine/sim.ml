@@ -8,12 +8,28 @@ type t = {
   mutable next_seq : int;
   mutable executed : int;
   random : Random.State.t;
+  telemetry : Xmp_telemetry.Sink.t;
 }
 
 module Invariant = Xmp_check.Invariant
 
-let create ?(seed = 42) ?invariants () =
-  (match invariants with
+type config = {
+  seed : int;
+  invariants : bool option;
+  telemetry : Xmp_telemetry.Sink.t;
+}
+
+let default_config =
+  { seed = 42; invariants = None; telemetry = Xmp_telemetry.Sink.null }
+
+(* process-wide tally across every simulator instance; the scenario runner
+   reads deltas of this to report events-per-scenario from its workers *)
+let total = ref 0
+
+let total_events_executed () = !total
+
+let create ?(config = default_config) () =
+  (match config.invariants with
   | Some b -> Invariant.set_enabled b
   | None -> ());
   {
@@ -21,11 +37,16 @@ let create ?(seed = 42) ?invariants () =
     heap = Event_queue.create ();
     next_seq = 0;
     executed = 0;
-    random = Random.State.make [| seed; 0x584d50 (* "XMP" *) |];
+    random = Random.State.make [| config.seed; 0x584d50 (* "XMP" *) |];
+    telemetry = config.telemetry;
   }
+
+let create_legacy ?(seed = 42) ?invariants () =
+  create ~config:{ default_config with seed; invariants } ()
 
 let now t = t.now
 let rng t = t.random
+let telemetry (t : t) = t.telemetry
 let events_executed t = t.executed
 let pending t = Event_queue.length t.heap
 
@@ -58,6 +79,7 @@ let step t =
     if ev.live then begin
       ev.live <- false;
       t.executed <- t.executed + 1;
+      incr total;
       ev.run ()
     end;
     true

@@ -1,27 +1,53 @@
 (** Discrete-event simulator.
 
-    A simulator owns a clock, an event heap and a deterministic random state.
-    Events are thunks fired in strict timestamp order (ties resolved by
-    scheduling order). Scheduling in the past is a programming error and
-    raises [Invalid_argument]. *)
+    A simulator owns a clock, an event heap, a deterministic random state
+    and a telemetry sink. Events are thunks fired in strict timestamp order
+    (ties resolved by scheduling order). Scheduling in the past is a
+    programming error and raises [Invalid_argument]. *)
 
 type t
 
 type timer
 (** Handle to a cancellable scheduled event. *)
 
-val create : ?seed:int -> ?invariants:bool -> unit -> t
-(** [create ?seed ?invariants ()] makes a fresh simulator at time 0. The
-    random state is seeded with [seed] (default 42), so runs are
-    reproducible. [invariants], when given, sets the global
-    {!Xmp_check.Invariant} toggle for this run (checks default to on). *)
+type config = {
+  seed : int;  (** random-state seed; runs with equal seeds are identical *)
+  invariants : bool option;
+      (** when [Some b], sets the global {!Xmp_check.Invariant} toggle for
+          this run; [None] leaves it as is (checks default to on) *)
+  telemetry : Xmp_telemetry.Sink.t;
+      (** sink shared with every component built over this simulator;
+          {!Xmp_telemetry.Sink.null} disables instrumentation *)
+}
+
+val default_config : config
+(** [{ seed = 42; invariants = None; telemetry = Sink.null }] — override
+    fields with record update syntax:
+    [Sim.create ~config:{ Sim.default_config with seed = 7 } ()]. *)
+
+val create : ?config:config -> unit -> t
+(** A fresh simulator at time 0 (default {!default_config}). *)
+
+val create_legacy : ?seed:int -> ?invariants:bool -> unit -> t
+[@@ocaml.deprecated
+  "use Sim.create ?config () with a Sim.config record instead"]
+(** The pre-telemetry construction API, kept for one release as a
+    compatibility shim over {!create}. *)
 
 val now : t -> Time.t
 
 val rng : t -> Random.State.t
 
+val telemetry : t -> Xmp_telemetry.Sink.t
+(** The sink this simulator was created with. *)
+
 val events_executed : t -> int
 (** Number of events fired so far (a cheap progress/work metric). *)
+
+val total_events_executed : unit -> int
+(** Process-wide event tally across every simulator instance, for harnesses
+    (e.g. the scenario runner's workers) that report work done per task as
+    a delta of this counter. *)
 
 val pending : t -> int
 (** Number of events still queued (including cancelled timers not yet

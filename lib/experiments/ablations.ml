@@ -23,7 +23,7 @@ let print_beta_sweep ?scale ?(betas = [ 2; 3; 4; 5; 6; 8 ]) () =
    utilization should cross ~1 at the Equation 1 bound and RTT should
    grow linearly in K beyond it. *)
 let k_sweep_point ~k ~beta =
-  let sim = Sim.create ~seed:23 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 23 } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark k)
@@ -44,8 +44,12 @@ let k_sweep_point ~k ~beta =
        ~paths:[ 0 ]
        ~coupling:(Xmp_core.Trash.coupling ~params ())
        ~config:Xmp_core.Xmp.tcp_config
-       ~on_rtt_sample:(fun rtt ->
-         Xmp_stats.Running.add rtts (Time.to_us rtt))
+       ~observer:
+         {
+           Mptcp_flow.silent with
+           on_rtt_sample =
+             (fun rtt -> Xmp_stats.Running.add rtts (Time.to_us rtt));
+         }
        ());
   let horizon = Time.sec 0.5 in
   Sim.run ~until:horizon sim;
@@ -235,7 +239,7 @@ let print_rto_min_sweep ?(base = Fatree_eval.default_base) () =
 
 (* Sample the bottleneck queue occupancy under four same-scheme flows. *)
 let queue_occupancy_point ~beta ~k scheme =
-  let sim = Sim.create ~seed:29 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 29 } () in
   let net = Net.Network.create sim in
   let policy =
     if Scheme.uses_ecn scheme then Net.Queue_disc.Threshold_mark k

@@ -27,10 +27,10 @@ let variant_name v =
 
 let rate = Net.Units.gbps 1.
 
-let run ?(scale = 0.2) ?(seed = 7) v =
+let run ?(scale = 0.2) ?(seed = 7) ?(telemetry = Xmp_telemetry.Sink.null) v =
   let interval = 5. *. scale in
   let horizon_s = 7. *. interval in
-  let sim = Sim.create ~seed () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed; telemetry } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark v.k)
@@ -71,7 +71,11 @@ let run ?(scale = 0.2) ?(seed = 7) v =
                ~src:(Net.Testbed.left_id tb i)
                ~dst:(Net.Testbed.right_id tb i)
                ~paths:[ 0 ] ~coupling ~config
-               ~on_subflow_acked:(fun _ n -> rec_fn n)
+               ~observer:
+                 {
+                   Mptcp_flow.silent with
+                   on_subflow_acked = (fun _ n -> rec_fn n);
+                 }
                ()))
   done;
   (* stop flows 1..3 one by one; flow 4 runs to the end *)

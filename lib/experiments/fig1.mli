@@ -26,10 +26,14 @@ type result = {
 val variants : variant list
 (** The paper's four panels: DCTCP/halving × K ∈ \{10, 20\}. *)
 
-val run : ?scale:float -> ?seed:int -> variant -> result
+val run :
+  ?scale:float -> ?seed:int -> ?telemetry:Xmp_telemetry.Sink.t -> variant ->
+  result
 (** [scale] multiplies the paper's 5 s schedule interval (default 0.2,
     i.e. flows arrive/leave every second — convergence takes
-    milliseconds, so the dwell time is still ≫ 100× convergence). *)
+    milliseconds, so the dwell time is still ≫ 100× convergence).
+    [telemetry] (default the null sink) instruments the run for
+    [xmp_sim trace]. *)
 
 val print : result -> unit
 

@@ -13,18 +13,19 @@ type result = {
 
 let bottleneck_rate = Net.Units.mbps 300.
 
-let xmp_flow ~net ~beta ~flow ~src ~dst ~paths ?on_subflow_acked () =
+let xmp_flow ~net ~beta ~flow ~src ~dst ~paths ?observer () =
   let params = { Xmp_core.Bos.default_params with beta } in
   Mptcp_flow.create ~net ~flow ~src ~dst ~paths
     ~coupling:(Xmp_core.Trash.coupling ~params ())
-    ~config:Xmp_core.Xmp.tcp_config ?on_subflow_acked ()
+    ~config:Xmp_core.Xmp.tcp_config ?observer ()
 
-let run ?(scale = 0.2) ?(seed = 11) ~beta () =
+let run ?(scale = 0.2) ?(seed = 11) ?(telemetry = Xmp_telemetry.Sink.null)
+    ~beta () =
   let unit_s = 10. *. scale in
   (* paper schedule: bg on DN1 during [10,20) s, bg on DN2 during
      [20,30) s, run ends at 40 s *)
   let horizon_s = 4. *. unit_s in
-  let sim = Sim.create ~seed () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed; telemetry } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark 15)
@@ -45,7 +46,11 @@ let run ?(scale = 0.2) ?(seed = 11) ~beta () =
       ~src:(Net.Testbed.left_id tb host)
       ~dst:(Net.Testbed.right_id tb host)
       ~paths
-      ~on_subflow_acked:(fun idx n -> recorders.(idx) n)
+      ~observer:
+        {
+          Mptcp_flow.silent with
+          on_subflow_acked = (fun idx n -> recorders.(idx) n);
+        }
       ()
   in
   ignore (launch ~flow:1 ~host:0 ~paths:[ 0 ] ~probe_names:[ "Flow 1" ]);

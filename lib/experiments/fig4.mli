@@ -22,7 +22,11 @@ type result = {
       (** Flow 2's total rate while DN1 is loaded / its unloaded total *)
 }
 
-val run : ?scale:float -> ?seed:int -> beta:int -> unit -> result
+val run :
+  ?scale:float -> ?seed:int -> ?telemetry:Xmp_telemetry.Sink.t -> beta:int ->
+  unit -> result
+(** [telemetry] (default the null sink) instruments the run for
+    [xmp_sim trace]. *)
 
 val print : result -> unit
 

@@ -13,10 +13,11 @@ type result = {
 
 let bottleneck_rate = Net.Units.mbps 300.
 
-let run ?(scale = 0.2) ?(seed = 13) ~beta () =
+let run ?(scale = 0.2) ?(seed = 13) ?(telemetry = Xmp_telemetry.Sink.null)
+    ~beta () =
   let unit_s = 5. *. scale in
   let horizon_s = 6. *. unit_s (* paper: 30 s *) in
-  let sim = Sim.create ~seed () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed; telemetry } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark 15)
@@ -48,7 +49,11 @@ let run ?(scale = 0.2) ?(seed = 13) ~beta () =
         ~paths:(List.init n_initial (fun _ -> 0))
         ~coupling:(Xmp_core.Trash.coupling ~params ())
         ~config:Xmp_core.Xmp.tcp_config
-        ~on_subflow_acked:(fun idx n -> !recorders.(idx) n)
+        ~observer:
+          {
+            Mptcp_flow.silent with
+            on_subflow_acked = (fun idx n -> !recorders.(idx) n);
+          }
         ()
     in
     (f, add_recorder)

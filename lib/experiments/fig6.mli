@@ -17,7 +17,11 @@ type result = {
           (the window just after Flow 2 joins) *)
 }
 
-val run : ?scale:float -> ?seed:int -> beta:int -> unit -> result
+val run :
+  ?scale:float -> ?seed:int -> ?telemetry:Xmp_telemetry.Sink.t -> beta:int ->
+  unit -> result
+(** [telemetry] (default the null sink) instruments the run for
+    [xmp_sim trace]. *)
 
 val print : result -> unit
 

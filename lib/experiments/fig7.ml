@@ -12,10 +12,11 @@ type result = {
 
 let capacities_gbps = [ 0.8; 1.2; 2.0; 1.5; 0.5 ]
 
-let run ?(scale = 0.2) ?(seed = 17) ~beta ~k () =
+let run ?(scale = 0.2) ?(seed = 17) ?(telemetry = Xmp_telemetry.Sink.null)
+    ~beta ~k () =
   let unit_s = 5. *. scale in
   let horizon_s = 14. *. unit_s (* paper: 70 s *) in
-  let sim = Sim.create ~seed () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed; telemetry } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark k)
@@ -50,7 +51,11 @@ let run ?(scale = 0.2) ?(seed = 17) ~beta ~k () =
              ~paths:[ i; (i + 1) mod 5 ]
              ~coupling:(Xmp_core.Trash.coupling ~params ())
              ~config:Xmp_core.Xmp.tcp_config
-             ~on_subflow_acked:(fun idx n -> recorders.(idx) n)
+             ~observer:
+               {
+                 Mptcp_flow.silent with
+                 on_subflow_acked = (fun idx n -> recorders.(idx) n);
+               }
              ()))
   done;
   (* four background flows on L3 (index 2): arrive at units 5..8, leave at

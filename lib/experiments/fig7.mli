@@ -21,7 +21,11 @@ type result = {
           1 Gbps; one value per schedule interval *)
 }
 
-val run : ?scale:float -> ?seed:int -> beta:int -> k:int -> unit -> result
+val run :
+  ?scale:float -> ?seed:int -> ?telemetry:Xmp_telemetry.Sink.t -> beta:int ->
+  k:int -> unit -> result
+(** [telemetry] (default the null sink) instruments the run for
+    [xmp_sim trace]. *)
 
 val print : result -> unit
 

@@ -2,6 +2,7 @@ module Time = Xmp_engine.Time
 module Network = Xmp_net.Network
 module Tcp = Xmp_transport.Tcp
 module Packet = Xmp_net.Packet
+module Tel = Xmp_telemetry
 
 type t = {
   net : Network.t;
@@ -17,12 +18,21 @@ type t = {
   mutable n_done : int;
   mutable completed_at : Time.t option;
   started_at : Time.t;
+  observer : observer;
+}
+
+and observer = {
   on_complete : t -> unit;
   on_subflow_acked : int -> int -> unit;
   on_rtt_sample : Time.t -> unit;
 }
 
-let nop2 _ _ = ()
+let silent =
+  {
+    on_complete = (fun _ -> ());
+    on_subflow_acked = (fun _ _ -> ());
+    on_rtt_sample = (fun _ -> ());
+  }
 
 module Invariant = Xmp_check.Invariant
 
@@ -48,8 +58,14 @@ let check_complete t =
   check_conservation t;
   if t.n_done = Array.length t.subflows && Option.is_none t.completed_at
   then begin
-    t.completed_at <- Some (Xmp_engine.Sim.now (Network.sim t.net));
-    t.on_complete t
+    let sim = Network.sim t.net in
+    let now = Xmp_engine.Sim.now sim in
+    t.completed_at <- Some now;
+    let tel = Xmp_engine.Sim.telemetry sim in
+    if Tel.Sink.active tel then
+      Tel.Sink.event tel ~time_ns:now
+        (Tel.Event.Flow_complete { flow = t.flow; acked = t.acked });
+    t.observer.on_complete t
   end
 
 let launch_subflow t ~path =
@@ -59,8 +75,8 @@ let launch_subflow t ~path =
       ~path ~cc:(t.group_factory idx) ?config:t.config ~source:t.source
       ~on_segment_acked:(fun n ->
         t.acked <- t.acked + n;
-        t.on_subflow_acked idx n)
-      ~on_rtt_sample:t.on_rtt_sample
+        t.observer.on_subflow_acked idx n)
+      ~on_rtt_sample:t.observer.on_rtt_sample
       ~on_complete:(fun () ->
         t.n_done <- t.n_done + 1;
         check_complete t)
@@ -73,8 +89,7 @@ let launch_subflow t ~path =
   conn
 
 let create ~net ~flow ~src ~dst ~paths ~coupling ?config ?size_segments
-    ?(on_complete = fun _ -> ()) ?(on_subflow_acked = nop2)
-    ?(on_rtt_sample = fun _ -> ()) () =
+    ?(observer = silent) () =
   if paths = [] then invalid_arg "Mptcp_flow.create: paths";
   let sim = Network.sim net in
   let source =
@@ -99,9 +114,7 @@ let create ~net ~flow ~src ~dst ~paths ~coupling ?config ?size_segments
       n_done = 0;
       completed_at = None;
       started_at = Xmp_engine.Sim.now sim;
-      on_complete;
-      on_subflow_acked;
-      on_rtt_sample;
+      observer;
     }
   in
   List.iter (fun path -> ignore (launch_subflow t ~path)) paths;

@@ -10,6 +10,24 @@
 
 type t
 
+type observer = {
+  on_complete : t -> unit;
+      (** fires once, when all segments of a sized flow are acknowledged *)
+  on_subflow_acked : int -> int -> unit;
+      (** [on_subflow_acked idx n]: subflow [idx] got [n] segments newly
+          acknowledged *)
+  on_rtt_sample : Xmp_engine.Time.t -> unit;
+      (** a fresh RTT sample on any subflow *)
+}
+(** Callbacks into the application for flow lifecycle events. Build one
+    with record update over {!silent}:
+    [{ Mptcp_flow.silent with on_complete = ... }]. For rate/occupancy
+    series prefer the simulator's telemetry sink; an observer is for
+    logic that must react (experiment probes, workload drivers). *)
+
+val silent : observer
+(** Ignores everything — the default observer. *)
+
 val create :
   net:Xmp_net.Network.t ->
   flow:int ->
@@ -19,16 +37,12 @@ val create :
   coupling:Coupling.t ->
   ?config:Xmp_transport.Tcp.config ->
   ?size_segments:int ->
-  ?on_complete:(t -> unit) ->
-  ?on_subflow_acked:(int -> int -> unit) ->
-  ?on_rtt_sample:(Xmp_engine.Time.t -> unit) ->
+  ?observer:observer ->
   unit ->
   t
 (** One subflow per element of [paths] (the subflow's path selector).
-    [size_segments = None] means an unbounded bulk flow.
-    [on_subflow_acked idx n] fires when subflow [idx] gets [n] segments
-    newly acknowledged. [on_complete] fires once all segments of a sized
-    flow are acknowledged. *)
+    [size_segments = None] means an unbounded bulk flow. [observer]
+    defaults to {!silent}. *)
 
 val add_subflow : t -> path:int -> Xmp_transport.Tcp.t
 (** Establishes an additional subflow on [path] (Figure 6's staggered

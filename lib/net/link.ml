@@ -2,6 +2,8 @@ module Sim = Xmp_engine.Sim
 module Time = Xmp_engine.Time
 module Invariant = Xmp_check.Invariant
 
+module Tel = Xmp_telemetry
+
 type t = {
   sim : Sim.t;
   id : int;
@@ -14,12 +16,30 @@ type t = {
   mutable up : bool;
   mutable bytes_sent : int;
   mutable packets_sent : int;
+  (* resolved once at creation iff the sim's sink is active *)
+  c_tx_packets : Tel.Metric.Counter.t option;
+  c_tx_bytes : Tel.Metric.Counter.t option;
 }
 
 let no_receiver _ = failwith "Link: receiver not attached"
 
 let create ~sim ~id ~name ~rate ~delay ~disc =
   if rate <= 0 then invalid_arg "Link.create: rate";
+  let sink = Sim.telemetry sim in
+  Queue_disc.set_telemetry disc ~sink ~now:(fun () -> Sim.now sim) ~queue:name;
+  let c_tx_packets, c_tx_bytes =
+    if Tel.Sink.active sink then begin
+      let reg = Tel.Sink.registry sink in
+      let labels = Tel.Label.v [ ("link", name) ] in
+      ( Some
+          (Tel.Registry.counter reg ~labels ~subsystem:"net" ~name:"tx_packets"
+             ()),
+        Some
+          (Tel.Registry.counter reg ~labels ~subsystem:"net" ~name:"tx_bytes"
+             ()) )
+    end
+    else (None, None)
+  in
   {
     sim;
     id;
@@ -32,6 +52,8 @@ let create ~sim ~id ~name ~rate ~delay ~disc =
     up = true;
     bytes_sent = 0;
     packets_sent = 0;
+    c_tx_packets;
+    c_tx_bytes;
   }
 
 let set_receiver t f = t.receiver <- f
@@ -54,6 +76,13 @@ let rec transmit t (p : Packet.t) =
   Sim.after t.sim tx (fun () ->
       t.bytes_sent <- t.bytes_sent + p.size;
       t.packets_sent <- t.packets_sent + 1;
+      (match t.c_tx_packets with
+      | Some c ->
+        Tel.Metric.Counter.inc c;
+        (match t.c_tx_bytes with
+        | Some b -> Tel.Metric.Counter.inc b ~by:p.size
+        | None -> ())
+      | None -> ());
       (* Propagation: the packet is on the wire while the next one
          serializes. Deliver only if the link is still up. *)
       if t.up then

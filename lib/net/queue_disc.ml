@@ -1,4 +1,5 @@
 module Invariant = Xmp_check.Invariant
+module Tel = Xmp_telemetry
 
 type red_params = {
   wq : float;
@@ -12,6 +13,19 @@ let default_red =
   { wq = 0.002; min_th = 5.; max_th = 15.; max_p = 0.1; mark_ecn = true }
 
 type policy = Droptail | Threshold_mark of int | Red of red_params
+
+(* telemetry bundle, present exactly when the owning sim's sink is active;
+   handles are resolved once in [set_telemetry] so the per-packet cost of a
+   disabled sink is the single [t.telem] branch *)
+type telem = {
+  sink : Tel.Sink.t;
+  now : unit -> int;  (* simulated nanoseconds, supplied by the link *)
+  queue : string;
+  c_enqueued : Tel.Metric.Counter.t;
+  c_dropped : Tel.Metric.Counter.t;
+  c_marked : Tel.Metric.Counter.t;
+  h_depth : Tel.Metric.Histogram.t;
+}
 
 type t = {
   policy : policy;
@@ -28,6 +42,7 @@ type t = {
   occupancy : Xmp_stats.Running.t;
   mutable on_drop : (Packet.t -> unit) option;
   mutable on_mark : (Packet.t -> unit) option;
+  mutable telem : telem option;
 }
 
 let create ~policy ~capacity_pkts =
@@ -46,7 +61,33 @@ let create ~policy ~capacity_pkts =
     occupancy = Xmp_stats.Running.create ();
     on_drop = None;
     on_mark = None;
+    telem = None;
   }
+
+let set_telemetry t ~sink ~now ~queue =
+  if Tel.Sink.active sink then begin
+    let reg = Tel.Sink.registry sink in
+    let labels = Tel.Label.v [ ("queue", queue) ] in
+    t.telem <-
+      Some
+        {
+          sink;
+          now;
+          queue;
+          c_enqueued =
+            Tel.Registry.counter reg ~labels ~subsystem:"net" ~name:"enqueued"
+              ();
+          c_dropped =
+            Tel.Registry.counter reg ~labels ~subsystem:"net" ~name:"dropped"
+              ();
+          c_marked =
+            Tel.Registry.counter reg ~labels ~subsystem:"net" ~name:"marked" ();
+          h_depth =
+            Tel.Registry.histogram reg ~labels ~subsystem:"net"
+              ~name:"queue_depth" ();
+        }
+  end
+  else t.telem <- None
 
 let policy t = t.policy
 let capacity t = t.capacity
@@ -56,6 +97,14 @@ let mark t (p : Packet.t) =
   if p.ect && not p.ce then begin
     p.ce <- true;
     t.marked <- t.marked + 1;
+    (match t.telem with
+    | Some tl ->
+      Tel.Metric.Counter.inc tl.c_marked;
+      Tel.Sink.event tl.sink ~time_ns:(tl.now ())
+        (Tel.Event.Ce_mark
+           { queue = tl.queue; flow = p.flow; subflow = p.subflow;
+             depth = t.len })
+    | None -> ());
     match t.on_mark with Some f -> f p | None -> ()
   end
 
@@ -89,17 +138,34 @@ let red_decision t params =
     else `Pass
   end
 
-let append t p =
+let append t (p : Packet.t) =
   Queue.push p t.q;
   t.len <- t.len + 1;
   t.enqueued <- t.enqueued + 1;
   if t.len > t.max_len then t.max_len <- t.len;
+  (match t.telem with
+  | Some tl ->
+    Tel.Metric.Counter.inc tl.c_enqueued;
+    Tel.Metric.Histogram.add tl.h_depth (float_of_int t.len);
+    Tel.Sink.event tl.sink ~time_ns:(tl.now ())
+      (Tel.Event.Enqueue
+         { queue = tl.queue; flow = p.flow; subflow = p.subflow;
+           depth = t.len })
+  | None -> ());
   Invariant.require ~name:"queue.occupancy-bounds"
     (t.len >= 0 && t.len <= t.capacity) (fun () ->
       Printf.sprintf "occupancy %d outside [0, %d]" t.len t.capacity)
 
-let drop t p =
+let drop t (p : Packet.t) =
   t.dropped <- t.dropped + 1;
+  (match t.telem with
+  | Some tl ->
+    Tel.Metric.Counter.inc tl.c_dropped;
+    Tel.Sink.event tl.sink ~time_ns:(tl.now ())
+      (Tel.Event.Drop
+         { queue = tl.queue; flow = p.flow; subflow = p.subflow;
+           depth = t.len })
+  | None -> ());
   (match t.on_drop with Some f -> f p | None -> ());
   false
 
@@ -139,7 +205,15 @@ let dequeue t =
     t.len <- t.len - 1;
     Invariant.require ~name:"queue.occupancy-bounds" (t.len >= 0) (fun () ->
         Printf.sprintf "occupancy %d went negative" t.len);
-    Some (Queue.pop t.q)
+    let p = Queue.pop t.q in
+    (match t.telem with
+    | Some tl ->
+      Tel.Sink.event tl.sink ~time_ns:(tl.now ())
+        (Tel.Event.Dequeue
+           { queue = tl.queue; flow = p.flow; subflow = p.subflow;
+             depth = t.len })
+    | None -> ());
+    Some p
   end
 
 let clear t =

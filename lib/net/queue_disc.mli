@@ -73,3 +73,12 @@ val set_hooks :
   unit
 (** Per-packet observers for tracing. Unset hooks cost one branch per
     enqueue. Calling again replaces both hooks (omitted = removed). *)
+
+val set_telemetry :
+  t -> sink:Xmp_telemetry.Sink.t -> now:(unit -> int) -> queue:string -> unit
+(** Attaches the owning simulation's telemetry sink (normally done by
+    {!Link.create}): resolves per-queue counters / a depth histogram under
+    labels [queue=<queue>] and emits enqueue / dequeue / CE-mark / drop
+    events stamped with [now ()] (simulated nanoseconds). With a disabled
+    sink this resolves nothing and every per-packet site stays a single
+    branch. *)

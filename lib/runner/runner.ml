@@ -11,6 +11,7 @@ type outcome = {
   output : string;
   from_cache : bool;
   elapsed_s : float;
+  events : int;
 }
 
 type stats = { hits : int; misses : int; wall_s : float }
@@ -71,8 +72,11 @@ let capture f =
 
 (* Protocol: parent sends one scenario index per line on the work pipe
    ("q" = no more work); the child runs it with stdout captured into
-   result_file(i) and answers "<i> <elapsed_s>" on the done pipe. All
-   messages are far below PIPE_BUF, so writes are atomic. *)
+   result_file(i) and answers "<i> <elapsed_s> <events>" on the done
+   pipe, where <events> is the number of simulation events the scenario
+   executed (the process-wide counter delta, so it also covers nested
+   simulations). All messages are far below PIPE_BUF, so writes are
+   atomic. *)
 
 let child_loop scenarios ~result_file ~work_r ~done_w =
   let ic = Unix.in_channel_of_descr work_r in
@@ -84,9 +88,13 @@ let child_loop scenarios ~result_file ~work_r ~done_w =
       let i = int_of_string line in
       let sc = scenarios.(i) in
       let t0 = Unix.gettimeofday () in
+      let e0 = Xmp_engine.Sim.total_events_executed () in
       match capture_to_file (result_file i) sc.Scenario.run with
       | () ->
-        send_line done_w (Printf.sprintf "%d %.6f" i (Unix.gettimeofday () -. t0));
+        send_line done_w
+          (Printf.sprintf "%d %.6f %d" i
+             (Unix.gettimeofday () -. t0)
+             (Xmp_engine.Sim.total_events_executed () - e0));
         loop ()
       | exception e ->
         Printf.eprintf "[runner] scenario %s raised: %s\n%!" sc.Scenario.name
@@ -200,8 +208,9 @@ let execute_pool scenarios ~jobs ~result_file ~pending ~on_done =
                    String.split_on_char '\n' (String.sub s 0 last)
                    |> List.iter (fun line ->
                           match String.split_on_char ' ' line with
-                          | [ i; dt ] ->
-                            on_done (int_of_string i) (float_of_string dt);
+                          | [ i; dt; ev ] ->
+                            on_done (int_of_string i) (float_of_string dt)
+                              (int_of_string ev);
                             assign w
                           | _ -> fail ("bad worker message: " ^ line))
                end
@@ -269,7 +278,7 @@ let run ?(jobs = 1) ?(cache = Cache_dir Cache.default_dir) ?(progress = true)
     done
   in
   let hits = ref 0 in
-  let settle i ~output ~from_cache ~elapsed_s =
+  let settle i ~output ~from_cache ~elapsed_s ~events =
     outcomes.(i) <-
       Some
         {
@@ -278,6 +287,7 @@ let run ?(jobs = 1) ?(cache = Cache_dir Cache.default_dir) ?(progress = true)
           output;
           from_cache;
           elapsed_s;
+          events;
         };
     emit_ready ()
   in
@@ -297,7 +307,7 @@ let run ?(jobs = 1) ?(cache = Cache_dir Cache.default_dir) ?(progress = true)
         progress_line "[runner] %-18s cache hit  (%s)\n%!"
           scenarios.(i).Scenario.name
           (String.sub digests.(i) 0 8);
-      settle i ~output ~from_cache:true ~elapsed_s:0.
+      settle i ~output ~from_cache:true ~elapsed_s:0. ~events:0
     | None ->
       if not (Hashtbl.mem first_of_digest digests.(i)) then begin
         Hashtbl.add first_of_digest digests.(i) i;
@@ -309,20 +319,21 @@ let run ?(jobs = 1) ?(cache = Cache_dir Cache.default_dir) ?(progress = true)
   let n_to_run = List.length pending in
   with_tmpdir (fun tmpdir ->
       let result_file i = Filename.concat tmpdir ("out." ^ string_of_int i) in
-      let on_done i elapsed_s =
+      let on_done i elapsed_s events =
         let output = read_file (result_file i) in
         (match cache with
         | No_cache -> ()
         | Cache_dir dir -> Cache.store ~dir ~key:digests.(i) output);
         incr done_count;
         if progress then
-          progress_line "[runner] %-18s finished in %6.1fs  (%d/%d)\n%!"
-            scenarios.(i).Scenario.name elapsed_s !done_count n_to_run;
+          progress_line
+            "[runner] %-18s finished in %6.1fs  %9d events  (%d/%d)\n%!"
+            scenarios.(i).Scenario.name elapsed_s events !done_count n_to_run;
         (* settle every scenario sharing this digest *)
         Array.iteri
           (fun j d ->
             if String.equal d digests.(i) && Option.is_none outcomes.(j) then
-              settle j ~output ~from_cache:false ~elapsed_s)
+              settle j ~output ~from_cache:false ~elapsed_s ~events)
           digests
       in
       if pending <> [] then begin

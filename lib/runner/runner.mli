@@ -23,6 +23,9 @@ type outcome = {
   output : string;  (** the bytes the scenario printed to stdout *)
   from_cache : bool;
   elapsed_s : float;  (** simulation wall time; 0 on a cache hit *)
+  events : int;
+      (** simulation events the scenario executed (process-wide counter
+          delta in the worker); 0 on a cache hit *)
 }
 
 type stats = {

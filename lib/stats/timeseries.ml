@@ -1,7 +1,10 @@
 type t = { bucket : float; sums : float array }
 
 let create ~bucket ~horizon =
-  if bucket <= 0. || horizon <= 0. then invalid_arg "Timeseries.create";
+  if (not (Float.is_finite bucket)) || bucket <= 0. then
+    invalid_arg "Timeseries.create: bucket must be finite and positive";
+  if (not (Float.is_finite horizon)) || horizon < bucket then
+    invalid_arg "Timeseries.create: horizon must be finite and >= bucket";
   let n = int_of_float (Float.ceil (horizon /. bucket)) in
   { bucket; sums = Array.make n 0. }
 

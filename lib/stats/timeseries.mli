@@ -6,7 +6,10 @@ type t
 
 val create : bucket:float -> horizon:float -> t
 (** [create ~bucket ~horizon] covers \[0, horizon) seconds with buckets of
-    [bucket] seconds each. *)
+    [bucket] seconds each.
+
+    @raise Invalid_argument unless [bucket] is finite and positive and
+    [horizon] is finite with [horizon >= bucket] (at least one bucket). *)
 
 val bucket_width : t -> float
 

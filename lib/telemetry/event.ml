@@ -1,0 +1,125 @@
+(* Typed trace events captured by the flight recorder.
+
+   One constructor per instrumented phenomenon; the exporters flatten them
+   onto a fixed column set (time_s, event, queue, flow, subflow, value) so
+   a single CSV/JSONL schema covers every kind. *)
+
+type t =
+  | Enqueue of { queue : string; flow : int; subflow : int; depth : int }
+  | Dequeue of { queue : string; flow : int; subflow : int; depth : int }
+  | Ce_mark of { queue : string; flow : int; subflow : int; depth : int }
+  | Drop of { queue : string; flow : int; subflow : int; depth : int }
+  | Cwnd_change of { flow : int; subflow : int; cwnd : float }
+  | Trash_delta of { flow : int; subflow : int; delta : float }
+  | Retransmit of { flow : int; subflow : int; seq : int }
+  | Rto_timeout of { flow : int; subflow : int }
+  | Subflow_complete of { flow : int; subflow : int; acked : int }
+  | Flow_complete of { flow : int; acked : int }
+
+let kind = function
+  | Enqueue _ -> "enqueue"
+  | Dequeue _ -> "dequeue"
+  | Ce_mark _ -> "ce-mark"
+  | Drop _ -> "drop"
+  | Cwnd_change _ -> "cwnd-change"
+  | Trash_delta _ -> "trash-delta"
+  | Retransmit _ -> "retransmit"
+  | Rto_timeout _ -> "rto-timeout"
+  | Subflow_complete _ -> "subflow-complete"
+  | Flow_complete _ -> "flow-complete"
+
+let all_kinds =
+  [
+    "enqueue"; "dequeue"; "ce-mark"; "drop"; "cwnd-change"; "trash-delta";
+    "retransmit"; "rto-timeout"; "subflow-complete"; "flow-complete";
+  ]
+
+let queue = function
+  | Enqueue e -> Some e.queue
+  | Dequeue e -> Some e.queue
+  | Ce_mark e -> Some e.queue
+  | Drop e -> Some e.queue
+  | Cwnd_change _ | Trash_delta _ | Retransmit _ | Rto_timeout _
+  | Subflow_complete _ | Flow_complete _ ->
+    None
+
+let flow = function
+  | Enqueue e -> e.flow
+  | Dequeue e -> e.flow
+  | Ce_mark e -> e.flow
+  | Drop e -> e.flow
+  | Cwnd_change e -> e.flow
+  | Trash_delta e -> e.flow
+  | Retransmit e -> e.flow
+  | Rto_timeout e -> e.flow
+  | Subflow_complete e -> e.flow
+  | Flow_complete e -> e.flow
+
+let subflow = function
+  | Enqueue e -> Some e.subflow
+  | Dequeue e -> Some e.subflow
+  | Ce_mark e -> Some e.subflow
+  | Drop e -> Some e.subflow
+  | Cwnd_change e -> Some e.subflow
+  | Trash_delta e -> Some e.subflow
+  | Retransmit e -> Some e.subflow
+  | Rto_timeout e -> Some e.subflow
+  | Subflow_complete e -> Some e.subflow
+  | Flow_complete _ -> None
+
+(* the per-kind scalar payload: queue depth, cwnd, delta, seq or acked *)
+let value = function
+  | Enqueue e -> Some (float_of_int e.depth)
+  | Dequeue e -> Some (float_of_int e.depth)
+  | Ce_mark e -> Some (float_of_int e.depth)
+  | Drop e -> Some (float_of_int e.depth)
+  | Cwnd_change e -> Some e.cwnd
+  | Trash_delta e -> Some e.delta
+  | Retransmit e -> Some (float_of_int e.seq)
+  | Rto_timeout _ -> None
+  | Subflow_complete e -> Some (float_of_int e.acked)
+  | Flow_complete e -> Some (float_of_int e.acked)
+
+let csv_header = "time_s,event,queue,flow,subflow,value"
+
+let time_s time_ns = float_of_int time_ns *. 1e-9
+
+let to_csv ~time_ns ev =
+  Printf.sprintf "%.9f,%s,%s,%d,%s,%s" (time_s time_ns) (kind ev)
+    (match queue ev with Some q -> q | None -> "")
+    (flow ev)
+    (match subflow ev with Some s -> string_of_int s | None -> "")
+    (match value ev with Some v -> Printf.sprintf "%.12g" v | None -> "")
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ~time_ns ev =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"time_s\":%.9f,\"event\":\"%s\"" (time_s time_ns)
+       (kind ev));
+  (match queue ev with
+  | Some q ->
+    Buffer.add_string buf (Printf.sprintf ",\"queue\":\"%s\"" (json_escape q))
+  | None -> ());
+  Buffer.add_string buf (Printf.sprintf ",\"flow\":%d" (flow ev));
+  (match subflow ev with
+  | Some s -> Buffer.add_string buf (Printf.sprintf ",\"subflow\":%d" s)
+  | None -> ());
+  (match value ev with
+  | Some v -> Buffer.add_string buf (Printf.sprintf ",\"value\":%.12g" v)
+  | None -> ());
+  Buffer.add_char buf '}';
+  Buffer.contents buf

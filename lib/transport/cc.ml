@@ -4,6 +4,7 @@ type view = {
   srtt : unit -> Xmp_engine.Time.t;
   min_rtt : unit -> Xmp_engine.Time.t;
   now : unit -> Xmp_engine.Time.t;
+  telemetry : Xmp_telemetry.Sink.scope;
 }
 
 type t = {

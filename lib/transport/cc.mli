@@ -14,6 +14,11 @@ type view = {
   srtt : unit -> Xmp_engine.Time.t;  (** smoothed RTT *)
   min_rtt : unit -> Xmp_engine.Time.t;
   now : unit -> Xmp_engine.Time.t;
+  telemetry : Xmp_telemetry.Sink.scope;
+      (** the connection's telemetry sink, pre-bound to this subflow's
+          [flow]/[subflow] identity, so controllers can emit cwnd-change /
+          TraSh-delta events without knowing transport internals.
+          Hand-built views use [Xmp_telemetry.Sink.unscoped]. *)
 }
 
 type t = {

@@ -4,6 +4,7 @@ module Invariant = Xmp_check.Invariant
 module Network = Xmp_net.Network
 module Node = Xmp_net.Node
 module Packet = Xmp_net.Packet
+module Tel = Xmp_telemetry
 
 type echo_mode = Classic | Counted of int option
 
@@ -89,6 +90,13 @@ type t = {
   on_segment_acked : int -> unit;
   on_rtt_sample : Time.t -> unit;
   on_complete : unit -> unit;
+  (* telemetry: [tel] is the sim's sink; the metric handles are resolved
+     once at creation and are [None] exactly when the sink is disabled, so
+     the disabled case stays a single branch per site *)
+  tel : Tel.Sink.t;
+  h_rtt : Tel.Metric.Histogram.t option;
+  c_retransmits : Tel.Metric.Counter.t option;
+  c_timeouts : Tel.Metric.Counter.t option;
 }
 
 let nop1 _ = ()
@@ -126,6 +134,10 @@ let complete t =
   if Option.is_none t.completed_at then begin
     t.completed_at <- Some (Sim.now t.sim);
     teardown t;
+    if Tel.Sink.active t.tel then
+      Tel.Sink.event t.tel ~time_ns:(Sim.now t.sim)
+        (Tel.Event.Subflow_complete
+           { flow = t.flow; subflow = t.subflow; acked = t.segments_acked });
     t.on_complete ()
   end
 
@@ -137,7 +149,15 @@ let send_data t ~seq ~retx =
       ~subflow:t.subflow ~src:t.src ~dst:t.dst ~path:t.path ~seq
       ~ect:t.config.ect ~cwr ~ts:now
   in
-  if retx then t.retransmits <- t.retransmits + 1
+  if retx then begin
+    t.retransmits <- t.retransmits + 1;
+    match t.c_retransmits with
+    | Some c ->
+      Tel.Metric.Counter.inc c;
+      Tel.Sink.event t.tel ~time_ns:now
+        (Tel.Event.Retransmit { flow = t.flow; subflow = t.subflow; seq })
+    | None -> ()
+  end
   else t.segments_sent <- t.segments_sent + 1;
   Node.send t.src_node p
 
@@ -160,6 +180,12 @@ and watchdog_fire t epoch =
       let now = Sim.now t.sim in
       if Time.compare now t.rto_deadline >= 0 then begin
         t.timeouts <- t.timeouts + 1;
+        (match t.c_timeouts with
+        | Some c ->
+          Tel.Metric.Counter.inc c;
+          Tel.Sink.event t.tel ~time_ns:now
+            (Tel.Event.Rto_timeout { flow = t.flow; subflow = t.subflow })
+        | None -> ());
         Rtt_estimator.backoff t.est;
         t.cc.Cc.on_timeout ();
         t.in_recovery <- false;
@@ -347,6 +373,9 @@ let sender_rx t (p : Packet.t) =
       let rtt = Time.sub now p.ts in
       if Time.compare rtt Time.zero >= 0 then begin
         Rtt_estimator.sample t.est rtt;
+        (match t.h_rtt with
+        | Some h -> Tel.Metric.Histogram.add h (Time.to_us rtt)
+        | None -> ());
         t.on_rtt_sample rtt
       end;
       Rtt_estimator.reset_backoff t.est;
@@ -381,6 +410,20 @@ let create ~net ~flow ~subflow ~src ~dst ~path ~cc
   let sim = Network.sim net in
   let est =
     Rtt_estimator.create ~rto_min:config.rto_min ~rto_max:config.rto_max ()
+  in
+  let tel = Sim.telemetry sim in
+  let h_rtt, c_retransmits, c_timeouts =
+    if Tel.Sink.active tel then begin
+      let reg = Tel.Sink.registry tel in
+      ( Some (Tel.Registry.histogram reg ~subsystem:"transport" ~name:"rtt_us" ()),
+        Some
+          (Tel.Registry.counter reg ~subsystem:"transport" ~name:"retransmits"
+             ()),
+        Some
+          (Tel.Registry.counter reg ~subsystem:"transport" ~name:"timeouts" ())
+      )
+    end
+    else (None, None, None)
   in
   let placeholder_cc =
     {
@@ -437,6 +480,10 @@ let create ~net ~flow ~subflow ~src ~dst ~path ~cc
       on_segment_acked;
       on_rtt_sample;
       on_complete;
+      tel;
+      h_rtt;
+      c_retransmits;
+      c_timeouts;
     }
   in
   let view =
@@ -449,6 +496,7 @@ let create ~net ~flow ~subflow ~src ~dst ~path ~cc
       srtt = (fun () -> Rtt_estimator.srtt t.est);
       min_rtt = (fun () -> Rtt_estimator.min_rtt t.est);
       now = (fun () -> Sim.now sim);
+      telemetry = Tel.Sink.scope tel ~flow ~subflow;
     }
   in
   t.cc <- cc view;

@@ -138,24 +138,30 @@ let launch_large ctx ~src ~dst ~size_segments ~on_complete =
       ~src:(Fat_tree.host_id ctx.ft src)
       ~dst:(Fat_tree.host_id ctx.ft dst)
       ~paths ~size_segments
-      ~on_rtt_sample:(fun rtt -> Metrics.record_rtt ctx.metrics ~locality rtt)
-      ~on_complete:(fun f ->
-        Hashtbl.remove ctx.running flow;
-        let finished = Sim.now ctx.sim in
-        Metrics.record_flow ctx.metrics
-          {
-            Metrics.flow;
-            scheme;
-            src;
-            dst;
-            locality;
-            size_segments;
-            started = Mptcp_flow.started_at f;
-            finished;
-            goodput_bps = Mptcp_flow.goodput_bps f;
-            truncated = false;
-          };
-        on_complete ())
+      ~observer:
+        {
+          Scheme.silent with
+          on_rtt_sample =
+            (fun rtt -> Metrics.record_rtt ctx.metrics ~locality rtt);
+          on_complete =
+            (fun f ->
+              Hashtbl.remove ctx.running flow;
+              let finished = Sim.now ctx.sim in
+              Metrics.record_flow ctx.metrics
+                {
+                  Metrics.flow;
+                  scheme;
+                  src;
+                  dst;
+                  locality;
+                  size_segments;
+                  started = Mptcp_flow.started_at f;
+                  finished;
+                  goodput_bps = Mptcp_flow.goodput_bps f;
+                  truncated = false;
+                };
+              on_complete ());
+        }
       scheme
   in
   if not (Mptcp_flow.is_complete handle) then
@@ -180,7 +186,7 @@ let launch_small ctx ~src ~dst ~size_segments ~on_complete =
        ~src:(Fat_tree.host_id ctx.ft src)
        ~dst:(Fat_tree.host_id ctx.ft dst)
        ~paths ~size_segments
-       ~on_complete:(fun _ -> on_complete ())
+       ~observer:{ Scheme.silent with on_complete = (fun _ -> on_complete ()) }
        Scheme.Reno)
 
 let uniform_size ctx ~min_segments ~max_segments =
@@ -311,7 +317,7 @@ let run_incast ctx ~jobs ~fanout ~request_segments ~response_segments
       ~other_rack:true
 
 let run cfg =
-  let sim = Sim.create ~seed:cfg.seed () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = cfg.seed } () in
   let net = Network.create sim in
   let disc () =
     Queue_disc.create

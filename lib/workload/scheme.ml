@@ -73,8 +73,15 @@ let coupling t overrides =
     let params = { Xmp_core.Bos.default_params with beta = overrides.beta } in
     Xmp_core.Trash.coupling ~params ()
 
-let launch ~net ~overrides ~flow ~src ~dst ~paths ?size_segments
-    ?on_complete ?on_subflow_acked ?on_rtt_sample t =
+type observer = Mptcp_flow.observer = {
+  on_complete : Mptcp_flow.t -> unit;
+  on_subflow_acked : int -> int -> unit;
+  on_rtt_sample : Time.t -> unit;
+}
+
+let silent = Mptcp_flow.silent
+
+let launch ~net ~overrides ~flow ~src ~dst ~paths ?size_segments ?observer t =
   let wanted = n_subflows t in
   let given = List.length paths in
   if given = 0 || given > wanted then
@@ -82,8 +89,7 @@ let launch ~net ~overrides ~flow ~src ~dst ~paths ?size_segments
       (Printf.sprintf "Scheme.launch: %s takes 1..%d paths, got %d" (name t)
          wanted given);
   Mptcp_flow.create ~net ~flow ~src ~dst ~paths ~coupling:(coupling t overrides)
-    ~config:(tcp_config t overrides) ?size_segments ?on_complete
-    ?on_subflow_acked ?on_rtt_sample ()
+    ~config:(tcp_config t overrides) ?size_segments ?observer ()
 
 let pick_paths ~rng ~available ~wanted =
   if available <= 0 then invalid_arg "Scheme.pick_paths: available";

@@ -34,6 +34,24 @@ val tcp_config : t -> transport_overrides -> Xmp_transport.Tcp.config
 (** The transport configuration this scheme runs with: ECT + capped echo
     for XMP, ECT + exact echo for DCTCP, plain for TCP/LIA/OLIA. *)
 
+type observer = Xmp_mptcp.Mptcp_flow.observer = {
+  on_complete : Xmp_mptcp.Mptcp_flow.t -> unit;
+  on_subflow_acked : int -> int -> unit;
+  on_rtt_sample : Xmp_engine.Time.t -> unit;
+}
+(** Flow lifecycle callbacks, re-exported from
+    {!Xmp_mptcp.Mptcp_flow.observer}. Build one by record update over
+    {!silent}: [{ Scheme.silent with on_complete = ... }]. This replaces
+    the former trio of [?on_complete]/[?on_subflow_acked]/
+    [?on_rtt_sample] optional arguments: passing part of an observer
+    means writing exactly the fields you care about, and adding a future
+    callback no longer grows every launcher's signature. For passive
+    measurement (rates, queue series) prefer the simulator's telemetry
+    sink and leave the observer {!silent}. *)
+
+val silent : observer
+(** Ignores every event — the default for {!launch}. *)
+
 val launch :
   net:Xmp_net.Network.t ->
   overrides:transport_overrides ->
@@ -42,14 +60,13 @@ val launch :
   dst:int ->
   paths:int list ->
   ?size_segments:int ->
-  ?on_complete:(Xmp_mptcp.Mptcp_flow.t -> unit) ->
-  ?on_subflow_acked:(int -> int -> unit) ->
-  ?on_rtt_sample:(Xmp_engine.Time.t -> unit) ->
+  ?observer:observer ->
   t ->
   Xmp_mptcp.Mptcp_flow.t
 (** Starts a flow of this scheme. [paths] carries up to {!n_subflows}
     selectors — fewer when the host pair has less path diversity than the
-    scheme wants (e.g. XMP-4 within a rack). *)
+    scheme wants (e.g. XMP-4 within a rack). [observer] (default
+    {!silent}) receives the flow's lifecycle events. *)
 
 val pick_paths :
   rng:Random.State.t -> available:int -> wanted:int -> int list

@@ -67,7 +67,7 @@ let test_queue_occupancy_physics () =
      same scenario both ways via the Driver-free helper in Ablations is
      not exposed, so use a minimal inline version *)
   let median_occupancy ~ecn =
-    let sim = Xmp_engine.Sim.create ~seed:29 () in
+    let sim = Xmp_engine.Sim.create ~config:{ Xmp_engine.Sim.default_config with seed = 29 } () in
     let net = Xmp_net.Network.create sim in
     let policy =
       if ecn then Xmp_net.Queue_disc.Threshold_mark 10

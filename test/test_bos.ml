@@ -22,6 +22,7 @@ let fake_view () =
       srtt = (fun () -> Time.us 200);
       min_rtt = (fun () -> Time.us 200);
       now = (fun () -> 0);
+      telemetry = Xmp_telemetry.Sink.unscoped;
     }
   in
   (f, view)
@@ -171,7 +172,7 @@ let test_beta_validation () =
 (* ----- packet-level behaviour ----- *)
 
 let run_bos_on_bottleneck ~k ~beta ~horizon =
-  let sim = Sim.create ~seed:21 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 21 } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark k)

@@ -22,6 +22,7 @@ let fake_view () =
       srtt = (fun () -> f.srtt);
       min_rtt = (fun () -> f.srtt);
       now = (fun () -> f.now);
+      telemetry = Xmp_telemetry.Sink.unscoped;
     }
   in
   (f, view)

@@ -41,6 +41,7 @@ let fake_view () =
       srtt = (fun () -> Time.us 200);
       min_rtt = (fun () -> Time.us 200);
       now = (fun () -> f.now);
+      telemetry = Xmp_telemetry.Sink.unscoped;
     }
   in
   (f, view)
@@ -111,7 +112,7 @@ let test_imminent_cuts_less () =
 let test_deadline_flow_wins_bandwidth () =
   (* two D2TCP flows share a marking bottleneck; the tight-deadline flow
      should finish with more delivered data *)
-  let sim = Sim.create ~seed:8 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 8 } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark 10)

@@ -57,7 +57,7 @@ let test_driver_seed_sensitivity () =
 (* Trace-level reproducibility: the full packet-event log of a dumbbell
    scenario, byte for byte. *)
 let traced_run () =
-  let sim = Sim.create ~seed:21 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 21 } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark 10)

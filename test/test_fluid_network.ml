@@ -94,7 +94,7 @@ let test_matches_packet_simulator () =
   in
   let fluid_w = FN.window t 0 in
   (* packet level *)
-  let sim = Xmp_engine.Sim.create ~seed:5 () in
+  let sim = Xmp_engine.Sim.create ~config:{ Xmp_engine.Sim.default_config with seed = 5 } () in
   let net = Xmp_net.Network.create sim in
   let disc () =
     Xmp_net.Queue_disc.create ~policy:(Xmp_net.Queue_disc.Threshold_mark 10)

@@ -14,7 +14,7 @@ let tcp_transfer_fuzz =
     QCheck.(
       quad (int_range 0 10_000) (int_range 3 60) (int_range 1 400) bool)
     (fun (seed, capacity, size, sack) ->
-      let sim = Sim.create ~seed () in
+      let sim = Sim.create ~config:{ Sim.default_config with seed } () in
       let net = Net.Network.create sim in
       let disc () =
         Net.Queue_disc.create ~policy:Net.Queue_disc.Droptail
@@ -61,7 +61,7 @@ let mptcp_transfer_fuzz =
       quad (int_range 0 10_000) (int_range 1 3) (int_range 1 500)
         (int_range 1 20))
     (fun (seed, n_subflows, size, mark_k) ->
-      let sim = Sim.create ~seed () in
+      let sim = Sim.create ~config:{ Sim.default_config with seed } () in
       let net = Net.Network.create sim in
       let disc () =
         Net.Queue_disc.create
@@ -93,7 +93,7 @@ let blackout_fuzz =
       quad (int_range 0 10_000) (int_range 1 50) (int_range 1 200)
         (int_range 1 300))
     (fun (seed, blackout_start_ms, blackout_len_ms, size) ->
-      let sim = Sim.create ~seed () in
+      let sim = Sim.create ~config:{ Sim.default_config with seed } () in
       let net = Net.Network.create sim in
       let disc () =
         Net.Queue_disc.create ~policy:Net.Queue_disc.Droptail

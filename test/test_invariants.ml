@@ -77,7 +77,7 @@ let broken_cc : Cc.factory =
   }
 
 let rig () =
-  let sim = Sim.create ~seed:3 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 3 } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:Net.Queue_disc.Droptail ~capacity_pkts:20

@@ -84,7 +84,7 @@ let test_spine_diversity () =
 let test_xmp_flow_over_leaf_spine () =
   (* an XMP flow with one subflow per spine should aggregate close to its
      1 Gbps host-link limit (the spine tier is 10 Gbps and unloaded) *)
-  let sim = Sim.create ~seed:19 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 19 } () in
   let net, ls = mk ~leaves:2 ~spines:2 ~hosts_per_leaf:2 sim in
   let f =
     Xmp_core.Xmp.flow ~net ~flow:1

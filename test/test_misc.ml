@@ -37,6 +37,7 @@ let test_uncoupled_independence () =
       srtt = (fun () -> Xmp_engine.Time.us 100);
       min_rtt = (fun () -> Xmp_engine.Time.us 100);
       now = (fun () -> 0);
+      telemetry = Xmp_telemetry.Sink.unscoped;
     }
   in
   let cc0 = group 0 view in

@@ -11,7 +11,7 @@ module Testbed = Xmp_net.Testbed
 let checkf = Alcotest.(check (float 1e-6))
 
 let make_rig ?(m = 2) ?(rate = Net.Units.mbps 100.) () =
-  let sim = Sim.create ~seed:9 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 9 } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark 10)
@@ -89,7 +89,7 @@ let test_flow_completion () =
       ~dst:(Testbed.right_id tb 0)
       ~paths:[ 0; 1 ] ~coupling:(Lia.coupling ())
       ~size_segments:500
-      ~on_complete:(fun _ -> incr completed)
+      ~observer:{ Flow.silent with on_complete = (fun _ -> incr completed) }
       ()
   in
   Sim.run ~until:(Time.sec 2.) sim;
@@ -179,8 +179,12 @@ let test_subflow_acked_callback () =
        ~src:(Testbed.left_id tb 0)
        ~dst:(Testbed.right_id tb 0)
        ~paths:[ 0; 1 ] ~coupling:reno_uncoupled
-       ~on_subflow_acked:(fun idx n ->
-         per_subflow.(idx) <- per_subflow.(idx) + n)
+       ~observer:
+         {
+           Flow.silent with
+           on_subflow_acked =
+             (fun idx n -> per_subflow.(idx) <- per_subflow.(idx) + n);
+         }
        ());
   Sim.run ~until:(Time.ms 200) sim;
   Alcotest.(check bool) "callbacks on both subflows" true

@@ -15,7 +15,7 @@ module Testbed = Xmp_net.Testbed
    on every parameter — the runner test workload. Exposed for
    test_fuzz's digest properties. *)
 let tiny_output ~seed ~size () =
-  let sim = Sim.create ~seed () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create

@@ -8,7 +8,7 @@ module Reno = Xmp_transport.Reno
 module Testbed = Xmp_net.Testbed
 
 let make_rig ?(capacity = 6) () =
-  let sim = Sim.create ~seed:47 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 47 } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:Net.Queue_disc.Droptail
@@ -91,7 +91,7 @@ let test_sack_skips_delivered_data_after_rto () =
 let test_receiver_advertises_blocks () =
   (* drop data segment 1 on the wire (once) and watch the ACK stream: the
      receiver must advertise the out-of-order block above the hole *)
-  let sim = Sim.create ~seed:3 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 3 } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:Net.Queue_disc.Droptail ~capacity_pkts:50

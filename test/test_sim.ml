@@ -85,7 +85,7 @@ let test_timer_fires () =
 
 let test_rng_determinism () =
   let draw seed =
-    let sim = Sim.create ~seed () in
+    let sim = Sim.create ~config:{ Sim.default_config with seed } () in
     List.init 5 (fun _ -> Random.State.int (Sim.rng sim) 1000)
   in
   Alcotest.(check (list int)) "same seed same draws" (draw 9) (draw 9);

@@ -146,6 +146,25 @@ let test_timeseries () =
   checkf "rates divide by width" 150. (Timeseries.rates ts).(0);
   checkf "bucket start" 0.9 (Timeseries.bucket_start ts 9)
 
+let test_timeseries_validation () =
+  let raises msg f =
+    match f () with
+    | (_ : Timeseries.t) -> Alcotest.failf "%s: expected Invalid_argument" msg
+    | exception Invalid_argument _ -> ()
+  in
+  raises "zero bucket" (fun () -> Timeseries.create ~bucket:0. ~horizon:1.);
+  raises "negative bucket" (fun () ->
+      Timeseries.create ~bucket:(-0.1) ~horizon:1.);
+  raises "nan bucket" (fun () ->
+      Timeseries.create ~bucket:Float.nan ~horizon:1.);
+  raises "horizon below bucket" (fun () ->
+      Timeseries.create ~bucket:0.5 ~horizon:0.1);
+  raises "nan horizon" (fun () ->
+      Timeseries.create ~bucket:0.1 ~horizon:Float.nan);
+  (* horizon = bucket is the smallest legal series: one bucket *)
+  let ts = Timeseries.create ~bucket:0.5 ~horizon:0.5 in
+  Alcotest.(check int) "one bucket" 1 (Timeseries.n_buckets ts)
+
 (* ----- Table ----- *)
 
 let test_table_render () =
@@ -204,6 +223,8 @@ let suite =
     Alcotest.test_case "add after sort" `Quick test_add_after_sort;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;
     Alcotest.test_case "timeseries buckets" `Quick test_timeseries;
+    Alcotest.test_case "timeseries validation" `Quick
+      test_timeseries_validation;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table ragged rows" `Quick test_table_ragged_rows;
     Alcotest.test_case "fixed formatting" `Quick test_fixed;

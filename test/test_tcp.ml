@@ -17,7 +17,7 @@ type rig = {
 (* 100 Mbps bottleneck, ~140 us zero-load RTT *)
 let make_rig ?(rate = Net.Units.mbps 100.) ?(capacity = 100)
     ?(policy = Queue_disc.Droptail) () =
-  let sim = Sim.create ~seed:5 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 5 } () in
   let net = Net.Network.create sim in
   let disc () = Queue_disc.create ~policy ~capacity_pkts:capacity in
   let tb =

@@ -10,7 +10,7 @@ module Cc = Xmp_transport.Cc
 module Testbed = Xmp_net.Testbed
 
 let make_rig ~k =
-  let sim = Sim.create ~seed:17 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 17 } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark k)

@@ -9,7 +9,7 @@ module Testbed = Xmp_net.Testbed
 
 let make_rig ?(rate = Net.Units.mbps 100.) ?(capacity = 100)
     ?(policy = Net.Queue_disc.Droptail) () =
-  let sim = Sim.create ~seed:41 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 41 } () in
   let net = Net.Network.create sim in
   let disc () = Net.Queue_disc.create ~policy ~capacity_pkts:capacity in
   let tb =

@@ -6,7 +6,7 @@ module Tcp = Xmp_transport.Tcp
 module Testbed = Xmp_net.Testbed
 
 let make_rig ~policy ~capacity =
-  let sim = Sim.create ~seed:13 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 13 } () in
   let net = Net.Network.create sim in
   let disc () = Net.Queue_disc.create ~policy ~capacity_pkts:capacity in
   let tb =

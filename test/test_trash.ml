@@ -61,7 +61,7 @@ let prop_delta_monotone_in_cwnd =
 (* ----- packet level ----- *)
 
 let make_two_path_rig () =
-  let sim = Sim.create ~seed:31 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 31 } () in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark 10)

@@ -37,7 +37,7 @@ let test_bos_params () =
   Alcotest.(check (float 1e-9)) "floor stays 2" 2. p.Xmp_core.Bos.min_cwnd
 
 let test_facade_flow_runs () =
-  let sim = Sim.create ~seed:2 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 2 } () in
   let net = Xmp_net.Network.create sim in
   let disc = Xmp.switch_disc () in
   let tb =
@@ -58,14 +58,18 @@ let test_facade_flow_runs () =
        ~src:(Xmp_net.Testbed.left_id tb 0)
        ~dst:(Xmp_net.Testbed.right_id tb 0)
        ~paths:[ 0 ] ~size_segments:100
-       ~on_complete:(fun _ -> completed := true)
+       ~observer:
+         {
+           Xmp_mptcp.Mptcp_flow.silent with
+           on_complete = (fun _ -> completed := true);
+         }
        ());
   Sim.run ~until:(Time.sec 1.) sim;
   Alcotest.(check bool) "facade flow completes" true !completed
 
 let test_facade_bos_is_cc_factory () =
   (* the single-path BOS factory is usable directly with Tcp *)
-  let sim = Sim.create ~seed:2 () in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 2 } () in
   let net = Xmp_net.Network.create sim in
   let disc = Xmp.switch_disc () in
   let tb =

@@ -21,3 +21,7 @@ let sort_stamps l = List.sort compare l
 let debug msg = Printf.printf "debug: %s\n" msg
 
 let shout = print_endline
+
+let moan msg = Printf.eprintf "oops: %s\n" msg
+
+let mutter = prerr_endline

@@ -27,6 +27,12 @@
    - [stdout-in-lib]   no printing to stdout from lib/ except through the
                        sanctioned sinks (Xmp_stats.Table, Render); logs go
                        through Slog (stderr).
+   - [direct-printf]   no ad-hoc stderr diagnostics (Printf.eprintf,
+                       Format.eprintf, the prerr_ family) from lib/ —
+                       route through Slog or the telemetry sink so output
+                       stays structured and byte-stable (Slog itself, the
+                       invariant checker and the runner's progress
+                       reporting are allowlisted).
    - [missing-mli]     every lib/ module ships an interface.
 
    A finding can be waived with a pragma comment on the same line or the
@@ -309,6 +315,11 @@ let file_allowlist =
     ("stdout-in-lib", "lib/experiments/render.ml");
     (* the runner replays captured scenario output to stdout *)
     ("stdout-in-lib", "lib/runner/runner.ml");
+    (* the sanctioned stderr sinks: the structured logger itself, the
+       invariant checker's Warn mode, and the runner's progress lines *)
+    ("direct-printf", "lib/engine/slog.ml");
+    ("direct-printf", "lib/check/invariant.ml");
+    ("direct-printf", "lib/runner/runner.ml");
   ]
 
 let file_allowed rule path = List.mem (rule, path) file_allowlist
@@ -342,6 +353,22 @@ let stdout_idents =
     "Stdlib.print_char";
     "Stdlib.print_int";
     "Stdlib.print_float";
+  ]
+
+let stderr_idents =
+  [
+    "Printf.eprintf";
+    "Format.eprintf";
+    "prerr_string";
+    "prerr_endline";
+    "prerr_newline";
+    "prerr_char";
+    "prerr_int";
+    "prerr_float";
+    "prerr_bytes";
+    "Stdlib.prerr_string";
+    "Stdlib.prerr_endline";
+    "Stdlib.prerr_newline";
   ]
 
 let bare_compare_idents = [ "compare"; "Stdlib.compare"; "Hashtbl.hash" ]
@@ -425,7 +452,16 @@ let check_idents ~path ~cat ~line_no toks =
           report ~path ~line:line_no ~rule:"stdout-in-lib"
             (name
            ^ " prints to stdout from lib/; route through Render/Table or \
-              Slog")
+              Slog");
+        if
+          cat = Lib
+          && List.mem name stderr_idents
+          && not (file_allowed "direct-printf" path)
+        then
+          report ~path ~line:line_no ~rule:"direct-printf"
+            (name
+           ^ " is an ad-hoc stderr diagnostic in lib/; route through Slog \
+              or record telemetry instead")
       | Op _ | Num _ | Punct _ -> ())
     toks
 
