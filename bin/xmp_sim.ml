@@ -8,6 +8,10 @@
                                         parallel, cached scenario runner
      xmp_sim trace                    — one instrumented run, flight
                                         recording exported as CSV/JSONL
+     xmp_sim faults                   — fat-tree run under an injected
+                                        fault schedule (--fault/--loss/
+                                        --fail-link also work on the
+                                        figure and trace subcommands)
      xmp_sim coexist                  — Table 2
      xmp_sim ablation                 — parameter sweeps *)
 
@@ -16,6 +20,7 @@ module E = Xmp_experiments
 module Runner = Xmp_runner.Runner
 module Time = Xmp_engine.Time
 module Scheme = Xmp_workload.Scheme
+module Fault_spec = Xmp_engine.Fault_spec
 
 (* ----- shared options ----- *)
 
@@ -90,6 +95,122 @@ let pattern_t =
     & opt pattern_conv E.Fatree_eval.Permutation
     & info [ "pattern" ] ~docv:"PATTERN" ~doc)
 
+(* ----- fault-injection options (shared by the figure, trace and faults
+   subcommands) ----- *)
+
+let fault_conv =
+  let parse s =
+    match Fault_spec.spec_of_string s with
+    | spec -> Ok spec
+    | exception Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv
+    (parse, fun fmt s -> Format.pp_print_string fmt (Fault_spec.spec_to_string s))
+
+let fault_t =
+  let doc =
+    "Inject a fault (repeatable). Canonical forms: $(b,down@T@TARGET), \
+     $(b,up@T@TARGET), $(b,loss@T..T@TARGET@bern=P[@any|data|ack]) or \
+     $(b,...@ge=PB,PE,LG,LB[@...]), $(b,blackout@T..T@TARGET), \
+     $(b,pause@T..T@host=ID). TARGET is $(b,all), $(b,link=NAME) or \
+     $(b,tag=NAME); times are integer ns, $(b,1.5s), $(b,250ms), $(b,40us) \
+     or $(b,inf)."
+  in
+  Arg.(value & opt_all fault_conv [] & info [ "fault" ] ~docv:"SPEC" ~doc)
+
+let fail_link_t =
+  let doc =
+    "Fail link $(b,NAME) — and, for $(b,A->B) names, its reverse direction \
+     — at time $(b,T), restoring it at $(b,T2) when given."
+  in
+  Arg.(value & opt_all string [] & info [ "fail-link" ] ~docv:"NAME@T[:T2]" ~doc)
+
+let loss_t =
+  let doc =
+    "Bernoulli drop probability applied to every packet of the \
+     $(b,--loss-on) target for the whole run."
+  in
+  Arg.(value & opt (some float) None & info [ "loss" ] ~docv:"P" ~doc)
+
+let loss_on_t =
+  let doc = "Target of $(b,--loss): $(b,all), $(b,link=NAME) or $(b,tag=NAME)." in
+  Arg.(value & opt string "all" & info [ "loss-on" ] ~docv:"TARGET" ~doc)
+
+let loss_filter_t =
+  let doc = "Packets $(b,--loss) applies to: $(b,any), $(b,data) or $(b,ack)." in
+  Arg.(
+    value
+    & opt (enum [ ("any", "any"); ("data", "data"); ("ack", "ack") ]) "any"
+    & info [ "loss-filter" ] ~docv:"KIND" ~doc)
+
+let fault_seed_t =
+  let doc = "Seed of the fault schedule's own random stream." in
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let reverse_link_name name =
+  let n = String.length name in
+  let rec find i =
+    if i + 1 >= n then None
+    else if name.[i] = '-' && name.[i + 1] = '>' then Some i
+    else find (i + 1)
+  in
+  Option.map
+    (fun i -> String.sub name (i + 2) (n - i - 2) ^ "->" ^ String.sub name 0 i)
+    (find 0)
+
+let fail_link_specs s =
+  match String.index_opt s '@' with
+  | None ->
+    invalid_arg (Printf.sprintf "--fail-link %S: expected NAME@T[:T2]" s)
+  | Some i ->
+    let name = String.sub s 0 i in
+    let times = String.sub s (i + 1) (String.length s - i - 1) in
+    let down_t, up_t =
+      match String.index_opt times ':' with
+      | None -> (times, None)
+      | Some j ->
+        ( String.sub times 0 j,
+          Some (String.sub times (j + 1) (String.length times - j - 1)) )
+    in
+    let names =
+      name
+      ::
+      (match reverse_link_name name with
+      | Some r when not (String.equal r name) -> [ r ]
+      | Some _ | None -> [])
+    in
+    List.concat_map
+      (fun n ->
+        Fault_spec.spec_of_string (Printf.sprintf "down@%s@link=%s" down_t n)
+        ::
+        (match up_t with
+        | None -> []
+        | Some t ->
+          [ Fault_spec.spec_of_string (Printf.sprintf "up@%s@link=%s" t n) ]))
+      names
+
+let build_faults specs fail_links loss loss_on loss_filter seed =
+  try
+    let loss_specs =
+      match loss with
+      | None -> []
+      | Some p ->
+        [
+          Fault_spec.spec_of_string
+            (Printf.sprintf "loss@0..inf@%s@bern=%g@%s" loss_on p loss_filter);
+        ]
+    in
+    let all = specs @ List.concat_map fail_link_specs fail_links @ loss_specs in
+    match all with [] -> Fault_spec.empty | _ -> Fault_spec.create ~seed all
+  with Invalid_argument m ->
+    prerr_endline ("xmp_sim: " ^ m);
+    exit 2
+
+let faults_t =
+  Term.(
+    const build_faults $ fault_t $ fail_link_t $ loss_t $ loss_on_t
+    $ loss_filter_t $ fault_seed_t)
+
 let base_of ?(sack = false) k horizon seed marking queue beta =
   {
     E.Fatree_eval.default_base with
@@ -104,40 +225,38 @@ let base_of ?(sack = false) k horizon seed marking queue beta =
 
 (* ----- subcommands ----- *)
 
-let fig_cmd name doc run =
-  let term = Term.(const (fun scale -> run ~scale ()) $ scale_t) in
-  Cmd.v (Cmd.info name ~doc) term
-
 let fig1_cmd =
-  fig_cmd "fig1" "Figure 1: DCTCP vs halving-cwnd on one bottleneck"
-    (fun ~scale () -> E.Fig1.run_and_print_all ~scale ())
+  let run scale faults = E.Fig1.run_and_print_all ~scale ~faults () in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Figure 1: DCTCP vs halving-cwnd on one bottleneck")
+    Term.(const run $ scale_t $ faults_t)
 
 let fig4_cmd =
-  let run scale beta =
+  let run scale beta faults =
     E.Render.heading "Figure 4 (single panel)";
-    E.Fig4.print (E.Fig4.run ~scale ~beta ())
+    E.Fig4.print (E.Fig4.run ~scale ~faults ~beta ())
   in
   Cmd.v
     (Cmd.info "fig4" ~doc:"Figure 4: traffic shifting on testbed 3(a)")
-    Term.(const run $ scale_t $ beta_t)
+    Term.(const run $ scale_t $ beta_t $ faults_t)
 
 let fig6_cmd =
-  let run scale beta =
+  let run scale beta faults =
     E.Render.heading "Figure 6 (single panel)";
-    E.Fig6.print (E.Fig6.run ~scale ~beta ())
+    E.Fig6.print (E.Fig6.run ~scale ~faults ~beta ())
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Figure 6: fairness on testbed 3(b)")
-    Term.(const run $ scale_t $ beta_t)
+    Term.(const run $ scale_t $ beta_t $ faults_t)
 
 let fig7_cmd =
-  let run scale beta mark =
+  let run scale beta mark faults =
     E.Render.heading "Figure 7 (single panel)";
-    E.Fig7.print (E.Fig7.run ~scale ~beta ~k:mark ())
+    E.Fig7.print (E.Fig7.run ~scale ~faults ~beta ~k:mark ())
   in
   Cmd.v
     (Cmd.info "fig7" ~doc:"Figure 7: rate compensation on the ring")
-    Term.(const run $ scale_t $ beta_t $ marking_t)
+    Term.(const run $ scale_t $ beta_t $ marking_t $ faults_t)
 
 let matrix_cmd =
   let run k horizon seed mark queue beta =
@@ -313,13 +432,17 @@ let write_file path contents =
     (fun () -> output_string oc contents)
 
 let trace_cmd =
-  let run experiment scale beta mark events format out capacity =
+  let run experiment scale beta mark faults events format out capacity =
     let sink = Tel.Sink.create ~recorder_capacity:capacity () in
     (match experiment with
-    | `Fig1 -> ignore (E.Fig1.run ~scale ~telemetry:sink { E.Fig1.dctcp = true; k = mark })
-    | `Fig4 -> ignore (E.Fig4.run ~scale ~beta ~telemetry:sink ())
-    | `Fig6 -> ignore (E.Fig6.run ~scale ~beta ~telemetry:sink ())
-    | `Fig7 -> ignore (E.Fig7.run ~scale ~beta ~k:mark ~telemetry:sink ()));
+    | `Fig1 ->
+      ignore
+        (E.Fig1.run ~scale ~telemetry:sink ~faults
+           { E.Fig1.dctcp = true; k = mark })
+    | `Fig4 -> ignore (E.Fig4.run ~scale ~beta ~telemetry:sink ~faults ())
+    | `Fig6 -> ignore (E.Fig6.run ~scale ~beta ~telemetry:sink ~faults ())
+    | `Fig7 ->
+      ignore (E.Fig7.run ~scale ~beta ~k:mark ~telemetry:sink ~faults ()));
     let recorder = Tel.Sink.recorder sink in
     let registry = Tel.Sink.registry sink in
     let keep =
@@ -355,8 +478,47 @@ let trace_cmd =
          "Run one experiment with telemetry enabled and export its flight \
           recording (and metrics registry) as CSV / JSONL")
     Term.(
-      const run $ experiment_t $ scale_t $ beta_t $ marking_t
+      const run $ experiment_t $ scale_t $ beta_t $ marking_t $ faults_t
       $ events_filter_t $ format_t $ out_t $ capacity_t)
+
+(* ----- faults: one fat-tree run under an injected fault schedule ----- *)
+
+let list_links_t =
+  let doc =
+    "Print the fat-tree's link names (the $(b,link=NAME) targets) and exit."
+  in
+  Arg.(value & flag & info [ "list-links" ] ~doc)
+
+let faults_cmd =
+  let run k horizon seed mark queue beta sack scheme pattern faults list_links =
+    if list_links then begin
+      let sim = Xmp_engine.Sim.create () in
+      let net = Xmp_net.Network.create sim in
+      let disc () =
+        Xmp_net.Queue_disc.create
+          ~policy:(Xmp_net.Queue_disc.Threshold_mark mark) ~capacity_pkts:queue
+      in
+      ignore (Xmp_net.Fat_tree.create ~net ~k ~disc ());
+      List.iter
+        (fun l -> print_endline (Xmp_net.Link.name l))
+        (Xmp_net.Network.links net)
+    end
+    else
+      let base =
+        { (base_of ~sack k horizon seed mark queue beta) with
+          E.Fatree_eval.faults }
+      in
+      E.Fatree_eval.print_fault_eval base scheme pattern
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "One fat-tree run under an injected fault schedule, with a \
+          telemetry summary (flows, goodput, injected drops, \
+          link-down/link-up/injected-drop events)")
+    Term.(
+      const run $ k_arity_t $ horizon_t $ seed_t $ marking_t $ queue_t
+      $ beta_t $ sack_t $ scheme_t $ pattern_t $ faults_t $ list_links_t)
 
 let coexist_cmd =
   let run k horizon seed mark beta =
@@ -385,7 +547,7 @@ let main_cmd =
     (Cmd.info "xmp_sim" ~version:"1.0.0" ~doc)
     [
       fig1_cmd; fig4_cmd; fig6_cmd; fig7_cmd; matrix_cmd; eval_cmd;
-      sweep_cmd; trace_cmd; coexist_cmd; ablation_cmd;
+      sweep_cmd; trace_cmd; faults_cmd; coexist_cmd; ablation_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -9,6 +9,7 @@ type t = {
   mutable executed : int;
   random : Random.State.t;
   telemetry : Xmp_telemetry.Sink.t;
+  faults : Fault_spec.t;
 }
 
 module Invariant = Xmp_check.Invariant
@@ -17,10 +18,16 @@ type config = {
   seed : int;
   invariants : bool option;
   telemetry : Xmp_telemetry.Sink.t;
+  faults : Fault_spec.t;
 }
 
 let default_config =
-  { seed = 42; invariants = None; telemetry = Xmp_telemetry.Sink.null }
+  {
+    seed = 42;
+    invariants = None;
+    telemetry = Xmp_telemetry.Sink.null;
+    faults = Fault_spec.empty;
+  }
 
 (* process-wide tally across every simulator instance; the scenario runner
    reads deltas of this to report events-per-scenario from its workers *)
@@ -39,6 +46,7 @@ let create ?(config = default_config) () =
     executed = 0;
     random = Random.State.make [| config.seed; 0x584d50 (* "XMP" *) |];
     telemetry = config.telemetry;
+    faults = config.faults;
   }
 
 let create_legacy ?(seed = 42) ?invariants () =
@@ -47,6 +55,7 @@ let create_legacy ?(seed = 42) ?invariants () =
 let now t = t.now
 let rng t = t.random
 let telemetry (t : t) = t.telemetry
+let faults (t : t) = t.faults
 let events_executed t = t.executed
 let pending t = Event_queue.length t.heap
 

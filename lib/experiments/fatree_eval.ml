@@ -24,6 +24,7 @@ type base = {
   sack : bool;
   size_scale : float;
   incast_jobs : int;
+  faults : Xmp_engine.Fault_spec.t;
 }
 
 let default_base =
@@ -42,6 +43,7 @@ let default_base =
        many-subflow LIA (see the flow-size ablation) *)
     size_scale = 4.;
     incast_jobs = 3;
+    faults = Xmp_engine.Fault_spec.empty;
   }
 
 let paper_scale_base =
@@ -98,15 +100,25 @@ let driver_config base scheme pattern =
     assignment = Driver.Uniform scheme;
     pattern = pattern_of base pattern;
     rtt_subsample = 16;
+    faults = base.faults;
+    telemetry = Xmp_telemetry.Sink.null;
   }
 
 let cache : (string, Driver.result) Hashtbl.t = Hashtbl.create 32
 
 let cache_key base scheme pattern =
-  Printf.sprintf "%s|%s|k%d|h%d|s%d|q%d|K%d|b%d|r%d|x%g|j%d|sk%b"
+  (* fault schedule folds into the key via its canonical params; an empty
+     schedule contributes nothing, keeping fault-free keys unchanged *)
+  let fault_part =
+    String.concat ";"
+      (List.map
+         (fun (k, v) -> k ^ "=" ^ v)
+         (Xmp_engine.Fault_spec.to_params base.faults))
+  in
+  Printf.sprintf "%s|%s|k%d|h%d|s%d|q%d|K%d|b%d|r%d|x%g|j%d|sk%b|%s"
     (Scheme.name scheme) (pattern_name pattern) base.k base.horizon
     base.seed base.queue_pkts base.marking_threshold base.beta base.rto_min
-    base.size_scale base.incast_jobs base.sack
+    base.size_scale base.incast_jobs base.sack fault_part
 
 let result base scheme pattern =
   let key = cache_key base scheme pattern in
@@ -116,6 +128,52 @@ let result base scheme pattern =
     let r = Driver.run (driver_config base scheme pattern) in
     Hashtbl.replace cache key r;
     r
+
+(* Fault-injection evaluation: one run with a live telemetry sink so the
+   injector's Link_down / Link_up / Injected_drop events are observable,
+   summarized as a deterministic table. Not memoized — the run is cheap at
+   scenario scale and the sink makes the result unshareable. *)
+let print_fault_eval base scheme pattern =
+  Render.heading
+    (Printf.sprintf "Fault evaluation: %s under %s" (Scheme.name scheme)
+       (pattern_name pattern));
+  List.iter
+    (fun spec ->
+      Render.say
+        (Printf.sprintf "fault: %s" (Xmp_engine.Fault_spec.spec_to_string spec)))
+    base.faults.Xmp_engine.Fault_spec.specs;
+  let sink = Xmp_telemetry.Sink.create () in
+  let cfg = { (driver_config base scheme pattern) with telemetry = sink } in
+  let r = Driver.run cfg in
+  let count kind =
+    let n = ref 0 in
+    Xmp_telemetry.Recorder.iter
+      (fun e ->
+        if String.equal (Xmp_telemetry.Event.kind e.Xmp_telemetry.Recorder.event) kind
+        then incr n)
+      (Xmp_telemetry.Sink.recorder sink);
+    !n
+  in
+  let flows = Metrics.completed_flows r.Driver.metrics in
+  let truncated = List.length (List.filter (fun f -> f.Metrics.truncated) flows) in
+  let jobs = Metrics.job_times_ms r.Driver.metrics in
+  Table.print
+    ~header:[ "Metric"; "Value" ]
+    ~rows:
+      [
+        [ "Flows recorded"; string_of_int (List.length flows) ];
+        [ "Flows truncated at horizon"; string_of_int truncated ];
+        [
+          "Mean goodput (Mbps)";
+          Table.fixed 1 (Metrics.mean_goodput_bps r.Driver.metrics /. 1e6);
+        ];
+        [ "Jobs completed"; string_of_int (Distribution.count jobs) ];
+        [ "Injected drops"; string_of_int r.Driver.injected_drops ];
+        [ "link-down events"; string_of_int (count "link-down") ];
+        [ "link-up events"; string_of_int (count "link-up") ];
+        [ "injected-drop events"; string_of_int (count "injected-drop") ];
+      ]
+    ()
 
 let table1_schemes =
   [ Scheme.Dctcp; Scheme.Lia 2; Scheme.Lia 4; Scheme.Xmp 2; Scheme.Xmp 4 ]

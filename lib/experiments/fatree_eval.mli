@@ -19,6 +19,9 @@ type base = {
   size_scale : float;
       (** multiplies the default (×1/32-of-paper) flow sizes *)
   incast_jobs : int;
+  faults : Xmp_engine.Fault_spec.t;
+      (** fault schedule armed before traffic starts (empty by default);
+          folded into the memoization key via its canonical parameters *)
 }
 
 val default_base : base
@@ -43,6 +46,13 @@ val table1_schemes : Xmp_workload.Scheme.t list
 
 val bar_schemes : Xmp_workload.Scheme.t list
 (** DCTCP, LIA-4, XMP-2, XMP-4 — the set in Figures 8(c,d), 10 and 11. *)
+
+val print_fault_eval :
+  base -> Xmp_workload.Scheme.t -> pattern_id -> unit
+(** One run of the base's fault schedule with a live telemetry sink:
+    prints the schedule and a summary table (flows, goodput, jobs,
+    injected drops, link-down/link-up/injected-drop event counts). Not
+    memoized. *)
 
 val print_table1 : base -> unit
 

@@ -27,10 +27,13 @@ let variant_name v =
 
 let rate = Net.Units.gbps 1.
 
-let run ?(scale = 0.2) ?(seed = 7) ?(telemetry = Xmp_telemetry.Sink.null) v =
+let run ?(scale = 0.2) ?(seed = 7) ?(telemetry = Xmp_telemetry.Sink.null)
+    ?(faults = Xmp_engine.Fault_spec.empty) v =
   let interval = 5. *. scale in
   let horizon_s = 7. *. interval in
-  let sim = Sim.create ~config:{ Sim.default_config with seed; telemetry } () in
+  let sim =
+    Sim.create ~config:{ Sim.default_config with seed; telemetry; faults } ()
+  in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark v.k)
@@ -42,6 +45,7 @@ let run ?(scale = 0.2) ?(seed = 7) ?(telemetry = Xmp_telemetry.Sink.null) v =
       ~bottlenecks:[ { Net.Testbed.rate; delay = Time.ns 62_500; disc } ]
       ~access_delay:(Time.us 25) ()
   in
+  ignore (Xmp_faults.Injector.install ~net ());
   let probe =
     Probe.create ~sim ~bucket_s:(interval /. 10.) ~horizon_s
   in
@@ -123,7 +127,7 @@ let print r =
     "bottleneck utilization = %.3f, Jain index (4 flows active) = %.3f\n"
     r.utilization r.jain_all_active
 
-let run_and_print_all ?scale () =
+let run_and_print_all ?scale ?faults () =
   Render.heading
     "Figure 1: four flows on a 1 Gbps bottleneck (normalized rates)";
-  List.iter (fun v -> print (run ?scale v)) variants
+  List.iter (fun v -> print (run ?scale ?faults v)) variants

@@ -27,8 +27,8 @@ val variants : variant list
 (** The paper's four panels: DCTCP/halving × K ∈ \{10, 20\}. *)
 
 val run :
-  ?scale:float -> ?seed:int -> ?telemetry:Xmp_telemetry.Sink.t -> variant ->
-  result
+  ?scale:float -> ?seed:int -> ?telemetry:Xmp_telemetry.Sink.t ->
+  ?faults:Xmp_engine.Fault_spec.t -> variant -> result
 (** [scale] multiplies the paper's 5 s schedule interval (default 0.2,
     i.e. flows arrive/leave every second — convergence takes
     milliseconds, so the dwell time is still ≫ 100× convergence).
@@ -37,4 +37,5 @@ val run :
 
 val print : result -> unit
 
-val run_and_print_all : ?scale:float -> unit -> unit
+val run_and_print_all :
+  ?scale:float -> ?faults:Xmp_engine.Fault_spec.t -> unit -> unit

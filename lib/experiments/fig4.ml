@@ -20,12 +20,14 @@ let xmp_flow ~net ~beta ~flow ~src ~dst ~paths ?observer () =
     ~config:Xmp_core.Xmp.tcp_config ?observer ()
 
 let run ?(scale = 0.2) ?(seed = 11) ?(telemetry = Xmp_telemetry.Sink.null)
-    ~beta () =
+    ?(faults = Xmp_engine.Fault_spec.empty) ~beta () =
   let unit_s = 10. *. scale in
   (* paper schedule: bg on DN1 during [10,20) s, bg on DN2 during
      [20,30) s, run ends at 40 s *)
   let horizon_s = 4. *. unit_s in
-  let sim = Sim.create ~config:{ Sim.default_config with seed; telemetry } () in
+  let sim =
+    Sim.create ~config:{ Sim.default_config with seed; telemetry; faults } ()
+  in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark 15)
@@ -39,6 +41,7 @@ let run ?(scale = 0.2) ?(seed = 11) ?(telemetry = Xmp_telemetry.Sink.null)
     Net.Testbed.create ~net ~n_left:5 ~n_right:5 ~bottlenecks:[ spec; spec ]
       ~access_delay:(Time.us 150) ()
   in
+  ignore (Xmp_faults.Injector.install ~net ());
   let probe = Probe.create ~sim ~bucket_s:(unit_s /. 20.) ~horizon_s in
   let launch ~flow ~host ~paths ~probe_names =
     let recorders = Array.of_list (List.map (Probe.recorder probe) probe_names) in
@@ -114,9 +117,9 @@ let print r =
     "Flow 2-1 share while DN1 loaded = %.3f; total-rate retention = %.3f\n"
     r.shifted_share r.compensation
 
-let run_and_print_all ?scale () =
+let run_and_print_all ?scale ?faults () =
   Render.heading
     "Figure 4: traffic shifting of Flow 2 (testbed 3a, rates / 300 Mbps)";
   List.iter
-    (fun beta -> print (run ?scale ~beta ()))
+    (fun beta -> print (run ?scale ?faults ~beta ()))
     [ 4; 6 ]

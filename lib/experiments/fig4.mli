@@ -23,12 +23,14 @@ type result = {
 }
 
 val run :
-  ?scale:float -> ?seed:int -> ?telemetry:Xmp_telemetry.Sink.t -> beta:int ->
-  unit -> result
+  ?scale:float -> ?seed:int -> ?telemetry:Xmp_telemetry.Sink.t ->
+  ?faults:Xmp_engine.Fault_spec.t -> beta:int -> unit -> result
 (** [telemetry] (default the null sink) instruments the run for
-    [xmp_sim trace]. *)
+    [xmp_sim trace]; [faults] (default empty) is armed against the
+    testbed before the flows start. *)
 
 val print : result -> unit
 
-val run_and_print_all : ?scale:float -> unit -> unit
+val run_and_print_all :
+  ?scale:float -> ?faults:Xmp_engine.Fault_spec.t -> unit -> unit
 (** The paper's two panels: β = 4 and β = 6. *)

@@ -14,10 +14,12 @@ type result = {
 let bottleneck_rate = Net.Units.mbps 300.
 
 let run ?(scale = 0.2) ?(seed = 13) ?(telemetry = Xmp_telemetry.Sink.null)
-    ~beta () =
+    ?(faults = Xmp_engine.Fault_spec.empty) ~beta () =
   let unit_s = 5. *. scale in
   let horizon_s = 6. *. unit_s (* paper: 30 s *) in
-  let sim = Sim.create ~config:{ Sim.default_config with seed; telemetry } () in
+  let sim =
+    Sim.create ~config:{ Sim.default_config with seed; telemetry; faults } ()
+  in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark 15)
@@ -29,6 +31,7 @@ let run ?(scale = 0.2) ?(seed = 13) ?(telemetry = Xmp_telemetry.Sink.null)
         [ { Net.Testbed.rate = bottleneck_rate; delay = Time.us 600; disc } ]
       ~access_delay:(Time.us 150) ()
   in
+  ignore (Xmp_faults.Injector.install ~net ());
   let params = { Xmp_core.Bos.default_params with beta } in
   let probe = Probe.create ~sim ~bucket_s:(unit_s /. 10.) ~horizon_s in
   let subflow_names = ref [] in
@@ -139,7 +142,7 @@ let print r =
   Render.series_table ~bucket_s:r.bucket_s ~every:5 r.flow_rates;
   Render.printf "Jain index across flows (all active) = %.3f\n" r.jain_flows
 
-let run_and_print_all ?scale () =
+let run_and_print_all ?scale ?faults () =
   Render.heading
     "Figure 6: four flows, 3/2/1/1 subflows, one 300 Mbps bottleneck";
-  List.iter (fun beta -> print (run ?scale ~beta ())) [ 4; 6 ]
+  List.iter (fun beta -> print (run ?scale ?faults ~beta ())) [ 4; 6 ]

@@ -18,11 +18,12 @@ type result = {
 }
 
 val run :
-  ?scale:float -> ?seed:int -> ?telemetry:Xmp_telemetry.Sink.t -> beta:int ->
-  unit -> result
+  ?scale:float -> ?seed:int -> ?telemetry:Xmp_telemetry.Sink.t ->
+  ?faults:Xmp_engine.Fault_spec.t -> beta:int -> unit -> result
 (** [telemetry] (default the null sink) instruments the run for
     [xmp_sim trace]. *)
 
 val print : result -> unit
 
-val run_and_print_all : ?scale:float -> unit -> unit
+val run_and_print_all :
+  ?scale:float -> ?faults:Xmp_engine.Fault_spec.t -> unit -> unit

@@ -13,10 +13,12 @@ type result = {
 let capacities_gbps = [ 0.8; 1.2; 2.0; 1.5; 0.5 ]
 
 let run ?(scale = 0.2) ?(seed = 17) ?(telemetry = Xmp_telemetry.Sink.null)
-    ~beta ~k () =
+    ?(faults = Xmp_engine.Fault_spec.empty) ~beta ~k () =
   let unit_s = 5. *. scale in
   let horizon_s = 14. *. unit_s (* paper: 70 s *) in
-  let sim = Sim.create ~config:{ Sim.default_config with seed; telemetry } () in
+  let sim =
+    Sim.create ~config:{ Sim.default_config with seed; telemetry; faults } ()
+  in
   let net = Net.Network.create sim in
   let disc () =
     Net.Queue_disc.create ~policy:(Net.Queue_disc.Threshold_mark k)
@@ -33,6 +35,7 @@ let run ?(scale = 0.2) ?(seed = 17) ?(telemetry = Xmp_telemetry.Sink.null)
     Net.Testbed.create ~net ~n_left:9 ~n_right:9 ~bottlenecks:specs
       ~access_delay:(Time.us 40) ()
   in
+  ignore (Xmp_faults.Injector.install ~net ());
   let params = { Xmp_core.Bos.default_params with beta } in
   let probe = Probe.create ~sim ~bucket_s:unit_s ~horizon_s in
   (* Flows 1..5: subflow 1 on L_i, subflow 2 on L_{i+1 mod 5} *)
@@ -98,9 +101,9 @@ let print r =
     (Printf.sprintf "Figure 7 panel: beta = %d, K = %d" r.beta r.k);
   Render.series_table ~bucket_s:r.interval_s r.rates
 
-let run_and_print_all ?scale () =
+let run_and_print_all ?scale ?faults () =
   Render.heading
     "Figure 7: rate compensation on the ring (interval-averaged, / 1 Gbps)";
   List.iter
-    (fun (beta, k) -> print (run ?scale ~beta ~k ()))
+    (fun (beta, k) -> print (run ?scale ?faults ~beta ~k ()))
     [ (4, 20); (5, 15); (6, 10) ]

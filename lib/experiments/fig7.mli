@@ -22,12 +22,13 @@ type result = {
 }
 
 val run :
-  ?scale:float -> ?seed:int -> ?telemetry:Xmp_telemetry.Sink.t -> beta:int ->
-  k:int -> unit -> result
+  ?scale:float -> ?seed:int -> ?telemetry:Xmp_telemetry.Sink.t ->
+  ?faults:Xmp_engine.Fault_spec.t -> beta:int -> k:int -> unit -> result
 (** [telemetry] (default the null sink) instruments the run for
     [xmp_sim trace]. *)
 
 val print : result -> unit
 
-val run_and_print_all : ?scale:float -> unit -> unit
+val run_and_print_all :
+  ?scale:float -> ?faults:Xmp_engine.Fault_spec.t -> unit -> unit
 (** The paper's three parameterizations: (β,K) = (4,20), (5,15), (6,10). *)

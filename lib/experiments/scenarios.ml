@@ -1,5 +1,6 @@
 module Scenario = Xmp_runner.Scenario
 module Time = Xmp_engine.Time
+module Fault_spec = Xmp_engine.Fault_spec
 
 type config = {
   tag : string;
@@ -33,6 +34,9 @@ let base_params (b : Fatree_eval.base) =
     ("size_scale", string_of_float b.size_scale);
     ("incast_jobs", string_of_int b.incast_jobs);
   ]
+  (* empty schedule contributes nothing, so fault-free digests are
+     untouched *)
+  @ Fault_spec.to_params b.faults
 
 let scale_params scale = [ ("scale", string_of_float scale) ]
 
@@ -45,6 +49,42 @@ let fig ~name ~descr ~scale run =
 
 let table ~name ~descr ~base run =
   Scenario.create ~name ~descr ~params:(base_params base) (fun () -> run base)
+
+(* fig4 with bottleneck DN2 failing mid-run: both directions of the
+   second bottleneck go down at 1.0 schedule units and come back at 1.5
+   (at quick scale, down at t = 1 s for 0.5 s). Flow 3 loses its only
+   path and must ride out the outage on retransmission timers; Flow 2
+   shifts everything onto DN1. *)
+let fig4_linkfail_faults ~scale =
+  let unit_s = 10. *. scale in
+  let down_at = Time.sec (1.0 *. unit_s) in
+  let up_at = Time.sec (1.5 *. unit_s) in
+  Fault_spec.create
+    (List.concat_map
+       (fun name ->
+         [
+           Fault_spec.Link_down { target = Fault_spec.Link name; at = down_at };
+           Fault_spec.Link_up { target = Fault_spec.Link name; at = up_at };
+         ])
+       [ "IN2->OUT2"; "OUT2->IN2" ])
+
+(* incast under 1% i.i.d. loss on every rack (host <-> edge) link, both
+   directions — data and ACK packets alike. *)
+let incast_lossy_base base =
+  {
+    base with
+    Fatree_eval.faults =
+      Fault_spec.create ~seed:97
+        [
+          Fault_spec.Loss
+            {
+              target = Fault_spec.Tag "rack";
+              window = Fault_spec.always;
+              model = Fault_spec.Bernoulli 0.01;
+              filter = Fault_spec.Any_packet;
+            };
+        ];
+  }
 
 let all cfg =
   let { scale; base; _ } = cfg in
@@ -94,6 +134,21 @@ let all cfg =
       ~descr:"buffer occupancy by scheme"
       ~params:[ ("beta", "4"); ("k", "10") ]
       (fun () -> Ablations.print_queue_occupancy ());
+    (let faults = fig4_linkfail_faults ~scale in
+     Scenario.create ~name:"fig4.linkfail"
+       ~descr:"traffic shifting with bottleneck DN2 failing mid-run"
+       ~params:(scale_params scale @ Fault_spec.to_params faults)
+       (fun () ->
+         Render.heading
+           "Figure 4 variant: DN2 down for half a load interval";
+         Fig4.print (Fig4.run ~scale ~faults ~beta:4 ())));
+    (let base = incast_lossy_base base in
+     Scenario.create ~name:"incast.lossy"
+       ~descr:"incast with 1% Bernoulli loss on rack links"
+       ~params:(base_params base)
+       (fun () ->
+         Fatree_eval.print_fault_eval base (Xmp_workload.Scheme.Xmp 2)
+           Fatree_eval.Incast));
   ]
 
 let groups =
@@ -105,6 +160,7 @@ let groups =
         "ablations.incast_fanout"; "ablations.rto_min"; "ablations.sack";
         "ablations.queue";
       ] );
+    ("faults", [ "fig4.linkfail"; "incast.lossy" ]);
   ]
 
 let select cfg ids =

@@ -157,6 +157,40 @@ let n_paths t ~src ~dst =
   | Inter_rack -> half
   | Inter_pod -> half * half
 
+(* ---- link naming for fault schedules --------------------------------- *)
+
+let check_pod t pod = if pod < 0 || pod >= t.k then invalid_arg "Fat_tree: pod"
+
+let check_half t what i =
+  if i < 0 || i >= t.k / 2 then invalid_arg ("Fat_tree: " ^ what)
+
+let rack_uplink_name t ~pod ~edge ~agg =
+  check_pod t pod;
+  check_half t "edge" edge;
+  check_half t "agg" agg;
+  Printf.sprintf "e%d.%d->a%d.%d" pod edge pod agg
+
+let rack_downlink_name t ~pod ~edge ~agg =
+  check_pod t pod;
+  check_half t "edge" edge;
+  check_half t "agg" agg;
+  Printf.sprintf "a%d.%d->e%d.%d" pod agg pod edge
+
+let host_uplink_name t i =
+  let pod, edge, slot = decompose ~k:t.k (host_index t (host_id t i)) in
+  Printf.sprintf "h%d.%d.%d->e%d.%d" pod edge slot pod edge
+
+let find_link_exn t name =
+  match Network.find_link t.net ~name with
+  | Some l -> l
+  | None -> invalid_arg ("Fat_tree: no link named " ^ name)
+
+let rack_uplink t ~pod ~edge ~agg =
+  find_link_exn t (rack_uplink_name t ~pod ~edge ~agg)
+
+let rack_downlink t ~pod ~edge ~agg =
+  find_link_exn t (rack_downlink_name t ~pod ~edge ~agg)
+
 let max_rtt_no_queue t =
   (* host-edge-agg-core-agg-edge-host, both directions *)
   let one_way =

@@ -56,6 +56,24 @@ val n_paths : t -> src:int -> dst:int -> int
 val max_rtt_no_queue : t -> Xmp_engine.Time.t
 (** Zero-load RTT of the longest (inter-pod) path. *)
 
+val rack_uplink_name : t -> pod:int -> edge:int -> agg:int -> string
+(** ["e<pod>.<edge>->a<pod>.<agg>"] — the edge-to-aggregation uplink's
+    link name, for building {!Xmp_engine.Fault_spec} schedules that fail
+    a rack uplink mid-run. Raises on out-of-range coordinates. *)
+
+val rack_downlink_name : t -> pod:int -> edge:int -> agg:int -> string
+(** The reverse (aggregation-to-edge) direction; fail both names to cut
+    the cable rather than one direction. *)
+
+val host_uplink_name : t -> int -> string
+(** ["h<pod>.<edge>.<slot>-><edge switch>"] for host index [i]. *)
+
+val rack_uplink : t -> pod:int -> edge:int -> agg:int -> Link.t
+(** The live link for {!rack_uplink_name}; raises [Invalid_argument] if
+    absent. *)
+
+val rack_downlink : t -> pod:int -> edge:int -> agg:int -> Link.t
+
 val layers : string list
 (** [\["core"; "aggregation"; "rack"\]] — tags usable with
     {!Network.links_tagged}. *)

@@ -75,6 +75,16 @@ let host_index t id =
   if i < 0 || i >= n_hosts t then invalid_arg "Leaf_spine.host_index";
   i
 
+let uplink_name t ~leaf ~spine =
+  if leaf < 0 || leaf >= t.leaves then invalid_arg "Leaf_spine: leaf";
+  if spine < 0 || spine >= t.spines then invalid_arg "Leaf_spine: spine";
+  Printf.sprintf "leaf%d->spine%d" leaf spine
+
+let downlink_name t ~leaf ~spine =
+  if leaf < 0 || leaf >= t.leaves then invalid_arg "Leaf_spine: leaf";
+  if spine < 0 || spine >= t.spines then invalid_arg "Leaf_spine: spine";
+  Printf.sprintf "spine%d->leaf%d" spine leaf
+
 let same_leaf t ~src ~dst = src / t.hosts_per_leaf = dst / t.hosts_per_leaf
 
 let n_paths t ~src ~dst = if same_leaf t ~src ~dst then 1 else t.spines

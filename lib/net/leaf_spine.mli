@@ -37,6 +37,13 @@ val host_index : t -> int -> int
 val same_leaf : t -> src:int -> dst:int -> bool
 (** Whether two host indices share a leaf switch. *)
 
+val uplink_name : t -> leaf:int -> spine:int -> string
+(** ["leaf<l>->spine<s>"] — for addressing the uplink in a
+    {!Xmp_engine.Fault_spec} schedule. Raises on out-of-range indices. *)
+
+val downlink_name : t -> leaf:int -> spine:int -> string
+(** ["spine<s>->leaf<l>"], the reverse direction. *)
+
 val n_paths : t -> src:int -> dst:int -> int
 (** 1 within a leaf, [spines] across leaves. *)
 

@@ -12,6 +12,7 @@ type t = {
   delay : Time.t;
   disc : Queue_disc.t;
   mutable receiver : Packet.t -> unit;
+  mutable drop_filter : (Packet.t -> bool) option;
   mutable busy : bool;
   mutable up : bool;
   mutable bytes_sent : int;
@@ -48,6 +49,7 @@ let create ~sim ~id ~name ~rate ~delay ~disc =
     delay;
     disc;
     receiver = no_receiver;
+    drop_filter = None;
     busy = false;
     up = true;
     bytes_sent = 0;
@@ -58,6 +60,7 @@ let create ~sim ~id ~name ~rate ~delay ~disc =
 
 let set_receiver t f = t.receiver <- f
 let wrap_receiver t wrap = t.receiver <- wrap t.receiver
+let set_drop_filter t f = t.drop_filter <- f
 let id t = t.id
 let name t = t.name
 let rate t = t.rate
@@ -93,7 +96,11 @@ let rec transmit t (p : Packet.t) =
 
 let send t p =
   if t.up then
-    if t.busy then ignore (Queue_disc.enqueue t.disc p)
+    (* The drop filter models loss on the wire's ingress: a killed packet
+       never reaches the queue. Accounting/telemetry is the filter's job
+       (the fault injector counts and emits Injected_drop). *)
+    if (match t.drop_filter with Some f -> f p | None -> false) then ()
+    else if t.busy then ignore (Queue_disc.enqueue t.disc p)
     else begin
       (* An idle link still runs the packet through the discipline so that
          marking/occupancy accounting sees every arrival. *)

@@ -28,6 +28,14 @@ val wrap_receiver : t -> ((Packet.t -> unit) -> Packet.t -> unit) -> unit
     point for taps and fault injectors (see {!Trace}). Must be called
     after the topology builder wired the link. *)
 
+val set_drop_filter : t -> (Packet.t -> bool) option -> unit
+(** Ingress loss hook: when set, every packet offered to {!send} on an up
+    link is first shown to the filter, and discarded before reaching the
+    queue if it returns [true]. The filter owns accounting/telemetry for
+    what it kills (the fault injector counts drops and emits
+    [Injected_drop] events). [None] (the default) disables the hook at the
+    cost of one branch. *)
+
 val id : t -> int
 
 val name : t -> string

@@ -98,6 +98,9 @@ let links_tagged t tag =
 
 let tag_of_link t l = Hashtbl.find_opt t.tags (Link.id l)
 
+let find_link t ~name =
+  List.find_opt (fun l -> String.equal (Link.name l) name) (links t)
+
 let register_endpoint t ~host ~flow ~subflow handler =
   Hashtbl.replace t.endpoints (host, flow, subflow) handler
 

@@ -51,6 +51,11 @@ val links_tagged : t -> string -> Link.t list
 
 val tag_of_link : t -> Link.t -> string option
 
+val find_link : t -> name:string -> Link.t option
+(** Looks a link up by its ["src->dst"] name (first match in creation
+    order; builder-generated names are unique). How fault schedules and
+    the CLI address links. *)
+
 val register_endpoint :
   t -> host:int -> flow:int -> subflow:int -> (Packet.t -> unit) -> unit
 (** Registers the transport handler for packets of [(flow, subflow)]

@@ -43,6 +43,7 @@ type t = {
   mutable on_drop : (Packet.t -> unit) option;
   mutable on_mark : (Packet.t -> unit) option;
   mutable telem : telem option;
+  mutable blackout : bool;
 }
 
 let create ~policy ~capacity_pkts =
@@ -62,6 +63,7 @@ let create ~policy ~capacity_pkts =
     on_drop = None;
     on_mark = None;
     telem = None;
+    blackout = false;
   }
 
 let set_telemetry t ~sink ~now ~queue =
@@ -170,7 +172,10 @@ let drop t (p : Packet.t) =
   false
 
 let enqueue t (p : Packet.t) =
-  if t.len >= t.capacity then drop t p
+  (* a blacked-out queue refuses everything; [drop] keeps the normal
+     accounting so the loss is visible in counters and Drop events *)
+  if t.blackout then drop t p
+  else if t.len >= t.capacity then drop t p
   else begin
     match t.policy with
     | Droptail ->
@@ -226,6 +231,9 @@ let clear t =
 let set_hooks t ?on_drop ?on_mark () =
   t.on_drop <- on_drop;
   t.on_mark <- on_mark
+
+let set_blackout t b = t.blackout <- b
+let blackout t = t.blackout
 
 let enqueued t = t.enqueued
 let dropped t = t.dropped

@@ -40,7 +40,8 @@ val length : t -> int
 
 val enqueue : t -> Packet.t -> bool
 (** [enqueue t p] applies the marking policy to [p] and appends it; returns
-    [false] when the packet was dropped (queue full, or RED drop). *)
+    [false] when the packet was dropped (queue full, RED drop, or the
+    queue is blacked out). *)
 
 val dequeue : t -> Packet.t option
 
@@ -73,6 +74,14 @@ val set_hooks :
   unit
 (** Per-packet observers for tracing. Unset hooks cost one branch per
     enqueue. Calling again replaces both hooks (omitted = removed). *)
+
+val set_blackout : t -> bool -> unit
+(** While blacked out the queue drops every arriving packet with normal
+    drop accounting (counters, [on_drop], Drop events); packets already
+    queued still drain. The fault injector's [Blackout] spec toggles
+    this. *)
+
+val blackout : t -> bool
 
 val set_telemetry :
   t -> sink:Xmp_telemetry.Sink.t -> now:(unit -> int) -> queue:string -> unit

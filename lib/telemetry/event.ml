@@ -15,6 +15,9 @@ type t =
   | Rto_timeout of { flow : int; subflow : int }
   | Subflow_complete of { flow : int; subflow : int; acked : int }
   | Flow_complete of { flow : int; acked : int }
+  | Link_down of { link : string }
+  | Link_up of { link : string }
+  | Injected_drop of { link : string; flow : int; subflow : int; seq : int }
 
 let kind = function
   | Enqueue _ -> "enqueue"
@@ -27,18 +30,27 @@ let kind = function
   | Rto_timeout _ -> "rto-timeout"
   | Subflow_complete _ -> "subflow-complete"
   | Flow_complete _ -> "flow-complete"
+  | Link_down _ -> "link-down"
+  | Link_up _ -> "link-up"
+  | Injected_drop _ -> "injected-drop"
 
 let all_kinds =
   [
     "enqueue"; "dequeue"; "ce-mark"; "drop"; "cwnd-change"; "trash-delta";
     "retransmit"; "rto-timeout"; "subflow-complete"; "flow-complete";
+    "link-down"; "link-up"; "injected-drop";
   ]
 
+(* fault events reuse the queue column for the link name: both identify
+   "the place in the network", and the CSV schema stays fixed *)
 let queue = function
   | Enqueue e -> Some e.queue
   | Dequeue e -> Some e.queue
   | Ce_mark e -> Some e.queue
   | Drop e -> Some e.queue
+  | Link_down e -> Some e.link
+  | Link_up e -> Some e.link
+  | Injected_drop e -> Some e.link
   | Cwnd_change _ | Trash_delta _ | Retransmit _ | Rto_timeout _
   | Subflow_complete _ | Flow_complete _ ->
     None
@@ -54,6 +66,8 @@ let flow = function
   | Rto_timeout e -> e.flow
   | Subflow_complete e -> e.flow
   | Flow_complete e -> e.flow
+  | Injected_drop e -> e.flow
+  | Link_down _ | Link_up _ -> -1
 
 let subflow = function
   | Enqueue e -> Some e.subflow
@@ -65,7 +79,8 @@ let subflow = function
   | Retransmit e -> Some e.subflow
   | Rto_timeout e -> Some e.subflow
   | Subflow_complete e -> Some e.subflow
-  | Flow_complete _ -> None
+  | Injected_drop e -> Some e.subflow
+  | Flow_complete _ | Link_down _ | Link_up _ -> None
 
 (* the per-kind scalar payload: queue depth, cwnd, delta, seq or acked *)
 let value = function
@@ -79,15 +94,18 @@ let value = function
   | Rto_timeout _ -> None
   | Subflow_complete e -> Some (float_of_int e.acked)
   | Flow_complete e -> Some (float_of_int e.acked)
+  | Injected_drop e -> Some (float_of_int e.seq)
+  | Link_down _ | Link_up _ -> None
 
 let csv_header = "time_s,event,queue,flow,subflow,value"
 
 let time_s time_ns = float_of_int time_ns *. 1e-9
 
 let to_csv ~time_ns ev =
-  Printf.sprintf "%.9f,%s,%s,%d,%s,%s" (time_s time_ns) (kind ev)
+  Printf.sprintf "%.9f,%s,%s,%s,%s,%s" (time_s time_ns) (kind ev)
     (match queue ev with Some q -> q | None -> "")
-    (flow ev)
+    (let f = flow ev in
+     if f >= 0 then string_of_int f else "")
     (match subflow ev with Some s -> string_of_int s | None -> "")
     (match value ev with Some v -> Printf.sprintf "%.12g" v | None -> "")
 
@@ -114,7 +132,8 @@ let to_json ~time_ns ev =
   | Some q ->
     Buffer.add_string buf (Printf.sprintf ",\"queue\":\"%s\"" (json_escape q))
   | None -> ());
-  Buffer.add_string buf (Printf.sprintf ",\"flow\":%d" (flow ev));
+  (let f = flow ev in
+   if f >= 0 then Buffer.add_string buf (Printf.sprintf ",\"flow\":%d" f));
   (match subflow ev with
   | Some s -> Buffer.add_string buf (Printf.sprintf ",\"subflow\":%d" s)
   | None -> ());

@@ -3,8 +3,9 @@
     The taxonomy covers the phenomena the paper's evaluation hinges on:
     queue dynamics (enqueue / dequeue / CE mark / drop with the occupancy
     after the action), congestion control (cwnd changes from BOS, TraSh
-    [delta] updates), loss recovery (retransmits, RTO timeouts) and flow
-    lifecycle (per-subflow and whole-flow completion). *)
+    [delta] updates), loss recovery (retransmits, RTO timeouts), flow
+    lifecycle (per-subflow and whole-flow completion) and injected faults
+    (link transitions, scheduled packet kills). *)
 
 type t =
   | Enqueue of { queue : string; flow : int; subflow : int; depth : int }
@@ -24,6 +25,11 @@ type t =
   | Rto_timeout of { flow : int; subflow : int }  (** watchdog fired *)
   | Subflow_complete of { flow : int; subflow : int; acked : int }
   | Flow_complete of { flow : int; acked : int }
+  | Link_down of { link : string }
+      (** a fault injector (or scenario) took [link] down *)
+  | Link_up of { link : string }  (** [link] restored *)
+  | Injected_drop of { link : string; flow : int; subflow : int; seq : int }
+      (** the fault injector killed a packet on [link] (loss model) *)
 
 val kind : t -> string
 (** Stable lowercase name, e.g. ["ce-mark"]; the filter key used by
@@ -33,7 +39,13 @@ val all_kinds : string list
 (** Every {!kind} value, in declaration order. *)
 
 val queue : t -> string option
+(** The queue name — or, for the fault events, the link name: both
+    identify "the place in the network" and share the CSV column. *)
+
 val flow : t -> int
+(** [-1] for events not attributable to a flow ({!Link_down}/{!Link_up});
+    the exporters render those with an empty flow field. *)
+
 val subflow : t -> int option
 
 val value : t -> float option

@@ -1,0 +1,44 @@
+(** Sets of segment numbers as sorted, disjoint, non-adjacent
+    [[start, stop)] intervals.
+
+    The representation the TCP SACK scoreboard and the receiver's reorder
+    buffer share: all operations are O(number of blocks), and a block list
+    is already the wire format of a SACK option ({!blocks} is free).
+    Values are immutable; operations return the new set. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val mem : int -> t -> bool
+
+val add : int -> t -> t
+(** [add x t] = [add_range ~start:x ~stop:(x + 1) t]. *)
+
+val add_range : start:int -> stop:int -> t -> t
+(** Unions [[start, stop)] into the set, merging overlapping and adjacent
+    blocks. Empty ranges ([start >= stop]) are a no-op. *)
+
+val remove_below : int -> t -> t
+(** [remove_below b t] drops every member < [b] — how the scoreboard is
+    pruned as [snd_una] advances, keeping the set bounded by data in
+    flight. *)
+
+val first_absent_from : int -> t -> int
+(** [first_absent_from x t] is the smallest [y >= x] with [y] not in
+    [t] — the next hole at or after [x]. *)
+
+val consume_from : int -> t -> int * t
+(** [consume_from x t] is [(stop, rest)] if a block [[x, stop)] starts
+    exactly at [x] (the block removed), else [(x, t)] — how the receiver
+    advances [rcv_nxt] across buffered out-of-order data in one step. *)
+
+val blocks : t -> (int * int) list
+(** The maximal [[start, stop)] runs in ascending order. *)
+
+val n_blocks : t -> int
+
+val cardinal : t -> int
+(** Total members across all blocks. *)

@@ -17,6 +17,7 @@ type config = {
   ect : bool;
   echo : echo_mode;
   sack : bool;
+  reassembly_limit : int;
 }
 
 let default_config =
@@ -34,6 +35,11 @@ let default_config =
        fast recovery repairs. The SACK ablation quantifies the
        difference. *)
     sack = false;
+    (* cap on buffered out-of-order segments; far above any cwnd this
+       simulator reaches, so it only bites under pathological injected
+       loss, where it bounds receiver state instead of growing without
+       limit *)
+    reassembly_limit = 4096;
   }
 
 let ecn_config = { default_config with ect = true }
@@ -66,8 +72,12 @@ type t = {
   mutable dupacks : int;
   mutable in_recovery : bool;
   mutable recover : int;
-  sacked : (int, unit) Hashtbl.t;
+  mutable sacked : Seqset.t;
       (* scoreboard: segments above snd_una the receiver holds *)
+  mutable rexmit_high : int;
+      (* highest hole fast recovery has retransmitted; repairs triggered
+         by later SACK news start above it so a hole is resent at most
+         once per recovery episode *)
   mutable rto_deadline : Time.t;
   mutable watchdog_time : Time.t;  (* fire time of the live watchdog *)
   mutable watchdog_epoch : int;  (* stale scheduled watchdogs are ignored *)
@@ -75,7 +85,7 @@ type t = {
   mutable completed_at : Time.t option;
   (* receiver *)
   mutable rcv_nxt : int;
-  ooo : (int, unit) Hashtbl.t;
+  mutable rcv_ooo : Seqset.t;  (* buffered segments above rcv_nxt *)
   mutable pending_ce : int;
   mutable ece_latched : bool;
   mutable delack_pending : int;
@@ -222,9 +232,9 @@ and send_pending t =
     let window = Stdlib.max 1 (int_of_float (t.cc.Cc.cwnd ())) in
     if flight t < window then begin
       (* skip segments the SACK scoreboard says the receiver already has *)
-      while t.snd_nxt < t.snd_max && Hashtbl.mem t.sacked t.snd_nxt do
-        t.snd_nxt <- t.snd_nxt + 1
-      done;
+      if not (Seqset.is_empty t.sacked) then
+        t.snd_nxt <-
+          Stdlib.min t.snd_max (Seqset.first_absent_from t.snd_nxt t.sacked);
       if t.snd_nxt < t.snd_max then begin
         (* retransmission of taken-but-unacked data (post-timeout) *)
         let seq = t.snd_nxt in
@@ -249,25 +259,16 @@ let send_loop = send_pending
 
 (* ----- receiver side ----- *)
 
-(* up to 3 maximal [start, stop) runs of out-of-order segments *)
+(* up to 3 maximal [start, stop) runs of out-of-order segments — the
+   reorder buffer already stores maximal runs, so this is a prefix walk,
+   not a rebuild-and-sort of every buffered segment *)
 let sack_blocks t =
-  if (not t.config.sack) || Hashtbl.length t.ooo = 0 then []
-  else begin
-    let keys =
-      List.sort Int.compare
-        (Hashtbl.fold (fun k () acc -> k :: acc) t.ooo [])
+  if (not t.config.sack) || Seqset.is_empty t.rcv_ooo then []
+  else
+    let rec take n l =
+      match l with x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> []
     in
-    let rec runs acc current = function
-      | [] -> List.rev (match current with None -> acc | Some r -> r :: acc)
-      | k :: rest -> (
-        match current with
-        | Some (start, stop) when k = stop -> runs acc (Some (start, k + 1)) rest
-        | Some r -> runs (r :: acc) (Some (k, k + 1)) rest
-        | None -> runs acc (Some (k, k + 1)) rest)
-    in
-    let all = runs [] None keys in
-    List.filteri (fun i _ -> i < 3) all
-  end
+    take 3 (Seqset.blocks t.rcv_ooo)
 
 let make_ack t =
   let ece_count =
@@ -315,16 +316,23 @@ let receiver_rx t (p : Packet.t) =
   | Counted _ -> if p.ce then t.pending_ce <- t.pending_ce + 1);
   if p.seq = t.rcv_nxt then begin
     t.rcv_nxt <- t.rcv_nxt + 1;
-    while Hashtbl.mem t.ooo t.rcv_nxt do
-      Hashtbl.remove t.ooo t.rcv_nxt;
-      t.rcv_nxt <- t.rcv_nxt + 1
-    done;
+    (* the reorder buffer keeps maximal runs, so the whole contiguous
+       stretch above the new rcv_nxt lifts out in one step *)
+    let nxt, rest = Seqset.consume_from t.rcv_nxt t.rcv_ooo in
+    t.rcv_nxt <- nxt;
+    t.rcv_ooo <- rest;
     t.delack_pending <- t.delack_pending + 1;
     if t.delack_pending >= t.config.delack_segments then send_ack t
     else arm_delack t
   end
   else if p.seq > t.rcv_nxt then begin
-    if not (Hashtbl.mem t.ooo p.seq) then Hashtbl.replace t.ooo p.seq ();
+    (* buffer unless the reassembly queue is at its limit; beyond it the
+       segment is treated as lost (the sender will retransmit), which
+       bounds receiver state under sustained injected loss *)
+    if
+      (not (Seqset.mem p.seq t.rcv_ooo))
+      && Seqset.cardinal t.rcv_ooo < t.config.reassembly_limit
+    then t.rcv_ooo <- Seqset.add p.seq t.rcv_ooo;
     (* out of order: duplicate ACK right away so the sender can detect the
        loss with fast retransmit *)
     send_ack t
@@ -335,29 +343,55 @@ let receiver_rx t (p : Packet.t) =
 
 (* ----- sender ACK processing ----- *)
 
+(* returns true when the ACK's blocks taught us about segments we did not
+   know the receiver holds — the signal that a dup ACK is advancing the
+   scoreboard during recovery *)
 let ingest_sack t (p : Packet.t) =
-  if t.config.sack then
+  if not t.config.sack then false
+  else begin
+    let before = Seqset.cardinal t.sacked in
     List.iter
       (fun (start, stop) ->
-        for seq = Stdlib.max start (t.snd_una + 1) to stop - 1 do
-          Hashtbl.replace t.sacked seq ()
-        done)
-      p.sack
-
-let prune_scoreboard t =
-  if Hashtbl.length t.sacked > 0 then begin
-    let stale =
-      Hashtbl.fold
-        (fun seq () acc -> if seq < t.snd_una then seq :: acc else acc)
-        t.sacked []
-    in
-    List.iter (Hashtbl.remove t.sacked) stale
+        let start = Stdlib.max start (t.snd_una + 1) in
+        if start < stop then
+          t.sacked <- Seqset.add_range ~start ~stop t.sacked)
+      p.sack;
+    Seqset.cardinal t.sacked > before
   end
+
+let prune_scoreboard t = t.sacked <- Seqset.remove_below t.snd_una t.sacked
+
+(* First unSACKed hole at or above [from] that is safe to declare lost:
+   a repair needs SACK evidence *above* the hole (RFC 6675's IsLost
+   idea) — the gap between the highest SACKed segment and the send
+   frontier is data still in flight, not a hole, and retransmitting it
+   would be spurious. *)
+let next_hole t ~from =
+  let hole = Seqset.first_absent_from from t.sacked in
+  if hole < t.recover && hole < t.snd_nxt then Some hole else None
+
+(* IsLost (RFC 6675): only declare a hole lost on SACK information when
+   dupack_threshold SACKed segments lie above it — the gap between the
+   highest SACKed segment and the send frontier is data still in flight,
+   and repairing it would be a spurious retransmission. Cumulative-ACK
+   evidence (a partial ACK parking on the hole) needs no such guard. *)
+let hole_is_lost t hole =
+  let evidence =
+    List.fold_left
+      (fun acc (start, stop) ->
+        if start > hole then acc + (stop - start) else acc)
+      0 (Seqset.blocks t.sacked)
+  in
+  evidence >= t.config.dupack_threshold
+
+let repair_hole t hole =
+  if hole > t.rexmit_high then t.rexmit_high <- hole;
+  send_data t ~seq:hole ~retx:true
 
 let sender_rx t (p : Packet.t) =
   if not t.torn_down then begin
     if p.ece_count > 0 then t.cc.Cc.on_ecn ~count:p.ece_count;
-    ingest_sack t p;
+    let sack_advanced = ingest_sack t p in
     if p.seq > t.snd_una then begin
       Invariant.require ~name:"tcp.ack-within-sent" (p.seq <= t.snd_max)
         (fun () ->
@@ -385,8 +419,22 @@ let sender_rx t (p : Packet.t) =
       if t.in_recovery then begin
         if t.snd_una >= t.recover then t.in_recovery <- false
         else
-          (* NewReno partial ACK: repair the next hole immediately *)
-          send_data t ~seq:t.snd_una ~retx:true
+          (* NewReno partial ACK: repair the next hole immediately.
+             The hole is not necessarily snd_una — with SACK the
+             scoreboard may show the receiver already holds it (the
+             partial ACK can race a SACKed retransmission), and resending
+             a held segment both wastes the repair and re-triggers dup
+             ACKs. Skip forward to the first segment actually missing,
+             and do not resend a hole this episode already repaired (its
+             retransmission is still in flight; if that copy is also
+             lost, the RTO backstop recovers it). Without a scoreboard
+             there is nothing to consult and the hole is snd_una, as in
+             classic NewReno. *)
+          if Seqset.is_empty t.sacked then repair_hole t t.snd_una
+          else
+            match next_hole t ~from:t.snd_una with
+            | Some hole when hole > t.rexmit_high -> repair_hole t hole
+            | Some _ | None -> ()
       end;
       refresh_rto t;
       send_loop t
@@ -396,9 +444,29 @@ let sender_rx t (p : Packet.t) =
       if t.dupacks = t.config.dupack_threshold && not t.in_recovery then begin
         t.in_recovery <- true;
         t.recover <- t.snd_max;
+        t.rexmit_high <- t.snd_una - 1;
         t.fast_retransmits <- t.fast_retransmits + 1;
         t.cc.Cc.on_fast_retransmit ();
-        send_data t ~seq:t.snd_una ~retx:true
+        match next_hole t ~from:t.snd_una with
+        | Some hole -> repair_hole t hole
+        | None -> repair_hole t t.snd_una
+      end
+      else if t.in_recovery && sack_advanced then begin
+        (* Dup ACKs during recovery that carry fresh SACK news used to be
+           ignored, so a multi-hole loss burst repaired one hole per RTT
+           and usually ended in an RTO. Retransmit the next unrepaired
+           hole, but pace by a conservative pipe estimate (RFC 6675's
+           idea): data in flight that the scoreboard does not cover must
+           stay under the window, else the repairs themselves overflow
+           the bottleneck and are lost in turn. *)
+        let window = Stdlib.max 1 (int_of_float (t.cc.Cc.cwnd ())) in
+        let pipe = flight t - Seqset.cardinal t.sacked in
+        if pipe < window then
+          match
+            next_hole t ~from:(Stdlib.max t.snd_una (t.rexmit_high + 1))
+          with
+          | Some hole when hole_is_lost t hole -> repair_hole t hole
+          | Some _ | None -> ()
       end
     end
   end
@@ -459,14 +527,15 @@ let create ~net ~flow ~subflow ~src ~dst ~path ~cc
       dupacks = 0;
       in_recovery = false;
       recover = 0;
-      sacked = Hashtbl.create 16;
+      sacked = Seqset.empty;
+      rexmit_high = -1;
       rto_deadline = Time.infinity;
       watchdog_time = Time.infinity;
       watchdog_epoch = 0;
       torn_down = false;
       completed_at = None;
       rcv_nxt = 0;
-      ooo = Hashtbl.create 16;
+      rcv_ooo = Seqset.empty;
       pending_ce = 0;
       ece_latched = false;
       delack_pending = 0;

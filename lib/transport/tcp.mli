@@ -35,13 +35,17 @@ type config = {
           out-of-order blocks per ACK and the sender never retransmits
           segments the scoreboard covers (what a Linux-era stack does;
           without it, post-timeout go-back-N resends delivered data) *)
+  reassembly_limit : int;
+      (** cap on out-of-order segments the receiver buffers; arrivals
+          beyond it are treated as lost (the sender retransmits), bounding
+          receiver state under sustained loss *)
 }
 
 val default_config : config
 (** RTOmin 200 ms, RTOmax 60 s, delayed ACK every 2 segments with a 200 µs
     timer, 3 dupacks, ECT off, counted echo capped at 3, SACK off (matching
     the RTO-dominated loss recovery the paper's baselines exhibit; flip
-    [sack] on to model a modern stack). *)
+    [sack] on to model a modern stack), reassembly limit 4096 segments. *)
 
 val ecn_config : config
 (** {!default_config} with [ect = true]. *)

@@ -37,6 +37,8 @@ type config = {
   assignment : assignment;
   pattern : pattern;
   rtt_subsample : int;
+  faults : Xmp_engine.Fault_spec.t;
+  telemetry : Xmp_telemetry.Sink.t;
 }
 
 (* Paper sizes scaled by 1/32 and converted to 1460-byte segments. *)
@@ -80,6 +82,8 @@ let default_config =
     assignment = Uniform (Scheme.Xmp 2);
     pattern = permutation_scaled;
     rtt_subsample = 16;
+    faults = Xmp_engine.Fault_spec.empty;
+    telemetry = Xmp_telemetry.Sink.null;
   }
 
 type result = {
@@ -88,6 +92,7 @@ type result = {
   fat_tree : Fat_tree.t;
   config : config;
   events : int;
+  injected_drops : int;
 }
 
 type active = {
@@ -317,7 +322,17 @@ let run_incast ctx ~jobs ~fanout ~request_segments ~response_segments
       ~other_rack:true
 
 let run cfg =
-  let sim = Sim.create ~config:{ Sim.default_config with seed = cfg.seed } () in
+  let sim =
+    Sim.create
+      ~config:
+        {
+          Sim.default_config with
+          seed = cfg.seed;
+          faults = cfg.faults;
+          telemetry = cfg.telemetry;
+        }
+      ()
+  in
   let net = Network.create sim in
   let disc () =
     Queue_disc.create
@@ -325,6 +340,7 @@ let run cfg =
       ~capacity_pkts:cfg.queue_pkts
   in
   let ft = Fat_tree.create ~net ~k:cfg.k ~disc () in
+  let injector = Xmp_faults.Injector.install ~net () in
   let ctx =
     {
       cfg;
@@ -387,6 +403,7 @@ let run cfg =
     fat_tree = ft;
     config = cfg;
     events = Sim.events_executed sim;
+    injected_drops = Xmp_faults.Injector.injected_drops injector;
   }
 
 let utilization_by_layer (r : result) =

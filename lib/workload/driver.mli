@@ -54,11 +54,18 @@ type config = {
   assignment : assignment;
   pattern : pattern;
   rtt_subsample : int;
+  faults : Xmp_engine.Fault_spec.t;
+      (** fault schedule armed against the fat-tree before traffic starts;
+          {!Xmp_engine.Fault_spec.empty} (the default) injects nothing *)
+  telemetry : Xmp_telemetry.Sink.t;
+      (** sink handed to the simulator, so fault transitions and injected
+          drops are observable; {!Xmp_telemetry.Sink.null} by default *)
 }
 
 val default_config : config
 (** k = 4, seed 1, 2 s horizon, 100-packet queues, K = 10, β = 4,
-    RTOmin 200 ms, XMP-2 Permutation with the ×1/32-scaled paper sizes. *)
+    RTOmin 200 ms, XMP-2 Permutation with the ×1/32-scaled paper sizes,
+    no faults, null telemetry sink. *)
 
 val permutation_scaled : pattern
 (** Paper's 64–512 MB uniform sizes scaled by 1/32 (2–16 MB). *)
@@ -77,6 +84,9 @@ type result = {
   fat_tree : Xmp_net.Fat_tree.t;
   config : config;
   events : int;
+  injected_drops : int;
+      (** packets killed by the fault injector's loss filters; 0 when the
+          schedule is empty *)
 }
 
 val run : config -> result

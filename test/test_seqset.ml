@@ -1,0 +1,141 @@
+(* Interval-set algebra behind the SACK scoreboard and reorder buffer. *)
+
+module Seqset = Xmp_transport.Seqset
+
+let blocks = Alcotest.(list (pair int int))
+
+let of_list xs = List.fold_left (fun s x -> Seqset.add x s) Seqset.empty xs
+
+let test_empty () =
+  Alcotest.(check bool) "is_empty" true (Seqset.is_empty Seqset.empty);
+  Alcotest.check blocks "no blocks" [] (Seqset.blocks Seqset.empty);
+  Alcotest.(check int) "cardinal" 0 (Seqset.cardinal Seqset.empty);
+  Alcotest.(check bool) "mem" false (Seqset.mem 0 Seqset.empty)
+
+let test_merging () =
+  (* adjacent singletons coalesce into one block *)
+  let s = of_list [ 5; 3; 4 ] in
+  Alcotest.check blocks "one block" [ (3, 6) ] (Seqset.blocks s);
+  (* a gap keeps blocks apart *)
+  let s = Seqset.add 8 s in
+  Alcotest.check blocks "two blocks" [ (3, 6); (8, 9) ] (Seqset.blocks s);
+  Alcotest.(check int) "n_blocks" 2 (Seqset.n_blocks s);
+  (* filling the gap merges everything *)
+  let s = Seqset.add_range ~start:6 ~stop:8 s in
+  Alcotest.check blocks "merged" [ (3, 9) ] (Seqset.blocks s);
+  Alcotest.(check int) "cardinal" 6 (Seqset.cardinal s)
+
+let test_add_range_overlaps () =
+  let s = Seqset.add_range ~start:10 ~stop:20 Seqset.empty in
+  let s = Seqset.add_range ~start:15 ~stop:25 s in
+  Alcotest.check blocks "extended right" [ (10, 25) ] (Seqset.blocks s);
+  let s = Seqset.add_range ~start:0 ~stop:10 s in
+  Alcotest.check blocks "extended left (adjacent)" [ (0, 25) ]
+    (Seqset.blocks s);
+  let s = Seqset.add_range ~start:30 ~stop:30 s in
+  Alcotest.check blocks "empty range is a no-op" [ (0, 25) ] (Seqset.blocks s)
+
+let test_swallow_many () =
+  let s =
+    List.fold_left
+      (fun s (a, b) -> Seqset.add_range ~start:a ~stop:b s)
+      Seqset.empty
+      [ (0, 2); (4, 6); (8, 10); (12, 14) ]
+  in
+  let s = Seqset.add_range ~start:1 ~stop:13 s in
+  Alcotest.check blocks "one span" [ (0, 14) ] (Seqset.blocks s)
+
+let test_mem () =
+  let s = Seqset.add_range ~start:4 ~stop:7 Seqset.empty in
+  List.iter
+    (fun (x, expect) ->
+      Alcotest.(check bool) (Printf.sprintf "mem %d" x) expect (Seqset.mem x s))
+    [ (3, false); (4, true); (6, true); (7, false) ]
+
+let test_remove_below () =
+  let s =
+    Seqset.add_range ~start:10 ~stop:20
+      (Seqset.add_range ~start:0 ~stop:5 Seqset.empty)
+  in
+  Alcotest.check blocks "drop whole first block" [ (10, 20) ]
+    (Seqset.blocks (Seqset.remove_below 7 s));
+  Alcotest.check blocks "trim inside a block" [ (15, 20) ]
+    (Seqset.blocks (Seqset.remove_below 15 s));
+  Alcotest.check blocks "bound below everything" [ (0, 5); (10, 20) ]
+    (Seqset.blocks (Seqset.remove_below 0 s));
+  Alcotest.check blocks "bound above everything" []
+    (Seqset.blocks (Seqset.remove_below 20 s))
+
+let test_first_absent_from () =
+  let s =
+    Seqset.add_range ~start:10 ~stop:20
+      (Seqset.add_range ~start:0 ~stop:5 Seqset.empty)
+  in
+  Alcotest.(check int) "inside first block" 5 (Seqset.first_absent_from 0 s);
+  Alcotest.(check int) "in the gap" 7 (Seqset.first_absent_from 7 s);
+  Alcotest.(check int) "inside second block" 20
+    (Seqset.first_absent_from 12 s);
+  Alcotest.(check int) "above everything" 42 (Seqset.first_absent_from 42 s)
+
+let test_consume_from () =
+  let s = Seqset.add_range ~start:3 ~stop:6 Seqset.empty in
+  let nxt, rest = Seqset.consume_from 3 s in
+  Alcotest.(check int) "consumed to block end" 6 nxt;
+  Alcotest.check blocks "block removed" [] (Seqset.blocks rest);
+  let nxt, rest = Seqset.consume_from 2 s in
+  Alcotest.(check int) "no block at 2" 2 nxt;
+  Alcotest.check blocks "unchanged" [ (3, 6) ] (Seqset.blocks rest)
+
+(* Model check against a naive int list under random add_range /
+   remove_below interleavings. *)
+let test_against_model () =
+  let rng = Random.State.make [| 0xBEEF |] in
+  for _ = 1 to 200 do
+    let model = ref [] in
+    let s = ref Seqset.empty in
+    for _ = 1 to 30 do
+      if Random.State.int rng 4 = 0 then begin
+        let b = Random.State.int rng 50 in
+        model := List.filter (fun x -> x >= b) !model;
+        s := Seqset.remove_below b !s
+      end
+      else begin
+        let start = Random.State.int rng 50 in
+        let stop = start + Random.State.int rng 8 in
+        for x = start to stop - 1 do
+          if not (List.mem x !model) then model := x :: !model
+        done;
+        s := Seqset.add_range ~start ~stop !s
+      end
+    done;
+    let sorted = List.sort compare !model in
+    Alcotest.(check int) "cardinal" (List.length sorted) (Seqset.cardinal !s);
+    List.iter
+      (fun x ->
+        Alcotest.(check bool) (Printf.sprintf "mem %d" x) (List.mem x sorted)
+          (Seqset.mem x !s))
+      (List.init 55 (fun i -> i));
+    (* blocks are sorted, disjoint, non-adjacent, non-empty *)
+    let rec check_blocks = function
+      | (a, b) :: ((c, _) :: _ as rest) ->
+        Alcotest.(check bool) "block non-empty" true (a < b);
+        Alcotest.(check bool) "gap between blocks" true (b < c);
+        check_blocks rest
+      | [ (a, b) ] -> Alcotest.(check bool) "block non-empty" true (a < b)
+      | [] -> ()
+    in
+    check_blocks (Seqset.blocks !s)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "adjacent merging" `Quick test_merging;
+    Alcotest.test_case "add_range overlaps" `Quick test_add_range_overlaps;
+    Alcotest.test_case "range swallows many blocks" `Quick test_swallow_many;
+    Alcotest.test_case "mem" `Quick test_mem;
+    Alcotest.test_case "remove_below" `Quick test_remove_below;
+    Alcotest.test_case "first_absent_from" `Quick test_first_absent_from;
+    Alcotest.test_case "consume_from" `Quick test_consume_from;
+    Alcotest.test_case "agrees with naive model" `Quick test_against_model;
+  ]
