@@ -17,7 +17,9 @@
      dune exec bench/main.exe -- --quick --jobs 4   # parallel workers
      dune exec bench/main.exe -- --no-cache fig7    # force re-simulation
      dune exec bench/main.exe -- --paper-scale table1   # k=8 fat tree
-     dune exec bench/main.exe -- micro        # bechamel micro-benches *)
+     dune exec bench/main.exe -- micro        # bechamel micro-benches
+     dune exec bench/main.exe -- perf         # tracked perf baseline
+     dune exec bench/main.exe -- perf --quick --out BENCH_PR5.json *)
 
 module E = Xmp_experiments
 module Runner = Xmp_runner.Runner
@@ -170,19 +172,29 @@ let usage () =
     (E.Scenarios.all E.Scenarios.default);
   Printf.printf "  %-22s %s\n" "ablations" "every ablations.* sweep";
   Printf.printf "  %-22s %s\n" "micro"
-    "simulator micro-benchmarks (never cached)"
+    "simulator micro-benchmarks (never cached)";
+  Printf.printf "  %-22s %s\n" "perf"
+    "pinned-scenario perf baseline -> BENCH_PR5.json (never cached; \
+     --out to rename)"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let selected = ref [] in
   let jobs = ref 1 in
   let cache = ref (Runner.Cache_dir Xmp_runner.Cache.default_dir) in
+  let perf_out = ref "BENCH_PR5.json" in
   let bad = ref false in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
       mode := Quick;
       parse rest
+    | "--out" :: path :: rest ->
+      perf_out := path;
+      parse rest
+    | [ "--out" ] ->
+      prerr_endline "--out needs a path argument";
+      bad := true
     | "--paper-scale" :: rest ->
       mode := Paper;
       parse rest
@@ -209,7 +221,10 @@ let () =
   end;
   let requested = if !selected = [] then default_set else List.rev !selected in
   let run_micro = List.mem "micro" requested in
-  let scenario_ids = List.filter (fun id -> id <> "micro") requested in
+  let run_perf = List.mem "perf" requested in
+  let scenario_ids =
+    List.filter (fun id -> id <> "micro" && id <> "perf") requested
+  in
   (match E.Scenarios.select (config ()) scenario_ids with
   | Error unknown ->
     Printf.eprintf "unknown experiment: %s\n" unknown;
@@ -218,4 +233,5 @@ let () =
   | Ok [] -> ()
   | Ok scenarios ->
     ignore (Runner.run_and_print ~jobs:!jobs ~cache:!cache scenarios));
-  if run_micro then micro ()
+  if run_micro then micro ();
+  if run_perf then Perf.run ~quick:(!mode = Quick) ~out:!perf_out ()

@@ -1,0 +1,100 @@
+(* Perf benchmark: a tracked events/sec baseline over pinned scenarios.
+
+   Unlike the figure/table benches (cached, forked across workers), perf
+   measurement must run in-process and uncached: each pinned scenario is
+   executed directly with its stdout captured, and we record wall time,
+   simulation events executed (process-wide counter delta), the event
+   heap's high-water mark and major-heap words allocated. Results land in
+   a committed BENCH_PR5.json so later PRs have a perf trajectory to
+   compare against; the numbers are machine-dependent, so CI only checks
+   the file is produced and that the run leaves golden digests intact —
+   regressions in *behaviour* are caught byte-exactly, regressions in
+   *speed* by comparing trajectories across commits on like hardware.
+
+   Schema (one object per pinned scenario):
+     {scenario, events, wall_s, events_per_s, heap_peak, major_words} *)
+
+module E = Xmp_experiments
+module Runner = Xmp_runner.Runner
+module Scenario = Xmp_runner.Scenario
+module Sim = Xmp_engine.Sim
+
+type result = {
+  label : string;
+  events : int;
+  wall_s : float;
+  events_per_s : float;
+  heap_peak : int;
+  major_words : float;
+}
+
+(* The pinned set exercises the three hot-path regimes: fig4 (testbed
+   multipath shifting, timer-churn heavy), fig9 (fat-tree incast job
+   completion, burst heavy) and table1 (full fat-tree sweep at quick
+   scale, events/sec bound). [--quick] drops everything to quick scale
+   for CI smoke runs. *)
+let pinned ~quick =
+  if quick then
+    [
+      ("fig4@quick", "fig4", E.Scenarios.quick);
+      ("fig9@quick", "fig9", E.Scenarios.quick);
+      ("table1@quick", "table1", E.Scenarios.quick);
+    ]
+  else
+    [
+      ("fig4@default", "fig4", E.Scenarios.default);
+      ("fig9@default", "fig9", E.Scenarios.default);
+      ("table1@quick", "table1", E.Scenarios.quick);
+    ]
+
+let resolve (label, name, cfg) =
+  match E.Scenarios.select cfg [ name ] with
+  | Ok [ s ] -> (label, s)
+  | Ok _ | Error _ -> failwith ("bench perf: unknown pinned scenario " ^ name)
+
+let measure (label, (s : Scenario.t)) =
+  let ev0 = Sim.total_events_executed () in
+  Sim.reset_global_heap_peak ();
+  let g0 = (Gc.quick_stat ()).Gc.major_words in
+  let t0 = Unix.gettimeofday () in
+  let (_ : string) = Runner.capture s.Scenario.run in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let events = Sim.total_events_executed () - ev0 in
+  {
+    label;
+    events;
+    wall_s;
+    events_per_s = (if wall_s > 0. then float_of_int events /. wall_s else 0.);
+    heap_peak = Sim.global_heap_peak ();
+    major_words = (Gc.quick_stat ()).Gc.major_words -. g0;
+  }
+
+let json_of_result r =
+  Printf.sprintf
+    "  {\"scenario\": %S, \"events\": %d, \"wall_s\": %.6f, \
+     \"events_per_s\": %.1f, \"heap_peak\": %d, \"major_words\": %.0f}"
+    r.label r.events r.wall_s r.events_per_s r.heap_peak r.major_words
+
+let write_json ~path results =
+  let oc = open_out path in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.map json_of_result results));
+  output_string oc "\n]\n";
+  close_out oc
+
+let run ~quick ~out () =
+  let scenarios = List.map resolve (pinned ~quick) in
+  E.Render.heading "Perf benchmark (pinned scenarios, in-process, uncached)";
+  Printf.printf "%-16s %12s %9s %14s %10s %13s\n" "scenario" "events"
+    "wall_s" "events/s" "heap_peak" "major_words";
+  let results =
+    List.map
+      (fun sc ->
+        let r = measure sc in
+        Printf.printf "%-16s %12d %9.3f %14.1f %10d %13.0f\n" r.label
+          r.events r.wall_s r.events_per_s r.heap_peak r.major_words;
+        r)
+      scenarios
+  in
+  write_json ~path:out results;
+  Printf.printf "wrote %s\n" out

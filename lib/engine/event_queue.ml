@@ -1,12 +1,35 @@
 type 'a entry = { time : Time.t; seq : int; payload : 'a }
 
-type 'a t = { mutable arr : 'a entry array; mutable len : int }
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable len : int;
+  mutable dead : int;
+      (* entries still in the heap whose payload [live] rejects; kept
+         accurate by [note_dead] (+1) and [pop] (-1 on a dead top) *)
+  mutable rebuilds : int;
+  mutable dummy : 'a entry option;
+      (* canonical entry used to overwrite vacated slots so popped
+         payloads are not retained by the backing array; seeded by
+         [set_dummy], else by the first [add] (which pins that one
+         payload for the heap's lifetime — O(1), documented) *)
+  live : 'a -> bool;
+}
 
-let create () = { arr = [||]; len = 0 }
+let create ?(live = fun _ -> true) () =
+  { arr = [||]; len = 0; dead = 0; rebuilds = 0; dummy = None; live }
+
+let set_dummy h payload =
+  match h.dummy with
+  | Some _ -> ()
+  | None -> h.dummy <- Some { time = Time.zero; seq = -1; payload }
 
 let length h = h.len
 
 let is_empty h = h.len = 0
+
+let dead_count h = h.dead
+
+let rebuilds h = h.rebuilds
 
 let earlier a b =
   let c = Time.compare a.time b.time in
@@ -47,6 +70,7 @@ let rec sift_down h i =
 
 let add h ~time ~seq payload =
   let entry = { time; seq; payload } in
+  if Option.is_none h.dummy then h.dummy <- Some entry;
   if h.len = 0 && Array.length h.arr = 0 then h.arr <- Array.make 64 entry;
   if h.len = Array.length h.arr then grow h;
   h.arr.(h.len) <- entry;
@@ -55,6 +79,9 @@ let add h ~time ~seq payload =
 
 let peek_time h = if h.len = 0 then None else Some h.arr.(0).time
 
+let scrub h i =
+  match h.dummy with Some d -> h.arr.(i) <- d | None -> ()
+
 let pop h =
   if h.len = 0 then None
   else begin
@@ -62,18 +89,70 @@ let pop h =
     h.len <- h.len - 1;
     if h.len > 0 then begin
       h.arr.(0) <- h.arr.(h.len);
-      (* The slot above the live region would otherwise pin the moved
-         entry's payload; the root entry is live anyway, so aliasing it
-         there retains nothing extra. *)
-      h.arr.(h.len) <- h.arr.(0);
+      (* Clear the vacated slot: left as an alias of the moved entry it
+         would keep referencing that entry after it too is popped, so a
+         drained heap would pin a backing array's worth of dead
+         payloads. One dummy write per pop keeps capacity reusable
+         without retaining anything. *)
+      scrub h h.len;
       sift_down h 0
     end
     else
-      (* Emptied: drop the whole array rather than pin stale payloads. *)
-      h.arr <- [||];
+      (* Emptied: keep the backing array (bursty simulations would
+         otherwise re-allocate from 64 on every burst — call [compact]
+         or [clear] to release memory explicitly), but scrub the root
+         slot so the popped payload is not retained. *)
+      scrub h 0;
+    if not (h.live top.payload) then h.dead <- h.dead - 1;
     Some (top.time, top.seq, top.payload)
+  end
+
+(* Sift out every dead entry and re-establish the heap property with
+   Floyd's bottom-up heapify. Dead entries are never dispatched, so
+   removing them is invisible to pop order; heapify preserves the
+   (time, seq) total order of the survivors. *)
+let purge h =
+  if h.dead > 0 then begin
+    let j = ref 0 in
+    for i = 0 to h.len - 1 do
+      let e = h.arr.(i) in
+      if h.live e.payload then begin
+        h.arr.(!j) <- e;
+        incr j
+      end
+    done;
+    for i = !j to h.len - 1 do
+      scrub h i
+    done;
+    h.len <- !j;
+    h.dead <- 0;
+    for i = (h.len / 2) - 1 downto 0 do
+      sift_down h i
+    done;
+    h.rebuilds <- h.rebuilds + 1
+  end
+
+let note_dead h =
+  h.dead <- h.dead + 1;
+  (* Lazy-deletion compaction: rebuild once dead entries outnumber half
+     the live ones, so the heap stays O(live) instead of O(total
+     cancellations) under cancel-heavy workloads (per-ACK timer churn). *)
+  if h.dead > (h.len - h.dead) / 2 then purge h
+
+let compact h =
+  purge h;
+  let cap = Array.length h.arr in
+  if cap > 64 && h.len * 4 <= cap then begin
+    let cap' = Stdlib.max 64 (2 * h.len) in
+    if h.len = 0 then h.arr <- [||]
+    else begin
+      let arr' = Array.make cap' h.arr.(0) in
+      Array.blit h.arr 0 arr' 0 h.len;
+      h.arr <- arr'
+    end
   end
 
 let clear h =
   h.len <- 0;
+  h.dead <- 0;
   h.arr <- [||]

@@ -1,24 +1,65 @@
-(** Growable binary min-heap of timestamped events.
+(** Growable binary min-heap of timestamped events, with lazy deletion.
 
     Events are ordered by [(time, seq)] where [seq] is a monotonically
     increasing insertion counter supplied by the caller: two events scheduled
     for the same instant fire in insertion order, which makes simulations
-    deterministic. *)
+    deterministic.
+
+    Cancellation support is cooperative: the payload owner flips its own
+    "cancelled" mark (cheap, O(1)) and tells the heap via {!note_dead};
+    once dead entries outnumber half the live ones the heap compacts
+    itself (drops every entry the [live] predicate rejects and rebuilds
+    in O(n)), so heap size stays O(live entries) rather than O(total
+    cancellations) under timer-churn workloads. Compaction never changes
+    the pop order of live entries. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?live:('a -> bool) -> unit -> 'a t
+(** [live] classifies payloads during compaction and dead-count
+    bookkeeping; the default accepts everything (no lazy deletion —
+    {!note_dead} must only be paired with a real predicate). *)
+
+val set_dummy : 'a t -> 'a -> unit
+(** Provides the payload used to scrub vacated slots so popped entries
+    are not retained by the backing array. Optional: without it the
+    first added entry is used, pinning that single payload for the
+    heap's lifetime (O(1) retention). Only the first call has effect. *)
 
 val length : 'a t -> int
+(** Entries currently in the heap, dead (cancelled, not yet compacted)
+    entries included. *)
 
 val is_empty : 'a t -> bool
 
+val dead_count : 'a t -> int
+(** Entries still in the heap whose payload the [live] predicate rejects
+    — bounded by [length / 3] right after any compaction check. *)
+
+val rebuilds : 'a t -> int
+(** Number of lazy-deletion compactions performed so far. *)
+
 val add : 'a t -> time:Time.t -> seq:int -> 'a -> unit
 
+val note_dead : 'a t -> unit
+(** Tells the heap one of its entries' payloads just became dead (the
+    caller already flipped the state that [live] inspects). May trigger
+    an O(n) compaction; amortized O(1) per cancellation. *)
+
+val compact : 'a t -> unit
+(** Explicit compaction: drops dead entries now and, when the backing
+    array is at most a quarter full afterwards, shrinks it. An emptied
+    heap otherwise keeps its capacity so bursty simulations do not
+    re-allocate from scratch on every burst. *)
+
 val peek_time : 'a t -> Time.t option
-(** Timestamp of the earliest event, if any. *)
+(** Timestamp of the earliest event, if any (dead entries included:
+    the dispatcher skips them as it pops). *)
 
 val pop : 'a t -> (Time.t * int * 'a) option
-(** Removes and returns the earliest event as [(time, seq, payload)]. *)
+(** Removes and returns the earliest event as [(time, seq, payload)].
+    Dead entries are returned too (adjusting the dead count) — the
+    caller decides whether to dispatch. *)
 
 val clear : 'a t -> unit
+(** Empties the heap and releases the backing array. *)

@@ -1,4 +1,10 @@
-type event = { run : unit -> unit; mutable live : bool }
+type event = {
+  run : unit -> unit;
+  mutable live : bool;
+  heap : event Event_queue.t;
+      (* owning heap, so [cancel] can report the dead entry for
+         lazy-deletion compaction without widening its signature *)
+}
 
 type timer = event
 
@@ -7,6 +13,12 @@ type t = {
   heap : event Event_queue.t;
   mutable next_seq : int;
   mutable executed : int;
+  mutable cancelled_skipped : int;
+  mutable heap_peak : int;
+  invariants : bool;
+      (* snapshot taken at creation; re-asserted on every dispatch so two
+         sims with different settings in one process do not bleed into
+         each other (the global toggle is the ambient default) *)
   random : Random.State.t;
   telemetry : Xmp_telemetry.Sink.t;
   faults : Fault_spec.t;
@@ -19,6 +31,13 @@ type config = {
   invariants : bool option;
   telemetry : Xmp_telemetry.Sink.t;
   faults : Fault_spec.t;
+}
+
+type stats = {
+  executed : int;
+  cancelled_skipped : int;
+  heap_peak : int;
+  rebuilds : int;
 }
 
 let default_config =
@@ -35,15 +54,33 @@ let total = ref 0
 
 let total_events_executed () = !total
 
+(* process-wide heap high-water mark, for harnesses (the perf bench)
+   that measure scenarios which construct their sims internally *)
+let global_peak = ref 0
+
+let global_heap_peak () = !global_peak
+let reset_global_heap_peak () = global_peak := 0
+
 let create ?(config = default_config) () =
-  (match config.invariants with
-  | Some b -> Invariant.set_enabled b
-  | None -> ());
+  let invariants =
+    match config.invariants with
+    | Some b ->
+      (* also applied immediately: construction-time code (e.g. a
+         transport's initial send) checks under the requested setting *)
+      Invariant.set_enabled b;
+      b
+    | None -> Invariant.enabled ()
+  in
+  let heap = Event_queue.create ~live:(fun (ev : event) -> ev.live) () in
+  Event_queue.set_dummy heap { run = ignore; live = false; heap };
   {
     now = Time.zero;
-    heap = Event_queue.create ();
+    heap;
     next_seq = 0;
     executed = 0;
+    cancelled_skipped = 0;
+    heap_peak = 0;
+    invariants;
     random = Random.State.make [| config.seed; 0x584d50 (* "XMP" *) |];
     telemetry = config.telemetry;
     faults = config.faults;
@@ -56,40 +93,66 @@ let now t = t.now
 let rng t = t.random
 let telemetry (t : t) = t.telemetry
 let faults (t : t) = t.faults
-let events_executed t = t.executed
+let events_executed (t : t) = t.executed
 let pending t = Event_queue.length t.heap
+
+let stats (t : t) =
+  {
+    executed = t.executed;
+    cancelled_skipped = t.cancelled_skipped;
+    heap_peak = t.heap_peak;
+    rebuilds = Event_queue.rebuilds t.heap;
+  }
 
 let schedule t time f =
   if Time.compare time t.now < 0 then
     invalid_arg
       (Format.asprintf "Sim: scheduling at %a before now %a" Time.pp time
          Time.pp t.now);
-  let ev = { run = f; live = true } in
+  let ev = { run = f; live = true; heap = t.heap } in
   Event_queue.add t.heap ~time ~seq:t.next_seq ev;
   t.next_seq <- t.next_seq + 1;
+  let len = Event_queue.length t.heap in
+  if len > t.heap_peak then t.heap_peak <- len;
+  if len > !global_peak then global_peak := len;
   ev
 
 let at t time f = ignore (schedule t time f)
 let after t d f = ignore (schedule t (Time.add t.now d) f)
 let timer_at t time f = schedule t time f
 let timer_after t d f = schedule t (Time.add t.now d) f
-let cancel (ev : timer) = ev.live <- false
+
+let cancel (ev : timer) =
+  if ev.live then begin
+    ev.live <- false;
+    Event_queue.note_dead ev.heap
+  end
+
 let timer_active (ev : timer) = ev.live
 
 let step t =
   match Event_queue.pop t.heap with
   | None -> false
   | Some (time, _seq, ev) ->
-    Invariant.require ~name:"sim.dispatch-monotone"
-      (Time.compare time t.now >= 0) (fun () ->
-        Format.asprintf "event at %a dispatched after clock reached %a"
-          Time.pp time Time.pp t.now);
-    t.now <- time;
     if ev.live then begin
+      if Invariant.enabled () <> t.invariants then
+        Invariant.set_enabled t.invariants;
+      Invariant.require ~name:"sim.dispatch-monotone"
+        (Time.compare time t.now >= 0) (fun () ->
+          Format.asprintf "event at %a dispatched after clock reached %a"
+            Time.pp time Time.pp t.now);
+      t.now <- time;
       ev.live <- false;
       t.executed <- t.executed + 1;
       incr total;
       ev.run ()
+    end
+    else begin
+      (* cancelled (or compaction dummy) entries still advance the clock
+         — exactly what dispatching them used to do — but are not
+         counted as executed work *)
+      if Time.compare time t.now > 0 then t.now <- time;
+      t.cancelled_skipped <- t.cancelled_skipped + 1
     end;
     true
 

@@ -3,7 +3,12 @@
     A simulator owns a clock, an event heap, a deterministic random state
     and a telemetry sink. Events are thunks fired in strict timestamp order
     (ties resolved by scheduling order). Scheduling in the past is a
-    programming error and raises [Invalid_argument]. *)
+    programming error and raises [Invalid_argument].
+
+    Cancelled timers are deleted lazily: {!cancel} is O(1) and the heap
+    compacts itself once dead entries outnumber half the live ones, so
+    pending-event count stays O(live timers) under per-ACK timer churn
+    (see {!stats}). Compaction is invisible to dispatch order. *)
 
 type t
 
@@ -13,8 +18,11 @@ type timer
 type config = {
   seed : int;  (** random-state seed; runs with equal seeds are identical *)
   invariants : bool option;
-      (** when [Some b], sets the global {!Xmp_check.Invariant} toggle for
-          this run; [None] leaves it as is (checks default to on) *)
+      (** when [Some b], invariant checking is [b] for events this sim
+          dispatches (snapshotted per-sim, so two sims in one process do
+          not reconfigure each other); [None] snapshots the ambient
+          global {!Xmp_check.Invariant} toggle at creation time (checks
+          default to on) *)
   telemetry : Xmp_telemetry.Sink.t;
       (** sink shared with every component built over this simulator;
           {!Xmp_telemetry.Sink.null} disables instrumentation *)
@@ -22,6 +30,14 @@ type config = {
       (** declarative fault schedule carried for the benefit of
           [Xmp_faults.Injector.install], which arms it against a concrete
           network; {!Fault_spec.empty} (the default) injects nothing *)
+}
+
+type stats = {
+  executed : int;  (** live events dispatched *)
+  cancelled_skipped : int;
+      (** cancelled entries popped and skipped without dispatch *)
+  heap_peak : int;  (** largest pending-event count ever reached *)
+  rebuilds : int;  (** lazy-deletion compactions of the event heap *)
 }
 
 val default_config : config
@@ -57,9 +73,21 @@ val total_events_executed : unit -> int
     (e.g. the scenario runner's workers) that report work done per task as
     a delta of this counter. *)
 
+val global_heap_peak : unit -> int
+(** Process-wide event-heap high-water mark across every simulator
+    instance since the last {!reset_global_heap_peak} — for harnesses
+    (the perf bench) measuring scenarios that construct sims
+    internally. *)
+
+val reset_global_heap_peak : unit -> unit
+
 val pending : t -> int
-(** Number of events still queued (including cancelled timers not yet
-    reaped). *)
+(** Number of events still queued (cancelled timers not yet reaped
+    included — bounded at 1.5× the live count by lazy-deletion
+    compaction). *)
+
+val stats : t -> stats
+(** Dispatch-loop and heap-hygiene counters for this simulator. *)
 
 val at : t -> Time.t -> (unit -> unit) -> unit
 (** [at sim time f] schedules [f] to run at absolute [time]. *)
@@ -73,7 +101,9 @@ val timer_at : t -> Time.t -> (unit -> unit) -> timer
 val timer_after : t -> Time.t -> (unit -> unit) -> timer
 
 val cancel : timer -> unit
-(** Cancelling an already-fired or already-cancelled timer is a no-op. *)
+(** O(1); the heap entry is reaped by a later compaction or skipped at
+    pop. Cancelling an already-fired or already-cancelled timer is a
+    no-op. *)
 
 val timer_active : timer -> bool
 (** True if the timer is scheduled and neither fired nor cancelled. *)

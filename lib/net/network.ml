@@ -1,5 +1,44 @@
 module Sim = Xmp_engine.Sim
 
+(* Endpoint dispatch is the per-packet hot path: every delivered packet
+   looks up its (dst, flow, subflow) handler. A tuple-keyed Hashtbl hashes
+   and compares the tuple structurally per packet; packing the three
+   components into one immediate int (dst:20 | flow:30 | subflow:12 bits,
+   62 bits total — injective within the validated ranges) makes the key
+   hash one multiply and the bucket probe one integer compare. *)
+module Endpoint_key = struct
+  let subflow_bits = 12
+  let flow_bits = 30
+  let dst_bits = 20
+  let max_subflow = (1 lsl subflow_bits) - 1
+  let max_flow = (1 lsl flow_bits) - 1
+  let max_dst = (1 lsl dst_bits) - 1
+
+  let pack ~host ~flow ~subflow =
+    (((host lsl flow_bits) lor flow) lsl subflow_bits) lor subflow
+
+  let validate ~host ~flow ~subflow =
+    if
+      host < 0 || host > max_dst || flow < 0 || flow > max_flow
+      || subflow < 0 || subflow > max_subflow
+    then
+      invalid_arg
+        (Printf.sprintf
+           "Network.register_endpoint: (%d, %d, %d) outside packed key \
+            ranges (dst<=%d, flow<=%d, subflow<=%d)"
+           host flow subflow max_dst max_flow max_subflow)
+end
+
+module Endpoints = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+
+  (* Fibonacci multiplicative mix: packed keys differ mostly in their low
+     (subflow) and middle (flow) bits, so spread them before bucketing. *)
+  let hash k = (k * 0x331A7B2F63C1) land max_int
+end)
+
 type t = {
   sim : Sim.t;
   mutable nodes : Node.t list;  (* reverse creation order *)
@@ -9,7 +48,7 @@ type t = {
   mutable next_uid : int;
   mutable next_link : int;
   tags : (int, string) Hashtbl.t;  (* link id -> tag *)
-  endpoints : (int * int * int, Packet.t -> unit) Hashtbl.t;
+  endpoints : (Packet.t -> unit) Endpoints.t;  (* packed (dst, flow, subflow) *)
   mutable delivered : int;
   mutable dead : int;
 }
@@ -24,7 +63,7 @@ let create sim =
     next_uid = 0;
     next_link = 0;
     tags = Hashtbl.create 64;
-    endpoints = Hashtbl.create 256;
+    endpoints = Endpoints.create 256;
     delivered = 0;
     dead = 0;
   }
@@ -37,7 +76,8 @@ let fresh_uid t =
   u
 
 let dispatch t (p : Packet.t) =
-  match Hashtbl.find_opt t.endpoints (p.dst, p.flow, p.subflow) with
+  let key = Endpoint_key.pack ~host:p.dst ~flow:p.flow ~subflow:p.subflow in
+  match Endpoints.find_opt t.endpoints key with
   | Some handler ->
     t.delivered <- t.delivered + 1;
     handler p
@@ -102,10 +142,18 @@ let find_link t ~name =
   List.find_opt (fun l -> String.equal (Link.name l) name) (links t)
 
 let register_endpoint t ~host ~flow ~subflow handler =
-  Hashtbl.replace t.endpoints (host, flow, subflow) handler
+  Endpoint_key.validate ~host ~flow ~subflow;
+  Endpoints.replace t.endpoints
+    (Endpoint_key.pack ~host ~flow ~subflow)
+    handler
 
 let unregister_endpoint t ~host ~flow ~subflow =
-  Hashtbl.remove t.endpoints (host, flow, subflow)
+  if
+    host >= 0 && host <= Endpoint_key.max_dst && flow >= 0
+    && flow <= Endpoint_key.max_flow
+    && subflow >= 0
+    && subflow <= Endpoint_key.max_subflow
+  then Endpoints.remove t.endpoints (Endpoint_key.pack ~host ~flow ~subflow)
 
 let packets_delivered t = t.delivered
 let packets_dead_lettered t = t.dead

@@ -59,9 +59,16 @@ val find_link : t -> name:string -> Link.t option
 val register_endpoint :
   t -> host:int -> flow:int -> subflow:int -> (Packet.t -> unit) -> unit
 (** Registers the transport handler for packets of [(flow, subflow)]
-    arriving at [host]. Replaces any previous registration. *)
+    arriving at [host]. Replaces any previous registration.
+
+    Endpoint keys are packed into one immediate int for per-packet
+    dispatch, so the components are range-checked here: [host] must fit
+    20 bits, [flow] 30 bits and [subflow] 12 bits (all non-negative);
+    out-of-range values raise [Invalid_argument]. *)
 
 val unregister_endpoint : t -> host:int -> flow:int -> subflow:int -> unit
+(** Removing a registration outside the packed ranges is a no-op (nothing
+    could have been registered there). *)
 
 val packets_delivered : t -> int
 (** Packets handed to transport endpoints. *)

@@ -182,13 +182,30 @@ let enqueue t (p : Packet.t) =
       append t p;
       true
     | Threshold_mark k ->
-      if t.len > k then begin
-        Invariant.require ~name:"queue.mark-above-threshold" (t.len >= k)
-          (fun () ->
-            Printf.sprintf "ECN mark at occupancy %d below K=%d" t.len k);
-        mark t p
-      end;
+      (* PAPER.md §BOS (Equation 1): the marking decision compares the
+         *instantaneous* queue length against K as seen by the arriving
+         packet, i.e. the occupancy *before* this packet is enqueued —
+         the arrival does not count toward its own decision. [pre] and
+         [ce_eligible] are captured before [mark]/[append] mutate
+         anything so the invariant below checks the decision against
+         independent state (the marked counter), in both directions:
+         a mark only ever happens above K, and above K every
+         CE-markable packet is marked. *)
+      let pre = t.len in
+      let ce_eligible = p.ect && not p.ce in
+      let marked_before = t.marked in
+      if pre > k then mark t p;
       append t p;
+      Invariant.require ~name:"queue.mark-above-threshold"
+        (if t.marked > marked_before then pre > k
+         else not (pre > k && ce_eligible))
+        (fun () ->
+          Printf.sprintf
+            "ECN decision at pre-enqueue occupancy %d disagrees with K=%d \
+             (marked %b, eligible %b)"
+            pre k
+            (t.marked > marked_before)
+            ce_eligible);
       true
     | Red params -> (
       match red_decision t params with
@@ -208,6 +225,20 @@ let dequeue t =
   if t.len = 0 then None
   else begin
     t.len <- t.len - 1;
+    (* RED idle-time correction, deterministically: classic RED decays
+       [avg] by (1-wq)^m for m packet-times of idle before an arrival,
+       because an average only updated on arrivals stays stale across an
+       idle period. The queue has no clock, so the equivalent
+       departure-driven form is used: every dequeue relaxes the average
+       toward the instantaneous occupancy, and a drain-to-empty (what
+       precedes every idle period) therefore leaves the first packet
+       after the idle gap facing a decayed average instead of the
+       pre-idle backlog. *)
+    (match t.policy with
+    | Red params ->
+      t.avg <-
+        ((1. -. params.wq) *. t.avg) +. (params.wq *. float_of_int t.len)
+    | Droptail | Threshold_mark _ -> ());
     Invariant.require ~name:"queue.occupancy-bounds" (t.len >= 0) (fun () ->
         Printf.sprintf "occupancy %d went negative" t.len);
     let p = Queue.pop t.q in

@@ -10,7 +10,10 @@
       [Wq = 1] and both thresholds at [k], the configuration trick of §3.
     - [Red]: classic RED with EWMA average queue estimation, for the
       comparison arguments of §2.1. Marks ECT packets (or drops, when
-      [mark_ecn = false]).
+      [mark_ecn = false]). The average also decays on every dequeue — the
+      deterministic, clock-free equivalent of RED's idle-time correction,
+      so the first arrival after a drain-and-idle period does not face a
+      stale pre-idle average.
 
     Non-ECT packets are never marked; they are only dropped on overflow.
     This is what lets ECN and non-ECN flows coexist in Table 2. *)

@@ -80,7 +80,7 @@ type t = {
          once per recovery episode *)
   mutable rto_deadline : Time.t;
   mutable watchdog_time : Time.t;  (* fire time of the live watchdog *)
-  mutable watchdog_epoch : int;  (* stale scheduled watchdogs are ignored *)
+  mutable watchdog : Sim.timer option;  (* the live watchdog's handle *)
   mutable torn_down : bool;
   mutable completed_at : Time.t option;
   (* receiver *)
@@ -134,6 +134,8 @@ let teardown t =
     t.torn_down <- true;
     (match t.delack_timer with Some tm -> Sim.cancel tm | None -> ());
     t.delack_timer <- None;
+    (match t.watchdog with Some tm -> Sim.cancel tm | None -> ());
+    t.watchdog <- None;
     Network.unregister_endpoint t.net ~host:t.src ~flow:t.flow
       ~subflow:t.subflow;
     Network.unregister_endpoint t.net ~host:t.dst ~flow:t.flow
@@ -175,16 +177,18 @@ let send_data t ~seq ~retx =
    ACK processing only moves the deadline *later*, which needs no heap
    traffic (the watchdog fires early, notices, and re-schedules itself);
    the deadline moving *earlier* (the RTO estimate shrinking after the
-   first samples, or a fresh arm) re-schedules and bumps the epoch so the
-   superseded event is ignored when it fires. *)
+   first samples, or a fresh arm) re-schedules and cancels the superseded
+   event, which the event heap's lazy-deletion compaction then reaps —
+   so a long transfer keeps O(1) watchdog entries pending instead of one
+   per reschedule aging out at full RTO depth. *)
 let rec schedule_watchdog t at =
-  t.watchdog_epoch <- t.watchdog_epoch + 1;
+  (match t.watchdog with Some tm -> Sim.cancel tm | None -> ());
   t.watchdog_time <- at;
-  let epoch = t.watchdog_epoch in
-  Sim.at t.sim at (fun () -> watchdog_fire t epoch)
+  t.watchdog <- Some (Sim.timer_at t.sim at (fun () -> watchdog_fire t))
 
-and watchdog_fire t epoch =
-  if epoch = t.watchdog_epoch && not t.torn_down then begin
+and watchdog_fire t =
+  t.watchdog <- None;
+  if not t.torn_down then begin
     t.watchdog_time <- Time.infinity;
     if outstanding t > 0 then begin
       let now = Sim.now t.sim in
@@ -347,7 +351,9 @@ let receiver_rx t (p : Packet.t) =
    know the receiver holds — the signal that a dup ACK is advancing the
    scoreboard during recovery *)
 let ingest_sack t (p : Packet.t) =
-  if not t.config.sack then false
+  (* in-order traffic carries no blocks; skip the scoreboard-cardinal
+     walks entirely rather than computing an unchanged count twice *)
+  if (not t.config.sack) || p.sack = [] then false
   else begin
     let before = Seqset.cardinal t.sacked in
     List.iter
@@ -374,15 +380,23 @@ let next_hole t ~from =
    dupack_threshold SACKed segments lie above it — the gap between the
    highest SACKed segment and the send frontier is data still in flight,
    and repairing it would be a spurious retransmission. Cumulative-ACK
-   evidence (a partial ACK parking on the hole) needs no such guard. *)
+   evidence (a partial ACK parking on the hole) needs no such guard.
+
+   Runs on the dup-ACK hot path: [Seqset.blocks] is the scoreboard's own
+   interval list (no allocation), and the scan stops as soon as enough
+   evidence accumulates instead of folding the whole scoreboard. *)
 let hole_is_lost t hole =
-  let evidence =
-    List.fold_left
-      (fun acc (start, stop) ->
-        if start > hole then acc + (stop - start) else acc)
-      0 (Seqset.blocks t.sacked)
+  let threshold = t.config.dupack_threshold in
+  let rec scan acc = function
+    | [] -> false
+    | (start, stop) :: rest ->
+      if start > hole then begin
+        let acc = acc + (stop - start) in
+        acc >= threshold || scan acc rest
+      end
+      else scan acc rest
   in
-  evidence >= t.config.dupack_threshold
+  scan 0 (Seqset.blocks t.sacked)
 
 let repair_hole t hole =
   if hole > t.rexmit_high then t.rexmit_high <- hole;
@@ -531,7 +545,7 @@ let create ~net ~flow ~subflow ~src ~dst ~path ~cc
       rexmit_high = -1;
       rto_deadline = Time.infinity;
       watchdog_time = Time.infinity;
-      watchdog_epoch = 0;
+      watchdog = None;
       torn_down = false;
       completed_at = None;
       rcv_nxt = 0;

@@ -64,6 +64,150 @@ let test_clear () =
   Q.add q ~time:3 ~seq:2 ();
   Alcotest.(check bool) "usable after clear" true (Q.peek_time q = Some 3)
 
+(* ----- lazy-deletion / heap-hygiene ----- *)
+
+type cell = { value : int; mutable alive : bool }
+
+let test_cancel_heavy_bounded () =
+  (* N adds, N-1 cancels, repeated: without compaction the heap holds
+     every dead entry until its fire time (O(total cancels)); with
+     lazy deletion it must stay O(live). *)
+  let q = Q.create ~live:(fun c -> c.alive) () in
+  let seq = ref 0 in
+  let rounds = 50 and n = 200 in
+  let max_len = ref 0 in
+  for r = 0 to rounds - 1 do
+    let cells =
+      List.init n (fun i ->
+          let c = { value = (r * n) + i; alive = true } in
+          Q.add q ~time:(1_000_000 + c.value) ~seq:!seq c;
+          incr seq;
+          c)
+    in
+    List.iteri
+      (fun i c ->
+        if i < n - 1 then begin
+          c.alive <- false;
+          Q.note_dead q
+        end)
+      cells;
+    if Q.length q > !max_len then max_len := Q.length q
+  done;
+  let live = rounds in
+  Alcotest.(check bool)
+    (Printf.sprintf "length %d bounded by O(live=%d)" (Q.length q) live)
+    true
+    (Q.length q <= (2 * live) + n);
+  Alcotest.(check bool) "compactions happened" true (Q.rebuilds q > 0);
+  Alcotest.(check bool)
+    "dead entries bounded after compaction" true
+    (Q.dead_count q <= (Q.length q / 2) + 1)
+
+let test_cancel_pop_order_vs_reference () =
+  (* Interleaved adds and cancels, driven by a seeded PRNG: the live
+     survivors must pop in exactly the order a naive sorted list gives. *)
+  let rng = Random.State.make [| 0xBEEF |] in
+  let q = Q.create ~live:(fun c -> c.alive) () in
+  let reference = ref [] in
+  let pending = ref [] in
+  for seq = 0 to 2_000 - 1 do
+    let time = Random.State.int rng 500 in
+    let c = { value = seq; alive = true } in
+    Q.add q ~time ~seq c;
+    reference := (time, seq, c) :: !reference;
+    pending := c :: !pending;
+    (* cancel a random earlier survivor about half the time *)
+    if Random.State.bool rng then begin
+      let candidates = List.filter (fun c -> c.alive) !pending in
+      match candidates with
+      | [] -> ()
+      | _ ->
+        let victim =
+          List.nth candidates (Random.State.int rng (List.length candidates))
+        in
+        victim.alive <- false;
+        Q.note_dead q
+    end
+  done;
+  let expected =
+    List.sort compare
+      (List.filter_map
+         (fun (t, s, c) -> if c.alive then Some (t, s) else None)
+         !reference)
+  in
+  let rec drain acc =
+    match Q.pop q with
+    | Some (t, s, c) -> drain (if c.alive then (t, s) :: acc else acc)
+    | None -> List.rev acc
+  in
+  let popped = drain [] in
+  Alcotest.(check bool)
+    (Printf.sprintf "pop order matches reference (%d live survivors)"
+       (List.length expected))
+    true (popped = expected)
+
+let test_compact_shrinks () =
+  let q = Q.create ~live:(fun c -> c.alive) () in
+  let cells =
+    List.init 10_000 (fun i ->
+        let c = { value = i; alive = true } in
+        Q.add q ~time:i ~seq:i c;
+        c)
+  in
+  List.iteri
+    (fun i c ->
+      if i > 0 then begin
+        c.alive <- false;
+        Q.note_dead q
+      end)
+    cells;
+  Q.compact q;
+  Alcotest.(check int) "only the live entry remains" 1 (Q.length q);
+  Alcotest.(check int) "no dead entries" 0 (Q.dead_count q);
+  match Q.pop q with
+  | Some (0, 0, c) -> Alcotest.(check int) "survivor payload" 0 c.value
+  | _ -> Alcotest.fail "expected the one live entry"
+
+(* End-to-end heap hygiene: a real TCP transfer reschedules its RTO
+   watchdog and delayed-ACK timers continuously; the superseded timers
+   are cancelled, and lazy deletion must keep the pending-event count at
+   the scale of packets in flight — not of total reschedules. *)
+let test_tcp_transfer_pending_bounded () =
+  let module Sim = Xmp_engine.Sim in
+  let module Time = Xmp_engine.Time in
+  let module Net = Xmp_net in
+  let module Tcp = Xmp_transport.Tcp in
+  let module Testbed = Xmp_net.Testbed in
+  let sim = Sim.create ~config:{ Sim.default_config with seed = 11 } () in
+  let net = Net.Network.create sim in
+  let disc () =
+    Net.Queue_disc.create ~policy:Net.Queue_disc.Droptail ~capacity_pkts:100
+  in
+  let tb =
+    Testbed.create ~net ~n_left:1 ~n_right:1
+      ~bottlenecks:
+        [ { Testbed.rate = Net.Units.mbps 100.; delay = Time.us 50; disc } ]
+      ~access_delay:(Time.us 10) ()
+  in
+  let conn =
+    Tcp.create ~net ~flow:1 ~subflow:0 ~src:(Testbed.left_id tb 0)
+      ~dst:(Testbed.right_id tb 0) ~path:0
+      ~cc:(fun view -> Xmp_transport.Reno.make view)
+      ~source:(Tcp.Limited (ref 5_000))
+      ()
+  in
+  Sim.run ~until:(Time.sec 10.) sim;
+  Alcotest.(check bool) "transfer completed" true (Tcp.is_complete conn);
+  let st = Sim.stats sim in
+  (* in-flight data is capped by the 100-packet bottleneck queue; every
+     pending event is tied to a packet in flight or a live timer, so the
+     peak must sit at O(window), far below the 5000 segments moved *)
+  Alcotest.(check bool)
+    (Printf.sprintf "heap peak %d is O(live timers), not O(reschedules)"
+       st.Sim.heap_peak)
+    true (st.Sim.heap_peak < 600);
+  Alcotest.(check int) "no events left pending" 0 (Sim.pending sim)
+
 let prop_heap_sorts =
   QCheck.Test.make ~count:200 ~name:"heap pops in (time, seq) order"
     QCheck.(list (int_bound 1000))
@@ -87,5 +231,13 @@ let suite =
     Alcotest.test_case "growth to 10k" `Quick test_growth;
     Alcotest.test_case "peek" `Quick test_peek;
     Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "cancel-heavy workload stays O(live)" `Quick
+      test_cancel_heavy_bounded;
+    Alcotest.test_case "cancellation preserves pop order" `Quick
+      test_cancel_pop_order_vs_reference;
+    Alcotest.test_case "explicit compact reclaims dead entries" `Quick
+      test_compact_shrinks;
+    Alcotest.test_case "TCP transfer keeps pending events bounded" `Quick
+      test_tcp_transfer_pending_bounded;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
   ]

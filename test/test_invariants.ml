@@ -115,6 +115,45 @@ let test_sub_mss_cwnd_caught () =
 let test_sub_mss_cwnd_ignored_when_disabled () =
   Invariant.with_enabled false (fun () -> start_broken_flow (rig ()))
 
+let test_two_sims_keep_their_own_invariant_flag () =
+  (* Regression: Sim.create used to write config.invariants straight into
+     the process-global toggle, so creating a second sim silently
+     reconfigured checking for every live sim. The flag is now
+     snapshotted per-sim and re-asserted at dispatch. *)
+  let saved = Invariant.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Invariant.set_enabled saved)
+    (fun () ->
+      let sim_off =
+        Sim.create
+          ~config:{ Sim.default_config with invariants = Some false }
+          ()
+      in
+      (* this second create flips the global toggle on *)
+      let sim_on =
+        Sim.create
+          ~config:{ Sim.default_config with invariants = Some true }
+          ()
+      in
+      let off_ran = ref false in
+      Sim.at sim_off 10 (fun () ->
+          Invariant.require ~name:"two-sims.off" false (fun () ->
+              "must be ignored: checks are off for this sim");
+          off_ran := true);
+      (* must not raise even though sim_on switched the global on *)
+      Sim.run sim_off;
+      Alcotest.(check bool) "first sim dispatched with checks off" true
+        !off_ran;
+      let caught = ref None in
+      Sim.at sim_on 10 (fun () ->
+          Invariant.require ~name:"two-sims.on" false (fun () -> "caught"));
+      (try Sim.run sim_on with Invariant.Violation msg -> caught := Some msg);
+      match !caught with
+      | None -> Alcotest.fail "second sim must still enforce its checks"
+      | Some msg ->
+        Alcotest.(check bool) "names the invariant" true
+          (contains ~sub:"two-sims.on" msg))
+
 let suite =
   [
     Alcotest.test_case "require true counts, does not raise" `Quick
@@ -129,4 +168,6 @@ let suite =
       test_sub_mss_cwnd_caught;
     Alcotest.test_case "disabled checker lets sub-MSS cwnd pass" `Quick
       test_sub_mss_cwnd_ignored_when_disabled;
+    Alcotest.test_case "two sims keep their own invariant flag" `Quick
+      test_two_sims_keep_their_own_invariant_flag;
   ]

@@ -174,6 +174,36 @@ let test_red_drops_when_not_marking () =
   Alcotest.(check bool) "red drops instead" true (Queue_disc.dropped d > 0);
   Alcotest.(check int) "nothing marked" 0 (Queue_disc.marked d)
 
+let test_red_average_decays_across_idle () =
+  (* Idle-time correction: RED's average used to be updated only on
+     arrivals, so after the queue drained and sat idle the next packet
+     faced the stale pre-idle average (and was spuriously marked). The
+     average now also decays on every dequeue, so a drain leaves it near
+     the empty queue, not the old backlog. *)
+  let params =
+    { Queue_disc.default_red with wq = 0.5; min_th = 2.; max_th = 4. }
+  in
+  let d =
+    Queue_disc.create ~policy:(Queue_disc.Red params) ~capacity_pkts:50
+  in
+  (* build a backlog big enough to push the average above max_th *)
+  for i = 1 to 10 do
+    ignore (Queue_disc.enqueue d (mk_data i))
+  done;
+  Alcotest.(check bool) "backlog marked under load" true
+    (Queue_disc.marked d > 0);
+  (* drain to empty — the idle period follows *)
+  while Queue_disc.dequeue d <> None do
+    ()
+  done;
+  let marked_before = Queue_disc.marked d in
+  let p = mk_data 99 in
+  let accepted = Queue_disc.enqueue d p in
+  Alcotest.(check bool) "first packet after idle accepted" true accepted;
+  Alcotest.(check bool) "not marked against a stale average" false
+    p.Packet.ce;
+  Alcotest.(check int) "no mark recorded" marked_before (Queue_disc.marked d)
+
 let test_occupancy_sampling () =
   let d = Queue_disc.create ~policy:Queue_disc.Droptail ~capacity_pkts:10 in
   ignore (Queue_disc.enqueue d (mk_data 1));
@@ -218,6 +248,8 @@ let suite =
     Alcotest.test_case "RED marks" `Quick test_red_marks_under_load;
     Alcotest.test_case "RED drops when not marking" `Quick
       test_red_drops_when_not_marking;
+    Alcotest.test_case "RED average decays across idle" `Quick
+      test_red_average_decays_across_idle;
     Alcotest.test_case "occupancy sampling" `Quick test_occupancy_sampling;
     QCheck_alcotest.to_alcotest prop_threshold_len_bounded;
   ]

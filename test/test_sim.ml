@@ -101,6 +101,45 @@ let test_step () =
   Alcotest.(check bool) "step true" true (Sim.step sim);
   Alcotest.(check bool) "step false when empty" false (Sim.step sim)
 
+let test_cancel_heavy_pending_bounded () =
+  (* per-ACK-style timer churn: without lazy deletion the heap would hold
+     every cancelled entry until its (far-future) fire time *)
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  for i = 1 to 1_000 do
+    let tm = Sim.timer_at sim (1_000_000 + i) (fun () -> incr fired) in
+    if i mod 100 <> 0 then Sim.cancel tm
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "pending %d stays O(live=10)" (Sim.pending sim))
+    true
+    (Sim.pending sim < 100);
+  Sim.run sim;
+  let st = Sim.stats sim in
+  Alcotest.(check int) "only live timers fired" 10 !fired;
+  Alcotest.(check int) "executed counts live only" 10 st.Sim.executed;
+  Alcotest.(check bool) "compactions happened" true (st.Sim.rebuilds > 0);
+  Alcotest.(check bool) "heap peak bounded" true (st.Sim.heap_peak < 120)
+
+let test_cancelled_entry_skipped_at_pop () =
+  (* few enough cancellations that no compaction triggers: the dead entry
+     must be skipped at pop, advance the clock, and be counted as
+     cancelled_skipped rather than executed *)
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.timer_at sim 10 (fun () -> log := 1 :: !log));
+  let t2 = Sim.timer_at sim 20 (fun () -> log := 2 :: !log) in
+  Sim.at sim 30 (fun () -> log := 3 :: !log);
+  Sim.at sim 40 (fun () -> log := 4 :: !log);
+  Sim.cancel t2;
+  Sim.run sim;
+  Alcotest.(check (list int)) "cancelled handler skipped" [ 1; 3; 4 ]
+    (List.rev !log);
+  let st = Sim.stats sim in
+  Alcotest.(check int) "executed" 3 st.Sim.executed;
+  Alcotest.(check int) "cancelled_skipped" 1 st.Sim.cancelled_skipped;
+  Alcotest.(check int) "heap peak saw all four" 4 st.Sim.heap_peak
+
 let test_cascade () =
   (* events scheduling events: a chain of 1000 *)
   let sim = Sim.create () in
@@ -128,5 +167,9 @@ let suite =
     Alcotest.test_case "timer fires once" `Quick test_timer_fires;
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "single step" `Quick test_step;
+    Alcotest.test_case "cancel-heavy pending stays bounded" `Quick
+      test_cancel_heavy_pending_bounded;
+    Alcotest.test_case "cancelled entry skipped at pop" `Quick
+      test_cancelled_entry_skipped_at_pop;
     Alcotest.test_case "event cascade" `Quick test_cascade;
   ]

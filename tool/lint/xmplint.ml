@@ -306,6 +306,7 @@ let file_allowlist =
   [
     (* bench times real executions of the simulator *)
     ("wall-clock", "bench/main.ml");
+    ("wall-clock", "bench/perf.ml");
     (* the scenario runner forks workers and times whole simulations; it
        is process orchestration, not simulator code *)
     ("wall-clock", "lib/runner/runner.ml");
