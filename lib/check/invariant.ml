@@ -2,36 +2,41 @@ exception Violation of string
 
 type mode = Raise | Warn
 
-let enabled_flag = ref true
-let mode_flag = ref Raise
-let checked_count = ref 0
-let violation_count = ref 0
+(* All four globals are atomics: invariants fire on the hottest dispatch
+   paths, and once the simulator shards across OCaml 5 Domains
+   (ROADMAP item 3) plain refs here would be data races and would drop
+   counts. Atomic.get is a plain load on the flat-footprint runtimes we
+   target, so the enabled check stays one branch. *)
+let enabled_flag = Atomic.make true
+let mode_flag = Atomic.make Raise
+let checked_count = Atomic.make 0
+let violation_count = Atomic.make 0
 
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
-let mode () = !mode_flag
-let set_mode m = mode_flag := m
-let checks_run () = !checked_count
-let violations () = !violation_count
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+let mode () = Atomic.get mode_flag
+let set_mode m = Atomic.set mode_flag m
+let checks_run () = Atomic.get checked_count
+let violations () = Atomic.get violation_count
 
 let reset_counters () =
-  checked_count := 0;
-  violation_count := 0
+  Atomic.set checked_count 0;
+  Atomic.set violation_count 0
 
 let fail ~name detail =
-  violation_count := !violation_count + 1;
+  Atomic.incr violation_count;
   let msg = Printf.sprintf "invariant %s violated: %s" name (detail ()) in
-  match !mode_flag with
+  match Atomic.get mode_flag with
   | Raise -> raise (Violation msg)
   | Warn -> Format.eprintf "[invariant] %s@." msg
 
 let require ~name cond detail =
-  if !enabled_flag then begin
-    checked_count := !checked_count + 1;
+  if Atomic.get enabled_flag then begin
+    Atomic.incr checked_count;
     if not cond then fail ~name detail
   end
 
 let with_enabled b f =
-  let saved = !enabled_flag in
-  enabled_flag := b;
-  Fun.protect ~finally:(fun () -> enabled_flag := saved) f
+  let saved = Atomic.get enabled_flag in
+  Atomic.set enabled_flag b;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled_flag saved) f

@@ -49,17 +49,24 @@ let default_config =
   }
 
 (* process-wide tally across every simulator instance; the scenario runner
-   reads deltas of this to report events-per-scenario from its workers *)
-let total = ref 0
+   reads deltas of this to report events-per-scenario from its workers.
+   Atomic so the count stays exact when sims run on several Domains. *)
+let total = Atomic.make 0
 
-let total_events_executed () = !total
+let total_events_executed () = Atomic.get total
 
 (* process-wide heap high-water mark, for harnesses (the perf bench)
    that measure scenarios which construct their sims internally *)
-let global_peak = ref 0
+let global_peak = Atomic.make 0
 
-let global_heap_peak () = !global_peak
-let reset_global_heap_peak () = global_peak := 0
+let global_heap_peak () = Atomic.get global_peak
+let reset_global_heap_peak () = Atomic.set global_peak 0
+
+(* lock-free monotone max: retry only when another domain raced the slot *)
+let rec raise_global_peak len =
+  let cur = Atomic.get global_peak in
+  if len > cur && not (Atomic.compare_and_set global_peak cur len) then
+    raise_global_peak len
 
 let create ?(config = default_config) () =
   let invariants =
@@ -114,7 +121,7 @@ let schedule t time f =
   t.next_seq <- t.next_seq + 1;
   let len = Event_queue.length t.heap in
   if len > t.heap_peak then t.heap_peak <- len;
-  if len > !global_peak then global_peak := len;
+  raise_global_peak len;
   ev
 
 let at t time f = ignore (schedule t time f)
@@ -144,7 +151,7 @@ let step t =
       t.now <- time;
       ev.live <- false;
       t.executed <- t.executed + 1;
-      incr total;
+      Atomic.incr total;
       ev.run ()
     end
     else begin

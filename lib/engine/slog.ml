@@ -1,5 +1,9 @@
 type level = Quiet | Info | Debug
 
+(* xmplint: allow mutable-global — the log level is a process-wide UI
+   setting written once by the CLI/test harness before any simulation
+   starts and only read afterwards; under Domains sharding, worker
+   domains never write it, so a plain ref cannot race (see slog.mli). *)
 let current = ref Quiet
 let set_level l = current := l
 let level () = !current

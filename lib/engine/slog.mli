@@ -7,6 +7,11 @@
 type level = Quiet | Info | Debug
 
 val set_level : level -> unit
+(** Sets the process-wide level. Single-domain by contract: call it from
+    the main domain before simulations start (the CLI does this once at
+    argument-parse time). Worker domains must only read the level — the
+    backing store is a deliberate non-atomic global (see the
+    [mutable-global] waiver in [slog.ml]). *)
 
 val level : unit -> level
 

@@ -104,7 +104,28 @@ let driver_config base scheme pattern =
     telemetry = Xmp_telemetry.Sink.null;
   }
 
+(* xmplint: allow mutable-global — per-process memo of completed runs,
+   keyed by the full canonical configuration; it is an explicitly scoped
+   cache (clear_cache / with_cache below let runner workers isolate
+   scenarios), and a stale entry cannot change results because the key
+   covers every input that affects a run. Not yet domain-safe: guard or
+   shard it before Domains-parallel evaluation. *)
 let cache : (string, Driver.result) Hashtbl.t = Hashtbl.create 32
+
+let cache_size () = Hashtbl.length cache
+let clear_cache () = Hashtbl.reset cache
+
+let with_cache f =
+  let saved = Hashtbl.copy cache in
+  Hashtbl.reset cache;
+  Fun.protect
+    ~finally:(fun () ->
+      Hashtbl.reset cache;
+      (* xmplint: allow hashtbl-order — restoring a snapshot into an
+         empty table; only lookups ever read it, so insertion order is
+         unobservable *)
+      Hashtbl.iter (fun k v -> Hashtbl.replace cache k v) saved)
+    f
 
 let cache_key base scheme pattern =
   (* fault schedule folds into the key via its canonical params; an empty

@@ -41,6 +41,19 @@ val result : base -> Xmp_workload.Scheme.t -> pattern_id ->
   Xmp_workload.Driver.result
 (** Runs (or returns the memoized) simulation. *)
 
+val cache_size : unit -> int
+(** Number of memoized runs currently held for this process. *)
+
+val clear_cache : unit -> unit
+(** Drops every memoized run. Runner workers call this between scenarios
+    when they must prove results carry no cross-scenario state. *)
+
+val with_cache : (unit -> 'a) -> 'a
+(** [with_cache f] runs [f] against a fresh, empty memo table and
+    restores the previous table afterwards (exception-safe), so a scoped
+    evaluation can neither observe earlier runs nor leak its own into
+    the enclosing scope. *)
+
 val table1_schemes : Xmp_workload.Scheme.t list
 (** DCTCP, LIA-2, LIA-4, XMP-2, XMP-4 — the paper's Table 1 row set. *)
 

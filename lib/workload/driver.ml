@@ -379,8 +379,15 @@ let run cfg =
      by never finishing. Very young flows carry no signal and are
      skipped. *)
   let min_elapsed = Time.div cfg.horizon 10 in
-  Hashtbl.iter
-    (fun flow a ->
+  (* sorted-iteration idiom: record in flow-id order, not hash order, so
+     metric aggregation (float sums included) never depends on the hash
+     function or table history *)
+  let still_running =
+    Hashtbl.fold (fun flow a acc -> (flow, a) :: acc) ctx.running []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (flow, a) ->
       let elapsed = Time.sub cfg.horizon (Mptcp_flow.started_at a.a_handle) in
       if elapsed >= min_elapsed then
         Metrics.record_flow ctx.metrics
@@ -396,7 +403,7 @@ let run cfg =
             goodput_bps = Mptcp_flow.goodput_bps_until a.a_handle cfg.horizon;
             truncated = true;
           })
-    ctx.running;
+    still_running;
   {
     metrics = ctx.metrics;
     net;

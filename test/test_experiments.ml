@@ -124,6 +124,36 @@ let test_fatree_result_cached () =
   in
   Alcotest.(check bool) "memoized (same object)" true (r1 == r2)
 
+let test_fatree_cache_scoping () =
+  E.Fatree_eval.clear_cache ();
+  Alcotest.(check int) "cleared" 0 (E.Fatree_eval.cache_size ());
+  let base = { E.Fatree_eval.default_base with horizon = Time.ms 100 } in
+  let r1 =
+    E.Fatree_eval.result base Xmp_workload.Scheme.Dctcp
+      E.Fatree_eval.Permutation
+  in
+  Alcotest.(check int) "one entry" 1 (E.Fatree_eval.cache_size ());
+  (* with_cache runs its body against a fresh cache... *)
+  let inner_size_before, inner_r, inner_size_after =
+    E.Fatree_eval.with_cache (fun () ->
+        let before = E.Fatree_eval.cache_size () in
+        let r =
+          E.Fatree_eval.result base Xmp_workload.Scheme.Dctcp
+            E.Fatree_eval.Permutation
+        in
+        (before, r, E.Fatree_eval.cache_size ()))
+  in
+  Alcotest.(check int) "fresh inside" 0 inner_size_before;
+  Alcotest.(check int) "populated inside" 1 inner_size_after;
+  Alcotest.(check bool) "recomputed, not shared" true (inner_r != r1);
+  (* ...and restores the outer cache afterwards *)
+  Alcotest.(check int) "outer cache restored" 1 (E.Fatree_eval.cache_size ());
+  let r2 =
+    E.Fatree_eval.result base Xmp_workload.Scheme.Dctcp
+      E.Fatree_eval.Permutation
+  in
+  Alcotest.(check bool) "outer entry survives" true (r1 == r2)
+
 let test_coexistence_direction () =
   let base = { E.Fatree_eval.default_base with horizon = Time.ms 500 } in
   let r =
@@ -156,6 +186,8 @@ let suite =
     Alcotest.test_case "fat-tree matrix shape" `Slow
       test_fatree_matrix_shape;
     Alcotest.test_case "fat-tree memoization" `Slow test_fatree_result_cached;
+    Alcotest.test_case "fat-tree cache scoping" `Slow
+      test_fatree_cache_scoping;
     Alcotest.test_case "coexistence direction" `Slow
       test_coexistence_direction;
     Alcotest.test_case "pattern names" `Quick test_pattern_names;

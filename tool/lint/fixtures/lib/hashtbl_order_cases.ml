@@ -1,0 +1,24 @@
+(* [hashtbl-order] fixture: unspecified iteration order reaching results.
+   Never compiled; exercised by test/test_lint.ml. *)
+
+(* positive: raw iteration, no sorting anywhere in the declaration *)
+let dump t acc_ref = Hashtbl.iter (fun k v -> acc_ref := (k, v) :: !acc_ref) t
+
+(* positive: fold straight into a result *)
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+
+(* negative: the sorted-iteration idiom *)
+let sorted_keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+(* negative: sorting before order-sensitive use, iteration feeding it *)
+let sorted_pairs t =
+  let pairs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) pairs
+
+(* negative: not a Hashtbl iteration at all *)
+let list_iter xs f = List.iter f xs
+
+(* waived: pragma on the same line *)
+let restore t saved =
+  Hashtbl.iter (fun k v -> Hashtbl.replace t k v) saved (* xmplint: allow hashtbl-order *)

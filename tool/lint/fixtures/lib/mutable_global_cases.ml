@@ -1,0 +1,47 @@
+(* [mutable-global] fixture: toplevel mutable state in lib/.
+   Never compiled; exercised by test/test_lint.ml which asserts exactly
+   which declarations fire and which are waived. *)
+
+(* positive: the classic counters that break under Domains *)
+let hits = ref 0
+
+let table = Hashtbl.create 16
+
+let scratch = Buffer.create 80
+
+let slots = Array.make 4 0
+
+(* positive: record literal with a mutable field declared in this file *)
+type cell = { mutable value : int; label : string }
+
+let shared_cell = { value = 0; label = "seed" }
+
+(* positive: type-annotated binding still counts *)
+let annotated : int list ref = ref []
+
+(* positive: a pragma without a justification does not waive this rule *)
+(* xmplint: allow mutable-global *)
+let unjustified = ref 0
+
+(* negative: function bindings allocate per call *)
+let make_counter () = ref 0
+
+let fresh_table _unit = Hashtbl.create 8
+
+(* negative: lambdas on the right-hand side *)
+let thunk = fun () -> Buffer.create 32
+
+(* negative: immutable toplevel values *)
+let limit = 42
+
+let names = [ "a"; "b" ]
+
+let immutable_cell_label = "seed"
+
+(* negative: atomics are the sanctioned domain-safe form *)
+let safe_counter = Atomic.make 0
+
+(* waived: justified pragma *)
+(* xmplint: allow mutable-global — single-domain interning table, written
+   only during startup before workers fork *)
+let interned = Hashtbl.create 4

@@ -1,0 +1,41 @@
+(* [unit-suffix] fixture: mixed-unit arithmetic and comparisons.
+   Never compiled; exercised by test/test_lint.ml. *)
+
+let budget_ns = 5_000
+let delay_us = 3
+let horizon_s = 2.5
+let size_bytes = 1460
+let quota_pkts = 100
+let line_rate = 1e9
+
+(* positive: additive mix of ns and us with no conversion *)
+let total_wait = budget_ns + delay_us
+
+(* positive: comparing bytes against packets *)
+let over_quota = size_bytes > quota_pkts
+
+(* positive: seconds vs nanoseconds across a subtraction *)
+let drift = horizon_s -. budget_ns
+
+(* negative (scope limit): the rule is adjacency-based, so an unsuffixed
+   call between the two operands hides the mismatch *)
+let hidden_drift = horizon_s -. float_of_int budget_ns
+
+(* negative: same unit on both sides *)
+let sum_ns = budget_ns + budget_ns
+
+(* negative: explicit conversion literal in the expression *)
+let total_ns = budget_ns + (delay_us * 1000)
+
+(* negative: scientific-literal conversion *)
+let scaled_s = horizon_s +. (line_rate /. 1e9)
+
+(* negative: conversion through a Time./Units. call *)
+let elapsed_ns t = budget_ns + Time.to_ns t
+
+(* negative: multiplicative operators convert by construction *)
+let tx_time_s = float_of_int size_bytes /. line_rate
+
+(* waived: pragma on the preceding line *)
+(* xmplint: allow unit-suffix *)
+let waived_mix = budget_ns + delay_us

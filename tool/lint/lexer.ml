@@ -1,0 +1,382 @@
+(* Position-tracked OCaml lexer for xmplint.
+
+   One pass over the raw source produces a token stream in which every
+   token carries its 1-based line and 0-based column. Comments, string
+   literals and char literals are consumed by the lexer itself (no
+   separate stripping pass): strings become [Str] tokens, comments
+   disappear except for the [allow] pragmas they may carry, and char
+   literals vanish entirely (they can never trip a rule). Dotted module
+   paths lex as one [Ident] ("Time.compare", "t.send_time") and maximal
+   symbol runs as one [Op] ("->", ">=", "|>"), so a ">" token really is a
+   comparison. Lowercase identifiers that are OCaml structure keywords
+   come out as [Keyword], which is what lets the item grouper below
+   recover declaration-level structure without a grammar.
+
+   The module is pure: [lex] returns a value, no global state. *)
+
+type kind =
+  | Ident of string  (** identifier or dotted path *)
+  | Keyword of string  (** reserved word ("let", "module", "mutable", …) *)
+  | Num of string  (** numeric literal, including 1e9 / 0x2a forms *)
+  | Op of string  (** maximal run of symbol characters *)
+  | Str  (** a string literal (contents elided) *)
+  | Punct of char  (** any other single character *)
+
+type token = { kind : kind; line : int; col : int }
+
+type pragma = {
+  p_from : int;  (** first source line the pragma comment touches *)
+  p_to : int;  (** last line it waives (comment end + 1, i.e. next line) *)
+  p_rule : string;
+  p_just : string option;
+      (** justification text following the rule id, if any — required by
+          rules like [mutable-global] whose waivers must be argued *)
+}
+
+type t = { path : string; tokens : token array; pragmas : pragma list }
+
+(* A toplevel structure item: the token slice from one declaration
+   keyword at column 0 / nesting depth 0 to the next. *)
+type item = {
+  head : string;  (** "let" | "and" | "module" | "type" | … *)
+  name : string option;  (** first identifier after the head keyword *)
+  start_line : int;
+  toks : token array;
+}
+
+let keywords =
+  [
+    "and"; "as"; "assert"; "begin"; "class"; "constraint"; "do"; "done";
+    "downto"; "else"; "end"; "exception"; "external"; "false"; "for"; "fun";
+    "function"; "functor"; "if"; "in"; "include"; "inherit"; "initializer";
+    "lazy"; "let"; "match"; "method"; "module"; "mutable"; "new"; "nonrec";
+    "object"; "of"; "open"; "private"; "rec"; "sig"; "struct"; "then"; "to";
+    "true"; "try"; "type"; "val"; "virtual"; "when"; "while"; "with";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let is_ident_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+  | _ -> false
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+let is_symbol_char c = String.contains "!$%&*+-./:<=>?@^|~" c
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let is_num_char = function
+  | '0' .. '9' | '_' | '.' | 'x' | 'o' | 'b' | 'a' | 'c' .. 'f' | 'A' .. 'F'
+  | 'l' | 'L' | 'n' ->
+    true
+  | _ -> false
+
+(* Pragma text: "xmplint: allow <rule-id>[ <justification>]". The
+   justification runs to the next pragma in the same comment or to the
+   comment's end; leading dashes/colons and trailing comment closers are
+   trimmed away. *)
+let scan_pragmas ~from_line ~to_line text acc =
+  let key = "xmplint: allow " in
+  let klen = String.length key in
+  let tlen = String.length text in
+  let matches = ref [] in
+  let rec find i =
+    if i + klen <= tlen then
+      if String.sub text i klen = key then begin
+        let j = ref (i + klen) in
+        let start = !j in
+        while
+          !j < tlen
+          && (match text.[!j] with
+             | 'a' .. 'z' | '0' .. '9' | '-' -> true
+             | _ -> false)
+        do
+          incr j
+        done;
+        if !j > start then
+          matches := (i, String.sub text start (!j - start), !j) :: !matches;
+        find !j
+      end
+      else find (i + 1)
+  in
+  find 0;
+  let matches = List.rev !matches in
+  let trim_justification s =
+    let s = String.trim s in
+    (* strip a leading separator (em-dash bytes, '-', ':') and the
+       trailing comment closer *)
+    let s =
+      let n = String.length s in
+      let i = ref 0 in
+      while
+        !i < n
+        && (match s.[!i] with
+           | '-' | ':' | ' ' -> true
+           | '\xe2' ->
+             (* UTF-8 em/en dash lead byte: skip the 3-byte sequence *)
+             i := !i + 2;
+             true
+           | _ -> false)
+      do
+        incr i
+      done;
+      String.sub s !i (n - !i)
+    in
+    let s =
+      let n = String.length s in
+      let j = ref n in
+      while
+        !j > 0 && (match s.[!j - 1] with '*' | ')' | ' ' -> true | _ -> false)
+      do
+        decr j
+      done;
+      String.sub s 0 !j
+    in
+    let s = String.trim s in
+    if s = "" then None else Some s
+  in
+  let rec build acc = function
+    | [] -> acc
+    | (_, rule, stop) :: rest ->
+      let just_end =
+        match rest with (next_start, _, _) :: _ -> next_start | [] -> tlen
+      in
+      let just = trim_justification (String.sub text stop (just_end - stop)) in
+      build
+        ({ p_from = from_line; p_to = to_line + 1; p_rule = rule; p_just = just }
+        :: acc)
+        rest
+  in
+  build acc matches
+
+let lex ~path src =
+  let n = String.length src in
+  let toks = ref [] in
+  let pragmas = ref [] in
+  let line = ref 1 in
+  let bol = ref 0 in
+  (* beginning-of-line offset, for columns *)
+  let i = ref 0 in
+  let newline at = incr line; bol := at + 1 in
+  let col at = at - !bol in
+  let emit kind at = toks := { kind; line = !line; col = col at } :: !toks in
+  let advance_over c at = if c = '\n' then newline at in
+  (* string literal: body consumed, [Str] emitted at the opening quote *)
+  let skip_string start =
+    emit Str start;
+    let j = ref (start + 1) in
+    let stop = ref (-1) in
+    while !stop < 0 && !j < n do
+      (match src.[!j] with
+      | '"' -> stop := !j + 1
+      | '\\' when !j + 1 < n ->
+        advance_over src.[!j + 1] (!j + 1);
+        incr j
+      | c -> advance_over c !j);
+      incr j
+    done;
+    if !stop < 0 then n else !stop
+  in
+  (* {id|...|id} quoted string; returns [None] if this '{' opens no
+     quoted literal *)
+  let skip_quoted start =
+    let j = ref (start + 1) in
+    while
+      !j < n && (match src.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+    do
+      incr j
+    done;
+    if !j < n && src.[!j] = '|' then begin
+      let delim = String.sub src (start + 1) (!j - start - 1) in
+      let close = "|" ^ delim ^ "}" in
+      let clen = String.length close in
+      emit Str start;
+      let k = ref (!j + 1) in
+      let stop = ref (-1) in
+      while !stop < 0 && !k + clen <= n do
+        if String.sub src !k clen = close then stop := !k + clen
+        else begin
+          advance_over src.[!k] !k;
+          incr k
+        end
+      done;
+      Some (if !stop < 0 then n else !stop)
+    end
+    else None
+  in
+  (* comment: consumed (nesting respected), pragmas recorded *)
+  let skip_comment start =
+    let from_line = !line in
+    let depth = ref 1 in
+    let j = ref (start + 2) in
+    while !depth > 0 && !j < n do
+      if !j + 1 < n && src.[!j] = '(' && src.[!j + 1] = '*' then begin
+        incr depth;
+        j := !j + 2
+      end
+      else if !j + 1 < n && src.[!j] = '*' && src.[!j + 1] = ')' then begin
+        decr depth;
+        j := !j + 2
+      end
+      else begin
+        advance_over src.[!j] !j;
+        incr j
+      end
+    done;
+    let stop = Stdlib.min !j n in
+    pragmas :=
+      scan_pragmas ~from_line ~to_line:!line
+        (String.sub src start (stop - start))
+        !pragmas;
+    stop
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      newline !i;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '"' then i := skip_string !i
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then
+      i := skip_comment !i
+    else if c = '{' then begin
+      match skip_quoted !i with
+      | Some stop -> i := stop
+      | None ->
+        emit (Punct '{') !i;
+        incr i
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      let continue = ref true in
+      while !continue do
+        while !i < n && is_ident_char src.[!i] do
+          incr i
+        done;
+        if !i + 1 < n && src.[!i] = '.' && is_ident_start src.[!i + 1] then
+          incr i
+        else continue := false
+      done;
+      let name = String.sub src start (!i - start) in
+      let kind = if is_keyword name then Keyword name else Ident name in
+      emit kind start
+    end
+    else if is_digit c then begin
+      let start = !i in
+      let continue = ref true in
+      while !continue do
+        while !i < n && is_num_char src.[!i] do
+          incr i
+        done;
+        (* exponent sign: "1e-9" stays one literal *)
+        if
+          !i < n
+          && (src.[!i] = '+' || src.[!i] = '-')
+          && (let p = src.[!i - 1] in
+              p = 'e' || p = 'E')
+        then incr i
+        else continue := false
+      done;
+      emit (Num (String.sub src start (!i - start))) start
+    end
+    else if
+      c = '\'' && !i + 2 < n && src.[!i + 1] <> '\\' && src.[!i + 2] = '\''
+    then begin
+      advance_over src.[!i + 1] (!i + 1);
+      i := !i + 3 (* char literal 'x' *)
+    end
+    else if c = '\'' && !i + 1 < n && src.[!i + 1] = '\\' then begin
+      let j = ref (!i + 2) in
+      while !j < n && src.[!j] <> '\'' do
+        incr j
+      done;
+      i := !j + 1 (* escaped char literal *)
+    end
+    else if is_symbol_char c then begin
+      let start = !i in
+      while !i < n && is_symbol_char src.[!i] do
+        incr i
+      done;
+      emit (Op (String.sub src start (!i - start))) start
+    end
+    else begin
+      emit (Punct c) !i;
+      incr i
+    end
+  done;
+  { path; tokens = Array.of_list (List.rev !toks); pragmas = !pragmas }
+
+let waived t ~line ~rule =
+  List.exists
+    (fun p -> p.p_rule = rule && line >= p.p_from && line <= p.p_to)
+    t.pragmas
+
+(* A waiver for [rule] at [line] that also carries a justification. *)
+let waived_justified t ~line ~rule =
+  List.exists
+    (fun p ->
+      p.p_rule = rule && line >= p.p_from && line <= p.p_to && p.p_just <> None)
+    t.pragmas
+
+(* ------------------------------------------------------------------ *)
+(* Declaration structure                                                *)
+
+let item_heads =
+  [
+    "let"; "and"; "module"; "type"; "open"; "include"; "exception";
+    "external"; "val"; "class";
+  ]
+
+let opens_block = function
+  | "begin" | "struct" | "sig" | "object" | "do" -> true
+  | _ -> false
+
+let closes_block = function "end" | "done" -> true | _ -> false
+
+(* Groups the token stream into toplevel items. A new item starts at a
+   structure keyword sitting at column 0 with every bracket and
+   begin/struct/sig/object block closed. Anything before the first such
+   keyword is ignored (attribute headers etc.). *)
+let items t =
+  let acc = ref [] in
+  let cur_start = ref (-1) in
+  let depth = ref 0 in
+  let flush upto =
+    if !cur_start >= 0 && upto > !cur_start then begin
+      let toks = Array.sub t.tokens !cur_start (upto - !cur_start) in
+      let head =
+        match toks.(0).kind with Keyword k -> k | _ -> assert false
+      in
+      let name =
+        let rec find i =
+          if i >= Array.length toks then None
+          else
+            match toks.(i).kind with
+            | Ident n -> Some n
+            | Keyword ("rec" | "nonrec") -> find (i + 1)
+            | _ -> None
+        in
+        find 1
+      in
+      acc := { head; name; start_line = toks.(0).line; toks } :: !acc
+    end
+  in
+  Array.iteri
+    (fun idx tok ->
+      (match tok.kind with
+      | Keyword k when !depth = 0 && tok.col = 0 && List.mem k item_heads ->
+        flush idx;
+        cur_start := idx
+      | _ -> ());
+      match tok.kind with
+      | Punct ('(' | '[' | '{') -> incr depth
+      | Punct (')' | ']' | '}') -> if !depth > 0 then decr depth
+      | Keyword k when opens_block k -> incr depth
+      | Keyword k when closes_block k -> if !depth > 0 then decr depth
+      | _ -> ())
+    t.tokens;
+  flush (Array.length t.tokens);
+  List.rev !acc

@@ -1,0 +1,664 @@
+(* xmplint analysis passes.
+
+   Every pass works on the position-tracked token stream produced by
+   {!Lexer.lex} (and, for the declaration-level passes, on the toplevel
+   items recovered by {!Lexer.items}). Rules are scoped by the top-level
+   directory a file lives in; findings go through a {!Report.t} and are
+   filtered against waiver pragmas afterwards (see [lint_source]).
+
+   Legacy passes (PR 1, re-hosted on the token stream): wall-clock,
+   unix-in-lib, unseeded-random, obj-magic, poly-compare-time,
+   bare-compare, stdout-in-lib, direct-printf, missing-mli.
+
+   Declaration-level passes (this PR):
+   - [mutable-global]  module-toplevel mutable state in lib/ — a latent
+     data race under OCaml 5 Domains sharding and a determinism hazard;
+     rejected unless converted to Atomic.t / localized, or waived with a
+     *justified* pragma.
+   - [unit-suffix]     additive/comparison operators joining identifiers
+     whose unit suffixes disagree (_ns vs _us, _bytes vs _pkts, …)
+     without an explicit conversion in the surrounding expression.
+   - [hashtbl-order]   Hashtbl.iter / Hashtbl.fold in lib/ without the
+     sorted-iteration idiom — iteration order is unspecified and
+     hash-function dependent, so it must never reach output or digests. *)
+
+type category = Lib | Bin | Bench | Examples | Test | OtherDir
+
+let category_of path =
+  match String.index_opt path '/' with
+  | None -> OtherDir
+  | Some i -> (
+    match String.sub path 0 i with
+    | "lib" -> Lib
+    | "bin" -> Bin
+    | "bench" -> Bench
+    | "examples" -> Examples
+    | "test" -> Test
+    | _ -> OtherDir)
+
+(* File-level waivers: (rule, exact path) pairs. *)
+let file_allowlist =
+  [
+    (* bench times real executions of the simulator *)
+    ("wall-clock", "bench/main.ml");
+    ("wall-clock", "bench/perf.ml");
+    (* the scenario runner forks workers and times whole simulations; it
+       is process orchestration, not simulator code *)
+    ("wall-clock", "lib/runner/runner.ml");
+    ("unix-in-lib", "lib/runner/runner.ml");
+    (* the sanctioned stdout sinks *)
+    ("stdout-in-lib", "lib/stats/table.ml");
+    ("stdout-in-lib", "lib/experiments/render.ml");
+    (* the runner replays captured scenario output to stdout *)
+    ("stdout-in-lib", "lib/runner/runner.ml");
+    (* the sanctioned stderr sinks: the structured logger itself, the
+       invariant checker's Warn mode, and the runner's progress lines *)
+    ("direct-printf", "lib/engine/slog.ml");
+    ("direct-printf", "lib/check/invariant.ml");
+    ("direct-printf", "lib/runner/runner.ml");
+  ]
+
+let file_allowed rule path = List.mem (rule, path) file_allowlist
+
+let wall_clock_idents =
+  [
+    "Unix.gettimeofday";
+    "Unix.time";
+    "Unix.gmtime";
+    "Unix.localtime";
+    "Sys.time";
+  ]
+
+let stdout_idents =
+  [
+    "print_string";
+    "print_endline";
+    "print_newline";
+    "print_char";
+    "print_int";
+    "print_float";
+    "print_bytes";
+    "Printf.printf";
+    "Format.printf";
+    "Format.print_string";
+    "Format.print_newline";
+    "Format.print_flush";
+    "Stdlib.print_string";
+    "Stdlib.print_endline";
+    "Stdlib.print_newline";
+    "Stdlib.print_char";
+    "Stdlib.print_int";
+    "Stdlib.print_float";
+  ]
+
+let stderr_idents =
+  [
+    "Printf.eprintf";
+    "Format.eprintf";
+    "prerr_string";
+    "prerr_endline";
+    "prerr_newline";
+    "prerr_char";
+    "prerr_int";
+    "prerr_float";
+    "prerr_bytes";
+    "Stdlib.prerr_string";
+    "Stdlib.prerr_endline";
+    "Stdlib.prerr_newline";
+  ]
+
+let bare_compare_idents = [ "compare"; "Stdlib.compare"; "Hashtbl.hash" ]
+
+let has_suffix s suf =
+  let ls = String.length s and lf = String.length suf in
+  ls >= lf && String.sub s (ls - lf) lf = suf
+
+let has_prefix s pre =
+  let ls = String.length s and lp = String.length pre in
+  ls >= lp && String.sub s 0 lp = pre
+
+let last_component name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+(* Identifiers that denote simulated timestamps (or RTTs, which are
+   Time.t in the transport layer). Comparisons adjacent to one of these
+   must go through Time.compare / Int.compare. *)
+let timeish name =
+  let last = last_component name in
+  List.mem last
+    [ "time"; "now"; "ts"; "deadline"; "interval"; "rtt"; "srtt"; "min_rtt" ]
+  || has_suffix last "_time"
+  || has_suffix last "_deadline"
+  || has_suffix last "_at"
+  || has_suffix last "_ts"
+
+let comparison_ops = [ "="; "<>"; "<"; ">"; "<="; ">=" ]
+
+(* ------------------------------------------------------------------ *)
+(* Token-stream passes (position independent)                           *)
+
+open Lexer
+
+let check_idents rep ~path ~cat (toks : token array) =
+  Array.iter
+    (fun tok ->
+      match tok.kind with
+      | Ident name ->
+        let line = tok.line in
+        if
+          List.mem name wall_clock_idents
+          && cat <> Bench
+          && not (file_allowed "wall-clock" path)
+        then
+          Report.add rep ~path ~line ~rule:"wall-clock"
+            (Printf.sprintf
+               "%s reads the wall clock; simulated time must come from \
+                Sim.now"
+               name);
+        if name = "Obj.magic" then
+          Report.add rep ~path ~line ~rule:"obj-magic"
+            "Obj.magic defeats the type system";
+        if name = "Random.self_init" || name = "Random.State.make_self_init"
+        then
+          Report.add rep ~path ~line ~rule:"unseeded-random"
+            (name ^ " is nondeterministic; seed explicitly")
+        else if
+          has_prefix name "Random."
+          && not (name = "Random.State" || has_prefix name "Random.State.")
+        then
+          Report.add rep ~path ~line ~rule:"unseeded-random"
+            (name
+           ^ " uses the global RNG; use Random.State.* with an explicit \
+              seed (Sim.rng)");
+        if
+          (cat = Lib || cat = Bin || cat = Examples)
+          && has_prefix name "Unix."
+          && not (file_allowed "unix-in-lib" path)
+          && not (file_allowed "wall-clock" path)
+        then
+          Report.add rep ~path ~line ~rule:"unix-in-lib"
+            (name ^ ": the Unix module is off-limits in simulator code");
+        if
+          cat = Lib
+          && List.mem name stdout_idents
+          && not (file_allowed "stdout-in-lib" path)
+        then
+          Report.add rep ~path ~line ~rule:"stdout-in-lib"
+            (name
+           ^ " prints to stdout from lib/; route through Render/Table or \
+              Slog");
+        if
+          cat = Lib
+          && List.mem name stderr_idents
+          && not (file_allowed "direct-printf" path)
+        then
+          Report.add rep ~path ~line ~rule:"direct-printf"
+            (name
+           ^ " is an ad-hoc stderr diagnostic in lib/; route through Slog \
+              or record telemetry instead")
+      | Keyword _ | Op _ | Num _ | Str | Punct _ -> ())
+    toks
+
+(* ------------------------------------------------------------------ *)
+(* Line-scoped passes (ported from the PR 1 scanner; their adjacency
+   heuristics are deliberately line-local)                              *)
+
+(* Group the stream into per-line token arrays. *)
+let lines_of (toks : token array) : (int * token array) list =
+  let acc = ref [] in
+  let cur = ref [] in
+  let cur_line = ref (-1) in
+  let flush () =
+    if !cur <> [] then
+      acc := (!cur_line, Array.of_list (List.rev !cur)) :: !acc
+  in
+  Array.iter
+    (fun tok ->
+      if tok.line <> !cur_line then begin
+        flush ();
+        cur := [];
+        cur_line := tok.line
+      end;
+      cur := tok :: !cur)
+    toks;
+  flush ();
+  List.rev !acc
+
+let check_bare_compare rep ~path ~cat toks =
+  if cat = Lib then
+    List.iter
+      (fun (line_no, lt) ->
+        Array.iteri
+          (fun i (tok : token) ->
+            match tok.kind with
+            | Ident name when List.mem name bare_compare_idents ->
+              let prev = if i > 0 then Some lt.(i - 1).kind else None in
+              let next =
+                if i + 1 < Array.length lt then Some lt.(i + 1).kind else None
+              in
+              let is_definition =
+                match prev with
+                | Some (Keyword ("let" | "and" | "val" | "method" | "external"))
+                  ->
+                  true
+                | Some (Op "~") -> true (* labelled argument *)
+                | _ -> false
+              in
+              let is_field_init =
+                match next with Some (Op ("=" | ":")) -> true | _ -> false
+              in
+              if not (is_definition || is_field_init) then
+                Report.add rep ~path ~line:line_no ~rule:"bare-compare"
+                  (name
+                 ^ " is polymorphic; use Time.compare / Int.compare / \
+                    Float.compare")
+            | _ -> ())
+          lt)
+      (lines_of toks)
+
+(* A comparison operator already routed through X.compare: the compared
+   value is the int result, e.g. [Time.compare a b < 0]. *)
+let line_has_compare_call (lt : token array) before =
+  let found = ref false in
+  Array.iteri
+    (fun i (tok : token) ->
+      if i < before then
+        match tok.kind with
+        | Ident name when has_suffix name ".compare" -> found := true
+        | _ -> ())
+    lt;
+  !found
+
+let check_poly_compare rep ~path ~cat toks =
+  if cat = Lib then
+    List.iter
+      (fun (line_no, lt) ->
+        Array.iteri
+          (fun i (tok : token) ->
+            match tok.kind with
+            | Op op when List.mem op comparison_ops ->
+              let prev = if i > 0 then Some lt.(i - 1).kind else None in
+              let prev2 = if i > 1 then Some lt.(i - 2).kind else None in
+              let next =
+                if i + 1 < Array.length lt then Some lt.(i + 1).kind else None
+              in
+              let timeish_tok = function
+                | Some (Ident name) -> timeish name
+                | _ -> false
+              in
+              let dotted_timeish_tok = function
+                | Some (Ident name) -> timeish name && String.contains name '.'
+                | _ -> false
+              in
+              let option_tok = function
+                | Some (Ident ("None" | "Some")) -> true
+                | _ -> false
+              in
+              let binding =
+                match prev2 with
+                | Some (Keyword ("let" | "and" | "rec" | "module" | "type")) ->
+                  true
+                | _ -> false
+              in
+              let flagged =
+                match op with
+                | "=" | "<>" ->
+                  (* Equality on a timestamp (or Time.t option) field
+                     access. Bare left identifiers are record-literal
+                     field initialisers, not comparisons, so only dotted
+                     accesses count. *)
+                  (not binding)
+                  && ((dotted_timeish_tok prev
+                      && (option_tok next || timeish_tok next))
+                     || (dotted_timeish_tok next && option_tok prev))
+                | _ ->
+                  (timeish_tok prev || timeish_tok next)
+                  && not (line_has_compare_call lt i)
+              in
+              if flagged then
+                Report.add rep ~path ~line:line_no ~rule:"poly-compare-time"
+                  (Printf.sprintf
+                     "polymorphic %s next to a timestamp; use Time.compare \
+                      (or Option.is_none/is_some)"
+                     op)
+            | _ -> ())
+          lt)
+      (lines_of toks)
+
+(* ------------------------------------------------------------------ *)
+(* [mutable-global] — declaration-level                                 *)
+
+(* Constructors whose result is shared mutable state when bound at
+   module toplevel. Atomic.make is deliberately absent: atomics are the
+   sanctioned domain-safe representation. *)
+let mutable_constructors =
+  [
+    "ref";
+    "Hashtbl.create";
+    "Buffer.create";
+    "Bytes.create";
+    "Bytes.make";
+    "Array.make";
+    "Array.create_float";
+    "Array.init";
+    "Queue.create";
+    "Stack.create";
+    "Weak.create";
+  ]
+
+(* Field names declared [mutable] by type items in this file; a toplevel
+   record literal initialising one of them is shared mutable state. *)
+let mutable_fields_of_items items =
+  List.fold_left
+    (fun acc (it : item) ->
+      if it.head <> "type" then acc
+      else
+        let acc = ref acc in
+        Array.iteri
+          (fun i (tok : token) ->
+            match tok.kind with
+            | Keyword "mutable" when i + 1 < Array.length it.toks -> (
+              match it.toks.(i + 1).kind with
+              | Ident f -> acc := f :: !acc
+              | _ -> ())
+            | _ -> ())
+          it.toks;
+        !acc)
+    [] items
+
+(* For a [let]/[and] item, classify the binding: [Some (name, rhs_start)]
+   when it is a *value* binding (no parameters — the right-hand side is
+   evaluated once, at module init), [None] for function bindings, unit
+   bindings and destructuring patterns. *)
+let value_binding (it : item) =
+  let n = Array.length it.toks in
+  let idx = ref 1 in
+  let skip_keywords () =
+    while
+      !idx < n
+      && (match it.toks.(!idx).kind with
+         | Keyword ("rec" | "nonrec") -> true
+         | _ -> false)
+    do
+      incr idx
+    done
+  in
+  skip_keywords ();
+  if !idx >= n then None
+  else
+    match it.toks.(!idx).kind with
+    | Ident name -> (
+      if !idx + 1 >= n then None
+      else
+        match it.toks.(!idx + 1).kind with
+        | Op "=" -> Some (name, !idx + 2)
+        | Op ":" ->
+          (* [let name : ty = rhs] — scan for the '=' ending the
+             annotation at bracket depth 0 *)
+          let depth = ref 0 in
+          let j = ref (!idx + 2) in
+          let res = ref None in
+          while !res = None && !j < n do
+            (match it.toks.(!j).kind with
+            | Punct ('(' | '[' | '{') -> incr depth
+            | Punct (')' | ']' | '}') -> decr depth
+            | Op "=" when !depth = 0 -> res := Some (name, !j + 1)
+            | _ -> ());
+            incr j
+          done;
+          !res
+        | _ -> None (* parameters: a function binding *))
+    | _ -> None (* unit / tuple / record pattern *)
+
+let check_mutable_global rep ~path ~cat items =
+  if cat = Lib then
+  let mutable_fields = mutable_fields_of_items items in
+  List.iter
+    (fun (it : item) ->
+      if it.head = "let" || it.head = "and" then
+        match value_binding it with
+        | None -> ()
+        | Some (name, rhs_start) ->
+          let n = Array.length it.toks in
+          (* stop at a lambda: anything it allocates happens per call *)
+          let rhs_end = ref n in
+          (try
+             for j = rhs_start to n - 1 do
+               match it.toks.(j).kind with
+               | Keyword ("fun" | "function") ->
+                 rhs_end := j;
+                 raise Exit
+               | _ -> ()
+             done
+           with Exit -> ());
+          let flagged = ref None in
+          let saw_brace = ref false in
+          for j = rhs_start to !rhs_end - 1 do
+            match it.toks.(j).kind with
+            | Punct '{' -> saw_brace := true
+            | Ident id when !flagged = None ->
+              if List.mem id mutable_constructors then
+                flagged := Some (it.toks.(j).line, id)
+              else if
+                !saw_brace
+                && List.mem id mutable_fields
+                && j + 1 < n
+                && (match it.toks.(j + 1).kind with
+                   | Op "=" -> true
+                   | _ -> false)
+              then
+                flagged :=
+                  Some (it.toks.(j).line, "record with mutable field " ^ id)
+            | _ -> ()
+          done;
+          (match !flagged with
+          | Some (line, what) ->
+            Report.add rep ~path ~line ~rule:"mutable-global" ~decl:name
+              (Printf.sprintf
+                 "toplevel binding '%s' holds shared mutable state (%s): a \
+                  data race once the simulator shards across Domains. \
+                  Convert to Atomic.t, localize it, or annotate (* xmplint: \
+                  allow mutable-global — <justification> *)"
+                 name what)
+          | None -> ()))
+    items
+
+(* ------------------------------------------------------------------ *)
+(* [unit-suffix] — mixed-unit arithmetic                                *)
+
+let unit_of_ident name =
+  let last = String.lowercase_ascii (last_component name) in
+  if has_suffix last "_ns" then Some "ns"
+  else if has_suffix last "_us" then Some "us"
+  else if has_suffix last "_ms" then Some "ms"
+  else if has_suffix last "_sec" || has_suffix last "_s" then Some "s"
+  else if has_suffix last "_bytes" then Some "bytes"
+  else if has_suffix last "_bits" then Some "bits"
+  else if has_suffix last "_pkts" then Some "pkts"
+  else if has_suffix last "_bps" || has_suffix last "rate" then Some "rate"
+  else None
+
+let unit_ops = [ "+"; "-"; "+."; "-."; "="; "<>"; "<"; ">"; "<="; ">=" ]
+
+(* Statement-ish boundaries for the conversion-marker window. *)
+let unit_boundary = function
+  | Keyword
+      ( "let" | "in" | "then" | "else" | "match" | "with" | "fun" | "function"
+      | "begin" | "end" | "do" | "done" | "if" | "while" | "for" ) ->
+    true
+  | Punct ';' -> true
+  | Op "->" -> true
+  | _ -> false
+
+let conversion_literals =
+  [
+    "1000"; "1_000"; "1000000"; "1_000_000"; "1000000000"; "1_000_000_000";
+    "1e3"; "1e6"; "1e9"; "1e-3"; "1e-6"; "1e-9";
+  ]
+
+let is_conversion_marker (k : kind) =
+  match k with
+  | Ident name ->
+    let last = last_component name in
+    has_prefix name "Time."
+    || has_prefix name "Units."
+    || String.length name > 5
+       && (let rec contains i =
+             i + 6 <= String.length name
+             && (String.sub name i 6 = ".Time." || contains (i + 1))
+           in
+           contains 0)
+    || has_prefix last "to_"
+    || has_prefix last "of_"
+  | Num lit ->
+    List.mem lit conversion_literals
+    || String.contains lit 'e' && String.length lit > 1 && Lexer.is_digit lit.[0]
+  | _ -> false
+
+let check_unit_suffix rep ~path ~cat items =
+  if cat = Lib then
+    List.iter
+      (fun (it : item) ->
+        let toks = it.toks in
+        let n = Array.length toks in
+        Array.iteri
+          (fun i (tok : token) ->
+            match tok.kind with
+            | Op op when List.mem op unit_ops ->
+              let prev = if i > 0 then Some toks.(i - 1).kind else None in
+              let next = if i + 1 < n then Some toks.(i + 1).kind else None in
+              let unit_of = function
+                | Some (Ident name) -> unit_of_ident name
+                | _ -> None
+              in
+              (match (unit_of prev, unit_of next) with
+              | Some u1, Some u2 when u1 <> u2 ->
+                (* look for an explicit conversion in the enclosing
+                   expression window *)
+                let has_conv = ref false in
+                let j = ref (i - 1) in
+                let steps = ref 0 in
+                while
+                  !j >= 0 && !steps < 60
+                  && not (unit_boundary toks.(!j).kind)
+                do
+                  if is_conversion_marker toks.(!j).kind then has_conv := true;
+                  decr j;
+                  incr steps
+                done;
+                let j = ref (i + 1) in
+                let steps = ref 0 in
+                while
+                  !j < n && !steps < 60
+                  && not (unit_boundary toks.(!j).kind)
+                do
+                  if is_conversion_marker toks.(!j).kind then has_conv := true;
+                  incr j;
+                  incr steps
+                done;
+                if not !has_conv then
+                  Report.add rep ~path ~line:tok.line ~rule:"unit-suffix"
+                    ?decl:it.name
+                    (Printf.sprintf
+                       "'%s' joins a '%s'-unit value and a '%s'-unit value \
+                        with no explicit conversion (Time.to_ns / Units.* / \
+                        a power-of-10 literal) in the expression"
+                       op u1 u2)
+              | _ -> ())
+            | _ -> ())
+          toks)
+      items
+
+(* ------------------------------------------------------------------ *)
+(* [hashtbl-order] — unspecified iteration order                        *)
+
+let is_hashtbl_iteration name =
+  let last = last_component name in
+  (last = "iter" || last = "fold")
+  &&
+  (* "Hashtbl.iter", "Hashtbl.Make(...).iter" style paths; module-local
+     hashtable instances cannot be recognized without type information *)
+  match String.rindex_opt name '.' with
+  | None -> false
+  | Some i -> (
+    let path = String.sub name 0 i in
+    has_suffix path "Hashtbl" || has_prefix path "Hashtbl.")
+
+let check_hashtbl_order rep ~path ~cat items =
+  if cat = Lib then
+    List.iter
+      (fun (it : item) ->
+        let toks = it.toks in
+        let sorted_idiom =
+          Array.exists
+            (fun (tok : token) ->
+              match tok.kind with
+              | Ident name -> has_prefix (last_component name) "sort"
+              | _ -> false)
+            toks
+        in
+        Array.iter
+          (fun (tok : token) ->
+            match tok.kind with
+            | Ident name when is_hashtbl_iteration name ->
+              if not sorted_idiom then
+                Report.add rep ~path ~line:tok.line ~rule:"hashtbl-order"
+                  ?decl:it.name
+                  (Printf.sprintf
+                     "%s iterates in unspecified hash order; fold to a list \
+                      and List.sort before anything order-sensitive \
+                      (sorted-iteration idiom), or waive with a pragma if \
+                      the order provably cannot reach output or digests"
+                     name)
+            | _ -> ())
+          toks)
+      items
+
+(* ------------------------------------------------------------------ *)
+(* Per-file driver                                                      *)
+
+(* Rules whose pragma waivers must carry a justification. *)
+let justified_waiver_rules = [ "mutable-global" ]
+
+let lint_source rep ~path src =
+  let cat = category_of path in
+  Report.count_file rep;
+  let lx = Lexer.lex ~path src in
+  let items = Lexer.items lx in
+  let before = rep.Report.findings in
+  check_idents rep ~path ~cat lx.tokens;
+  check_bare_compare rep ~path ~cat lx.tokens;
+  check_poly_compare rep ~path ~cat lx.tokens;
+  if Filename.check_suffix path ".ml" then begin
+    check_mutable_global rep ~path ~cat items;
+    check_unit_suffix rep ~path ~cat items;
+    check_hashtbl_order rep ~path ~cat items
+  end;
+  (* filter the fresh findings against waiver pragmas *)
+  let rec fresh acc l =
+    if l == before then acc else
+      match l with
+      | [] -> acc
+      | f :: rest -> fresh (f :: acc) rest
+  in
+  let fresh_findings = fresh [] rep.Report.findings in
+  let keep (f : Report.finding) =
+    if List.mem f.Report.rule justified_waiver_rules then
+      not
+        (Lexer.waived_justified lx ~line:f.Report.line ~rule:f.Report.rule)
+    else not (Lexer.waived lx ~line:f.Report.line ~rule:f.Report.rule)
+  in
+  rep.Report.findings <- List.filter keep fresh_findings @ before
+
+let check_mli_presence rep files =
+  List.iter
+    (fun path ->
+      if category_of path = Lib && Filename.check_suffix path ".ml" then begin
+        let mli = path ^ "i" in
+        if not (List.mem mli files) then
+          Report.add rep ~path ~line:1 ~rule:"missing-mli"
+            "lib/ module without an interface file"
+      end)
+    files
