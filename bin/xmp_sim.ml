@@ -67,7 +67,7 @@ let scheme_conv =
     match Scheme.of_name s with
     | Some scheme -> Ok scheme
     | None ->
-      Error (`Msg (Printf.sprintf "unknown scheme %S (try XMP-2, LIA-4, DCTCP, TCP, OLIA-2)" s))
+      Error (`Msg (Printf.sprintf "unknown scheme %S (try XMP-2, LIA-4, DCTCP, TCP, OLIA-2, BALIA-2, VENO-2, AMP-2)" s))
   in
   Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Scheme.name s))
 

@@ -35,9 +35,9 @@ let run ?(base = Fatree_eval.default_base) ~partner ~queue_pkts () =
 
 let partners = [ Scheme.Lia 2; Scheme.Reno; Scheme.Dctcp ]
 
-let print_table2 ?(base = Fatree_eval.default_base) () =
-  Render.heading
-    "Table 2: average goodput (Mbps), XMP-2 coexisting per Random pattern";
+let extended_partners = [ Scheme.Balia 2; Scheme.Veno 2; Scheme.Amp 2 ]
+
+let print_rows ~base partners =
   let cell partner queue_pkts =
     let r = run ~base ~partner ~queue_pkts () in
     Printf.sprintf "%s : %s"
@@ -57,3 +57,14 @@ let print_table2 ?(base = Fatree_eval.default_base) () =
   Table.print
     ~header:[ "Pairing"; "Queue 50 pkts"; "Queue 100 pkts" ]
     ~rows ()
+
+let print_table2 ?(base = Fatree_eval.default_base) () =
+  Render.heading
+    "Table 2: average goodput (Mbps), XMP-2 coexisting per Random pattern";
+  print_rows ~base partners
+
+let print_table2_extended ?(base = Fatree_eval.default_base) () =
+  Render.heading
+    "Table 2 (extended): XMP-2 coexisting with BALIA/VENO/AMP per Random \
+     pattern";
+  print_rows ~base extended_partners

@@ -22,4 +22,13 @@ val run :
   unit ->
   result
 
+val partners : Xmp_workload.Scheme.t list
+(** The paper's Table 2 partner column: LIA-2, TCP, DCTCP. *)
+
+val extended_partners : Xmp_workload.Scheme.t list
+(** The extension rows: BALIA-2, VENO-2, AMP-2. *)
+
 val print_table2 : ?base:Fatree_eval.base -> unit -> unit
+
+val print_table2_extended : ?base:Fatree_eval.base -> unit -> unit
+(** Same layout as {!print_table2} over {!extended_partners}. *)

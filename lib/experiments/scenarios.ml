@@ -109,6 +109,9 @@ let all cfg =
       Fatree_eval.print_fig11;
     table ~name:"table2" ~descr:"coexistence goodput" ~base (fun base ->
         Coexistence.print_table2 ~base ());
+    table ~name:"table2.extended"
+      ~descr:"coexistence goodput vs BALIA/VENO/AMP" ~base (fun base ->
+        Coexistence.print_table2_extended ~base ());
     table ~name:"table3" ~descr:"job completion times" ~base
       Fatree_eval.print_table3;
     fig ~name:"ablations.beta" ~descr:"fairness/latency across beta" ~scale

@@ -1,3 +1,5 @@
+module Cc = Xmp_transport.Cc
+
 type member = {
   cwnd : unit -> float;
   srtt_s : unit -> float;
@@ -9,6 +11,7 @@ type group = { mutable members : member list (* reverse order *) }
 let group () = { members = [] }
 let register g m = g.members <- m :: g.members
 let members g = List.rev g.members
+let n_members g = List.length g.members
 
 let total_cwnd g =
   List.fold_left (fun acc m -> acc +. m.cwnd ()) 0. g.members
@@ -18,6 +21,13 @@ let total_rate g =
     (fun acc m ->
       let rtt_s = m.srtt_s () in
       if rtt_s > 0. then acc +. (m.cwnd () /. rtt_s) else acc)
+    0. g.members
+
+let max_rate g =
+  List.fold_left
+    (fun acc m ->
+      let rtt_s = m.srtt_s () in
+      if rtt_s > 0. then Float.max acc (m.cwnd () /. rtt_s) else acc)
     0. g.members
 
 let min_srtt g =
@@ -31,3 +41,56 @@ type t = { name : string; fresh : unit -> int -> Xmp_transport.Cc.factory }
 
 let uncoupled ~name factory =
   { name; fresh = (fun () _index -> factory) }
+
+module type COUPLING = sig
+  val name : string
+
+  type flow
+
+  type state
+
+  val flow : unit -> flow
+
+  val init : flow:flow -> group:group -> index:int -> Cc.view -> state
+
+  val cwnd : state -> float
+
+  val in_slow_start : state -> bool
+
+  val take_cwr : state -> bool
+
+  val on_ack : state -> ack:int -> newly_acked:int -> ce_count:int -> unit
+
+  val on_ecn : state -> count:int -> unit
+
+  val on_fast_retransmit : state -> unit
+
+  val on_timeout : state -> unit
+end
+
+let make (module C : COUPLING) =
+  let fresh () =
+    let f = C.flow () in
+    let g = group () in
+    fun index view ->
+      let st = C.init ~flow:f ~group:g ~index view in
+      register g
+        {
+          cwnd = (fun () -> C.cwnd st);
+          srtt_s = (fun () -> Xmp_engine.Time.to_float_s (view.Cc.srtt ()));
+          in_slow_start = (fun () -> C.in_slow_start st);
+        };
+      {
+        Cc.name = C.name;
+        cwnd = (fun () -> C.cwnd st);
+        on_ack =
+          (fun ~ack ~newly_acked ~ce_count ->
+            C.on_ack st ~ack ~newly_acked ~ce_count);
+        on_ecn = (fun ~count -> C.on_ecn st ~count);
+        on_fast_retransmit = (fun () -> C.on_fast_retransmit st);
+        on_timeout = (fun () -> C.on_timeout st);
+        in_slow_start = (fun () -> C.in_slow_start st);
+        take_cwr = (fun () -> C.take_cwr st);
+      }
+  in
+  { name = C.name; fresh }

@@ -4,7 +4,12 @@
     group closure hands each subflow a {!Xmp_transport.Cc} factory whose
     behaviour may depend on every sibling's state. Implementations
     register each member's window and RTT getters in the group as the
-    subflow connections are created. *)
+    subflow connections are created.
+
+    Controllers are written as {!COUPLING} instances and turned into a
+    scheme-facing coupling with {!make}; the legacy closure form
+    ({!uncoupled}, or building {!t} by hand as XMP's TraSh does) remains
+    available for controllers that predate the signature. *)
 
 type member = {
   cwnd : unit -> float;  (** subflow congestion window, segments *)
@@ -22,10 +27,17 @@ val register : group -> member -> unit
 val members : group -> member list
 (** In registration order. *)
 
+val n_members : group -> int
+
 val total_cwnd : group -> float
 
 val total_rate : group -> float
 (** [Σ cwnd_i / srtt_i], segments per second. *)
+
+val max_rate : group -> float
+(** [max_i cwnd_i / srtt_i], segments per second (0 when no member has a
+    positive RTT yet); the best-path rate Balia's α ratio is taken
+    against. *)
 
 val min_srtt : group -> float
 (** Smallest smoothed RTT across members, seconds. *)
@@ -40,3 +52,44 @@ type t = {
 val uncoupled : name:string -> Xmp_transport.Cc.factory -> t
 (** Runs the given controller independently on every subflow (the paper's
     "violates fairness" strawman; useful as an experimental control). *)
+
+(** The coupled-controller signature: per-subflow [state] created by
+    [init] against the flow's shared [flow] value and member [group],
+    with event hooks mirroring {!Xmp_transport.Cc.t}. [init] must not
+    register the subflow itself — {!make} registers a member whose
+    getters delegate to [cwnd]/[in_slow_start] right after [init]
+    returns, so registration order equals subflow creation order. *)
+module type COUPLING = sig
+  val name : string
+
+  type flow
+  (** State shared by every subflow of one MPTCP flow (e.g. OLIA's
+      per-path loss history list). *)
+
+  type state
+  (** One subflow's controller state. *)
+
+  val flow : unit -> flow
+
+  val init : flow:flow -> group:group -> index:int -> Xmp_transport.Cc.view -> state
+
+  val cwnd : state -> float
+
+  val in_slow_start : state -> bool
+
+  val take_cwr : state -> bool
+
+  val on_ack : state -> ack:int -> newly_acked:int -> ce_count:int -> unit
+
+  val on_ecn : state -> count:int -> unit
+
+  val on_fast_retransmit : state -> unit
+
+  val on_timeout : state -> unit
+end
+
+val make : (module COUPLING) -> t
+(** Wraps a {!COUPLING} instance: [fresh ()] creates the shared [flow]
+    value and an empty member group; each subflow's factory builds its
+    [state] via [init], registers it as a group member, and exposes the
+    hooks as a {!Xmp_transport.Cc.t}. *)

@@ -18,9 +18,16 @@ let alpha ~windows_rtts =
   else total *. best /. (denom *. denom)
 
 let coupling ?(params = Reno.default_params) () =
-  let fresh () =
-    let g = Coupling.group () in
-    fun _index view ->
+  let module M = struct
+    let name = "lia"
+
+    type flow = unit
+
+    type state = Cc.t
+
+    let flow () = ()
+
+    let init ~flow:() ~group:g ~index:_ view =
       let increase ~cwnd =
         let windows_rtts =
           List.map
@@ -32,13 +39,20 @@ let coupling ?(params = Reno.default_params) () =
         if total <= 0. then 1. /. cwnd
         else Float.min (a /. total) (1. /. cwnd)
       in
-      let cc = Reno.make_with_increase ~params ~increase () view in
-      Coupling.register g
-        {
-          Coupling.cwnd = cc.Cc.cwnd;
-          srtt_s = (fun () -> Xmp_engine.Time.to_float_s (view.Cc.srtt ()));
-          in_slow_start = cc.Cc.in_slow_start;
-        };
-      { cc with Cc.name = "lia" }
-  in
-  { Coupling.name = "lia"; fresh }
+      Reno.make_with_increase ~params ~increase () view
+
+    let cwnd (cc : state) = cc.Cc.cwnd ()
+
+    let in_slow_start (cc : state) = cc.Cc.in_slow_start ()
+
+    let take_cwr (cc : state) = cc.Cc.take_cwr ()
+
+    let on_ack (cc : state) = cc.Cc.on_ack
+
+    let on_ecn (cc : state) = cc.Cc.on_ecn
+
+    let on_fast_retransmit (cc : state) = cc.Cc.on_fast_retransmit ()
+
+    let on_timeout (cc : state) = cc.Cc.on_timeout ()
+  end in
+  Coupling.make (module M)

@@ -41,10 +41,16 @@ let alpha_for paths me =
   end
 
 let coupling ?(params = Reno.default_params) () =
-  let fresh () =
-    let g = Coupling.group () in
-    let paths : path_state list ref = ref [] in
-    fun _index view ->
+  let module M = struct
+    let name = "olia"
+
+    type flow = path_state list ref
+
+    type state = { p : path_state; cc : Cc.t }
+
+    let flow () : flow = ref []
+
+    let init ~flow:paths ~group:_ ~index:_ view =
       let me : path_state option ref = ref None in
       let increase ~cwnd =
         match !me with
@@ -78,26 +84,30 @@ let coupling ?(params = Reno.default_params) () =
       let p = { member; since_loss = 0.; between_losses = 0. } in
       me := Some p;
       paths := !paths @ [ p ];
-      Coupling.register g member;
-      let on_loss () =
-        p.between_losses <- p.since_loss;
-        p.since_loss <- 0.
-      in
-      {
-        cc with
-        Cc.name = "olia";
-        on_ack =
-          (fun ~ack ~newly_acked ~ce_count ->
-            p.since_loss <- p.since_loss +. float_of_int newly_acked;
-            cc.Cc.on_ack ~ack ~newly_acked ~ce_count);
-        on_fast_retransmit =
-          (fun () ->
-            on_loss ();
-            cc.Cc.on_fast_retransmit ());
-        on_timeout =
-          (fun () ->
-            on_loss ();
-            cc.Cc.on_timeout ());
-      }
-  in
-  { Coupling.name = "olia"; fresh }
+      { p; cc }
+
+    let on_loss p =
+      p.between_losses <- p.since_loss;
+      p.since_loss <- 0.
+
+    let cwnd st = st.cc.Cc.cwnd ()
+
+    let in_slow_start st = st.cc.Cc.in_slow_start ()
+
+    let take_cwr st = st.cc.Cc.take_cwr ()
+
+    let on_ack st ~ack ~newly_acked ~ce_count =
+      st.p.since_loss <- st.p.since_loss +. float_of_int newly_acked;
+      st.cc.Cc.on_ack ~ack ~newly_acked ~ce_count
+
+    let on_ecn st = st.cc.Cc.on_ecn
+
+    let on_fast_retransmit st =
+      on_loss st.p;
+      st.cc.Cc.on_fast_retransmit ()
+
+    let on_timeout st =
+      on_loss st.p;
+      st.cc.Cc.on_timeout ()
+  end in
+  Coupling.make (module M)

@@ -1,0 +1,164 @@
+module Cc = Xmp_transport.Cc
+module Time = Xmp_engine.Time
+module Coupling = Xmp_mptcp.Coupling
+
+type step =
+  | Ack of int
+  | Ce_ack of int
+  | Fast_retransmit
+  | Timeout
+  | Sibling_ack of int
+
+type episode = { ep_name : string; steps : step list }
+
+let repeat n s = List.init n (fun _ -> s)
+
+let interleave n a b = List.concat (List.init n (fun _ -> a @ b))
+
+let episodes =
+  [
+    { ep_name = "ramp"; steps = repeat 24 (Ack 1) };
+    {
+      ep_name = "ca";
+      steps = repeat 16 (Ack 1) @ [ Fast_retransmit ] @ repeat 32 (Ack 1);
+    };
+    {
+      ep_name = "ecn";
+      steps =
+        (* the 24 clean ACKs between the CE events advance snd_una past a
+           full window, so the second mark lands outside every scheme's
+           once-per-window gate and exercises the congestion-avoidance
+           cut (the first one hits slow start) *)
+        repeat 16 (Ack 1)
+        @ [ Ce_ack 1 ]
+        @ repeat 24 (Ack 1)
+        @ [ Ce_ack 3 ]
+        @ repeat 16 (Ack 1);
+    };
+    {
+      ep_name = "loss-train";
+      steps =
+        repeat 16 (Ack 1)
+        @ [ Fast_retransmit ]
+        @ repeat 8 (Ack 1)
+        @ [ Fast_retransmit; Fast_retransmit ]
+        @ repeat 16 (Ack 1);
+    };
+    {
+      ep_name = "timeout";
+      steps = repeat 16 (Ack 1) @ [ Timeout ] @ repeat 24 (Ack 1);
+    };
+    {
+      ep_name = "sibling";
+      steps =
+        repeat 8 (Ack 1)
+        @ interleave 12 [ Sibling_ack 2 ] [ Ack 1 ]
+        @ [ Fast_retransmit ]
+        @ interleave 12 [ Sibling_ack 1 ] [ Ack 1 ];
+    };
+  ]
+
+let schemes =
+  [
+    Scheme.Dctcp;
+    Scheme.Reno;
+    Scheme.Lia 2;
+    Scheme.Olia 2;
+    Scheme.Xmp 2;
+    Scheme.Balia 2;
+    Scheme.Veno 2;
+    Scheme.Amp 2;
+  ]
+
+type sub = { cc : Cc.t; una : int ref; nxt : int ref }
+
+type rig = { scheme : Scheme.t; subs : sub array; now : Time.t ref }
+
+(* Distinct per-subflow smoothed RTTs (subflow 0 is the fastest) over a
+   common 200 µs base, so delay- and rate-sensitive rules (Veno's
+   backlog, Balia's α, TraSh's δ) see asymmetric paths. *)
+let srtt_of_index i = Time.us (300 + (150 * i))
+
+let base_rtt = Time.us 200
+
+let make_rig scheme =
+  let coupling = Scheme.coupling scheme Scheme.default_overrides in
+  let factory = coupling.Coupling.fresh () in
+  let now = ref (Time.us 0) in
+  let make_sub i =
+    let una = ref 0 and nxt = ref 0 in
+    let srtt = srtt_of_index i in
+    let view =
+      {
+        Cc.snd_una = (fun () -> !una);
+        snd_nxt = (fun () -> !nxt);
+        srtt = (fun () -> srtt);
+        min_rtt = (fun () -> base_rtt);
+        now = (fun () -> !now);
+        telemetry = Xmp_telemetry.Sink.unscoped;
+      }
+    in
+    { cc = factory i view; una; nxt }
+  in
+  { scheme; subs = Array.init (Scheme.n_subflows scheme) make_sub; now }
+
+let cwnd rig i = rig.subs.(i).cc.Cc.cwnd ()
+
+let in_slow_start rig i = rig.subs.(i).cc.Cc.in_slow_start ()
+
+let total_cwnd rig =
+  Array.fold_left (fun acc s -> acc +. s.cc.Cc.cwnd ()) 0. rig.subs
+
+(* Deliver a cumulative ACK for [k] segments on subflow [i], CE-marking
+   every one of them when [ce]. A full window is put "in flight" first so
+   round detection (BOS) and once-per-window gates (classic ECN, DCTCP)
+   see the sequence space advance the way a live connection's would. *)
+let deliver rig i ~ce k =
+  let sub = rig.subs.(i) in
+  let w = Stdlib.max 1 (int_of_float (sub.cc.Cc.cwnd ())) in
+  if !(sub.nxt) < !(sub.una) + w then sub.nxt := !(sub.una) + w;
+  sub.una := !(sub.una) + k;
+  if !(sub.nxt) < !(sub.una) then sub.nxt := !(sub.una);
+  let ce_count = if ce then k else 0 in
+  if ce_count > 0 then sub.cc.Cc.on_ecn ~count:ce_count;
+  sub.cc.Cc.on_ack ~ack:!(sub.una) ~newly_acked:k ~ce_count
+
+let apply rig step =
+  rig.now := !(rig.now) + Time.us 150;
+  match step with
+  | Ack k -> deliver rig 0 ~ce:false k
+  | Ce_ack k -> deliver rig 0 ~ce:true k
+  | Fast_retransmit -> rig.subs.(0).cc.Cc.on_fast_retransmit ()
+  | Timeout -> rig.subs.(0).cc.Cc.on_timeout ()
+  | Sibling_ack k ->
+    if Array.length rig.subs > 1 then deliver rig 1 ~ce:false k
+
+let step_name = function
+  | Ack k -> Printf.sprintf "ack:%d" k
+  | Ce_ack k -> Printf.sprintf "ce:%d" k
+  | Fast_retransmit -> "retx"
+  | Timeout -> "rto"
+  | Sibling_ack k -> Printf.sprintf "sib:%d" k
+
+(* One trace line per step: subflow-0 cwnd and the aggregate window,
+   %.6g so the text is stable across runs and platforms. *)
+let render_episode scheme episode =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "# %s %s\n" (Scheme.name scheme) episode.ep_name);
+  let rig = make_rig scheme in
+  List.iteri
+    (fun idx step ->
+      apply rig step;
+      Buffer.add_string buf
+        (Printf.sprintf "%3d %-6s %.6g %.6g\n" idx (step_name step)
+           (cwnd rig 0) (total_cwnd rig)))
+    episode.steps;
+  Buffer.contents buf
+
+let render_all () =
+  String.concat "\n"
+    (List.concat_map
+       (fun scheme ->
+         List.map (fun ep -> render_episode scheme ep) episodes)
+       schemes)

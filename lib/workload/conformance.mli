@@ -1,0 +1,62 @@
+(** Scheme-conformance rigs: every scheme's controller driven through
+    canned ACK/ECN/loss/timeout episodes against hand-built
+    {!Xmp_transport.Cc.view}s — no network, no simulator clock — so the
+    test suite can assert the property matrix (windows stay ≥ 1 and
+    finite, multiplicative decrease respects each scheme's β, slow start
+    exits on the first congestion signal, coupled increase never beats
+    uncoupled Reno) and pin byte-stable golden cwnd traces per
+    (scheme, episode). *)
+
+type step =
+  | Ack of int  (** clean cumulative ACK for n segments on subflow 0 *)
+  | Ce_ack of int  (** n segments acked, every one CE-marked *)
+  | Fast_retransmit  (** third duplicate ACK on subflow 0 *)
+  | Timeout  (** RTO fires on subflow 0 *)
+  | Sibling_ack of int
+      (** background clean ACK on subflow 1 (ignored for single-path
+          schemes) *)
+
+type episode = { ep_name : string; steps : step list }
+
+val episodes : episode list
+(** ramp, ca, ecn, loss-train, timeout, sibling — shared by every
+    scheme so the matrix is square. *)
+
+val schemes : Scheme.t list
+(** The 8 conformance schemes: DCTCP, TCP, LIA-2, OLIA-2, XMP-2,
+    BALIA-2, VENO-2, AMP-2. *)
+
+type sub = { cc : Xmp_transport.Cc.t; una : int ref; nxt : int ref }
+
+type rig = {
+  scheme : Scheme.t;
+  subs : sub array;  (** one per subflow, index 0 is the driven one *)
+  now : Xmp_engine.Time.t ref;
+}
+
+val srtt_of_index : int -> Xmp_engine.Time.t
+(** Fixed smoothed RTT fed to subflow [i]'s view: 300 µs + i·150 µs. *)
+
+val base_rtt : Xmp_engine.Time.t
+(** Fixed minimum RTT fed to every view (200 µs). *)
+
+val make_rig : Scheme.t -> rig
+(** Fresh coupling instance with {!Scheme.default_overrides}; subflows
+    are created in index order, so group registration order is the
+    subflow order. *)
+
+val apply : rig -> step -> unit
+
+val cwnd : rig -> int -> float
+
+val in_slow_start : rig -> int -> bool
+
+val total_cwnd : rig -> float
+
+val render_episode : Scheme.t -> episode -> string
+(** The golden cwnd trace: one line per step with the step label,
+    subflow-0 window and aggregate window ([%.6g]). *)
+
+val render_all : unit -> string
+(** Every (scheme, episode) trace, blank-line separated — the contents
+    of [test/conformance.expected]. *)

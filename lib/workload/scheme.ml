@@ -3,7 +3,15 @@ module Tcp = Xmp_transport.Tcp
 module Coupling = Xmp_mptcp.Coupling
 module Mptcp_flow = Xmp_mptcp.Mptcp_flow
 
-type t = Dctcp | Reno | Lia of int | Olia of int | Xmp of int
+type t =
+  | Dctcp
+  | Reno
+  | Lia of int
+  | Olia of int
+  | Xmp of int
+  | Balia of int
+  | Veno of int
+  | Amp of int
 
 let name = function
   | Dctcp -> "DCTCP"
@@ -11,16 +19,36 @@ let name = function
   | Lia n -> Printf.sprintf "LIA-%d" n
   | Olia n -> Printf.sprintf "OLIA-%d" n
   | Xmp n -> Printf.sprintf "XMP-%d" n
+  | Balia n -> Printf.sprintf "BALIA-%d" n
+  | Veno n -> Printf.sprintf "VENO-%d" n
+  | Amp n -> Printf.sprintf "AMP-%d" n
+
+let multipath_prefixes =
+  [
+    ("LIA", fun n -> Lia n);
+    ("OLIA", fun n -> Olia n);
+    ("XMP", fun n -> Xmp n);
+    ("BALIA", fun n -> Balia n);
+    ("VENO", fun n -> Veno n);
+    ("AMP", fun n -> Amp n);
+  ]
+
+(* strict decimal suffix: [int_of_string_opt] alone would admit "0x2",
+   "2_", "+2" and hand "XMP-2x"-style typos a scheme *)
+let decimal_opt s =
+  if String.length s > 0 && String.for_all (fun c -> c >= '0' && c <= '9') s
+  then int_of_string_opt s
+  else None
 
 let of_name s =
   let s = String.uppercase_ascii (String.trim s) in
-  let multipath prefix mk =
+  let multipath (prefix, mk) =
     let plen = String.length prefix in
     if
       String.length s > plen + 1
       && String.sub s 0 (plen + 1) = prefix ^ "-"
     then
-      match int_of_string_opt (String.sub s (plen + 1) (String.length s - plen - 1)) with
+      match decimal_opt (String.sub s (plen + 1) (String.length s - plen - 1)) with
       | Some n when n >= 1 -> Some (mk n)
       | Some _ | None -> None
     else None
@@ -28,23 +56,17 @@ let of_name s =
   match s with
   | "DCTCP" -> Some Dctcp
   | "TCP" | "RENO" -> Some Reno
-  | _ -> (
-    match multipath "LIA" (fun n -> Lia n) with
-    | Some _ as r -> r
-    | None -> (
-      match multipath "OLIA" (fun n -> Olia n) with
-      | Some _ as r -> r
-      | None -> multipath "XMP" (fun n -> Xmp n)))
+  | _ -> List.find_map multipath multipath_prefixes
 
 let n_subflows = function
   | Dctcp | Reno -> 1
-  | Lia n | Olia n | Xmp n -> n
+  | Lia n | Olia n | Xmp n | Balia n | Veno n | Amp n -> n
 
 let is_multipath t = n_subflows t > 1
 
 let uses_ecn = function
-  | Dctcp | Xmp _ -> true
-  | Reno | Lia _ | Olia _ -> false
+  | Dctcp | Xmp _ | Amp _ -> true
+  | Reno | Lia _ | Olia _ | Balia _ | Veno _ -> false
 
 type transport_overrides = { rto_min : Time.t; beta : int; sack : bool }
 
@@ -54,8 +76,8 @@ let tcp_config t overrides =
   let base =
     match t with
     | Xmp _ -> Xmp_core.Xmp.tcp_config
-    | Dctcp -> Xmp_core.Xmp.dctcp_tcp_config
-    | Reno | Lia _ | Olia _ -> Xmp_core.Xmp.plain_tcp_config
+    | Dctcp | Amp _ -> Xmp_core.Xmp.dctcp_tcp_config
+    | Reno | Lia _ | Olia _ | Balia _ | Veno _ -> Xmp_core.Xmp.plain_tcp_config
   in
   { base with Tcp.rto_min = overrides.rto_min; sack = overrides.sack }
 
@@ -69,6 +91,9 @@ let coupling t overrides =
         Xmp_transport.Reno.make view)
   | Lia _ -> Xmp_mptcp.Lia.coupling ()
   | Olia _ -> Xmp_mptcp.Olia.coupling ()
+  | Balia _ -> Xmp_mptcp.Balia.coupling ()
+  | Veno _ -> Xmp_mptcp.Veno.coupling ()
+  | Amp _ -> Xmp_mptcp.Amp.coupling ()
   | Xmp _ ->
     let params = { Xmp_core.Bos.default_params with beta = overrides.beta } in
     Xmp_core.Trash.coupling ~params ()

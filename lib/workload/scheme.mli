@@ -8,12 +8,18 @@ type t =
   | Lia of int  (** MPTCP with Linked Increases, n subflows *)
   | Olia of int  (** MPTCP with OLIA, n subflows (extension) *)
   | Xmp of int  (** MPTCP with XMP (BOS + TraSh), n subflows *)
+  | Balia of int  (** MPTCP with BALIA, n subflows (extension) *)
+  | Veno of int  (** MPTCP with MP-Veno, n subflows (extension) *)
+  | Amp of int  (** MPTCP with AMP (arXiv:1707.00322), n subflows *)
 
 val name : t -> string
-(** Paper-style name: "DCTCP", "TCP", "LIA-4", "XMP-2", "OLIA-2". *)
+(** Paper-style name: "DCTCP", "TCP", "LIA-4", "XMP-2", "OLIA-2",
+    "BALIA-2", "VENO-2", "AMP-2". *)
 
 val of_name : string -> t option
-(** Inverse of {!name} (case-insensitive). *)
+(** Inverse of {!name} (case-insensitive). The subflow suffix must be a
+    bare decimal ≥ 1 — trailing garbage ("XMP-2x"), signs, hex and
+    underscores are rejected. *)
 
 val n_subflows : t -> int
 
@@ -32,7 +38,12 @@ val default_overrides : transport_overrides
 
 val tcp_config : t -> transport_overrides -> Xmp_transport.Tcp.config
 (** The transport configuration this scheme runs with: ECT + capped echo
-    for XMP, ECT + exact echo for DCTCP, plain for TCP/LIA/OLIA. *)
+    for XMP, ECT + exact echo for DCTCP and AMP, plain for the
+    loss-driven schemes (TCP/LIA/OLIA/BALIA/VENO). *)
+
+val coupling : t -> transport_overrides -> Xmp_mptcp.Coupling.t
+(** The coupled controller a flow of this scheme instantiates (exposed
+    so conformance rigs can drive it without a network). *)
 
 type observer = Xmp_mptcp.Mptcp_flow.observer = {
   on_complete : Xmp_mptcp.Mptcp_flow.t -> unit;

@@ -1,0 +1,7 @@
+(* Regenerates test/conformance.expected — the golden cwnd traces the
+   scheme-conformance suite compares against. Run after an intentional
+   controller change and commit the diff:
+
+     dune exec test/conformance_gen.exe > test/conformance.expected *)
+
+let () = print_string (Xmp_workload.Conformance.render_all ())

@@ -213,6 +213,39 @@ let scenario_digest_semantics_fuzz =
            (Runner.capture a.Scenario.run)
            (Runner.capture b.Scenario.run))
 
+module Scheme = Xmp_workload.Scheme
+
+let arbitrary_scheme =
+  QCheck.map
+    (fun (which, n) ->
+      match which with
+      | 0 -> Scheme.Dctcp
+      | 1 -> Scheme.Reno
+      | 2 -> Scheme.Lia n
+      | 3 -> Scheme.Olia n
+      | 4 -> Scheme.Xmp n
+      | 5 -> Scheme.Balia n
+      | 6 -> Scheme.Veno n
+      | _ -> Scheme.Amp n)
+    QCheck.(pair (int_range 0 7) (int_range 1 64))
+
+let scheme_name_roundtrip_fuzz =
+  QCheck.Test.make ~count:200 ~name:"scheme name <-> of_name round-trips"
+    arbitrary_scheme
+    (fun scheme ->
+      Scheme.of_name (Scheme.name scheme) = Some scheme
+      && Scheme.of_name (String.lowercase_ascii (Scheme.name scheme))
+         = Some scheme)
+
+let scheme_name_garbage_fuzz =
+  (* every non-decimal tail must be rejected; digits are excluded from
+     the junk pool because "XMP-2" ^ "3" is the legitimate XMP-23 *)
+  QCheck.Test.make ~count:200 ~name:"of_name rejects trailing garbage"
+    QCheck.(
+      pair arbitrary_scheme
+        (oneofl [ "x"; "_"; "+"; "-"; " 3"; ".0"; "e1"; "x2"; "-2" ]))
+    (fun (scheme, junk) -> Scheme.of_name (Scheme.name scheme ^ junk) = None)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest ~long:false tcp_transfer_fuzz;
@@ -221,4 +254,6 @@ let suite =
     QCheck_alcotest.to_alcotest ~long:false fat_tree_route_fuzz;
     QCheck_alcotest.to_alcotest ~long:false scenario_digest_fuzz;
     QCheck_alcotest.to_alcotest ~long:false scenario_digest_semantics_fuzz;
+    QCheck_alcotest.to_alcotest ~long:false scheme_name_roundtrip_fuzz;
+    QCheck_alcotest.to_alcotest ~long:false scheme_name_garbage_fuzz;
   ]

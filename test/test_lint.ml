@@ -204,6 +204,26 @@ let test_self_lint () =
     "xmplint is clean on its own sources" []
     (List.map Report.finding_to_string findings)
 
+(* The coupling seam and every multipath controller on it must stay
+   lint-clean — the unit-suffix and iteration-order rules in particular
+   guard the float/Time.t boundary these files live on. Keeping them at
+   zero findings keeps tool/lint/baseline.json empty. *)
+let test_controller_sources_lint_clean () =
+  let mptcp_dir =
+    if Sys.file_exists "../lib/mptcp" then "../lib/mptcp" else "lib/mptcp"
+  in
+  let rep = Report.create () in
+  List.iter
+    (fun name ->
+      let path = Filename.concat mptcp_dir name in
+      Alcotest.(check bool) (name ^ " exists") true (Sys.file_exists path);
+      Rules.lint_source rep ~path:("lib/mptcp/" ^ name) (read_file path))
+    [ "coupling.ml"; "lia.ml"; "olia.ml"; "balia.ml"; "veno.ml"; "amp.ml" ];
+  let findings = Report.sorted rep in
+  Alcotest.(check (list string))
+    "multipath controllers are lint-clean" []
+    (List.map Report.finding_to_string findings)
+
 (* ------------------------------------------------------------------ *)
 (* Baseline ratchet *)
 
@@ -369,6 +389,8 @@ let suite =
       test_bad_example_still_fires;
     Alcotest.test_case "self-lint: engine sources are clean" `Quick
       test_self_lint;
+    Alcotest.test_case "multipath controller sources are lint-clean" `Quick
+      test_controller_sources_lint_clean;
     Alcotest.test_case "baseline: write/load roundtrip" `Quick
       test_baseline_roundtrip;
     Alcotest.test_case "baseline: ratchet verdicts" `Quick

@@ -47,8 +47,10 @@ let test_group_registry () =
   Coupling.register g m1;
   Coupling.register g m2;
   Alcotest.(check int) "two members" 2 (List.length (Coupling.members g));
+  Alcotest.(check int) "n_members" 2 (Coupling.n_members g);
   checkf "total cwnd" 40. (Coupling.total_cwnd g);
   checkf "total rate" ((10. /. 0.001) +. (30. /. 0.002)) (Coupling.total_rate g);
+  checkf "max rate" (30. /. 0.002) (Coupling.max_rate g);
   checkf "min srtt" 0.001 (Coupling.min_srtt g)
 
 (* ----- LIA alpha ----- *)
@@ -237,9 +239,45 @@ let test_coupled_fairness_on_shared_bottleneck () =
   Alcotest.(check bool) "lia not grabbing two shares" true
     (r_lia /. r_reno < 1.6)
 
+(* ----- aggregate view across subflows ----- *)
+
+(* The refactor's regression seam: a coupled controller's increase rule
+   must read its siblings' windows live through the group — an update on
+   subflow 1 changes subflow 0's very next per-ACK gain, within the same
+   round. Driven through the no-network conformance rig. *)
+let test_aggregate_view_sees_sibling_updates () =
+  let module Scheme = Xmp_workload.Scheme in
+  let module C = Xmp_workload.Conformance in
+  List.iter
+    (fun scheme ->
+      let rig = C.make_rig scheme in
+      (* grow subflow 0, then a loss moves it to congestion avoidance *)
+      for _ = 1 to 12 do
+        C.apply rig (C.Ack 1)
+      done;
+      C.apply rig C.Fast_retransmit;
+      let gain () =
+        let pre = C.cwnd rig 0 in
+        C.apply rig (C.Ack 1);
+        C.cwnd rig 0 -. pre
+      in
+      let before = gain () in
+      (* sibling progress delivered between two of subflow 0's ACKs: the
+         window subflow 1 gained must already damp subflow 0's gain (3
+         segments keep subflow 0 the largest-window path, so OLIA's
+         collected-set classification of it is unchanged) *)
+      C.apply rig (C.Sibling_ack 3);
+      let after = gain () in
+      Alcotest.(check bool)
+        (Scheme.name scheme ^ ": sibling growth damps the next increase")
+        true (after < before))
+    [ Xmp_workload.Scheme.Olia 2; Xmp_workload.Scheme.Balia 2 ]
+
 let suite =
   [
     Alcotest.test_case "group registry" `Quick test_group_registry;
+    Alcotest.test_case "aggregate view sees sibling updates" `Quick
+      test_aggregate_view_sees_sibling_updates;
     Alcotest.test_case "lia alpha single path" `Quick
       test_lia_alpha_single_path;
     Alcotest.test_case "lia alpha equal paths" `Quick

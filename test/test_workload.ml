@@ -55,26 +55,52 @@ let test_scheme_names () =
   Alcotest.(check string) "tcp" "TCP" (Scheme.name Scheme.Reno);
   Alcotest.(check string) "lia" "LIA-4" (Scheme.name (Scheme.Lia 4));
   Alcotest.(check string) "xmp" "XMP-2" (Scheme.name (Scheme.Xmp 2));
-  Alcotest.(check string) "olia" "OLIA-3" (Scheme.name (Scheme.Olia 3))
+  Alcotest.(check string) "olia" "OLIA-3" (Scheme.name (Scheme.Olia 3));
+  Alcotest.(check string) "balia" "BALIA-2" (Scheme.name (Scheme.Balia 2));
+  Alcotest.(check string) "veno" "VENO-2" (Scheme.name (Scheme.Veno 2));
+  Alcotest.(check string) "amp" "AMP-4" (Scheme.name (Scheme.Amp 4))
 
 let test_scheme_parse () =
   Alcotest.(check bool) "roundtrip" true
     (List.for_all
        (fun s -> Scheme.of_name (Scheme.name s) = Some s)
-       [ Scheme.Dctcp; Scheme.Reno; Scheme.Lia 2; Scheme.Olia 8; Scheme.Xmp 1 ]);
+       [
+         Scheme.Dctcp; Scheme.Reno; Scheme.Lia 2; Scheme.Olia 8; Scheme.Xmp 1;
+         Scheme.Balia 2; Scheme.Veno 3; Scheme.Amp 2;
+       ]);
   Alcotest.(check bool) "case insensitive" true
     (Scheme.of_name "xmp-4" = Some (Scheme.Xmp 4));
+  Alcotest.(check bool) "balia case" true
+    (Scheme.of_name "balia-2" = Some (Scheme.Balia 2));
   Alcotest.(check bool) "reno alias" true (Scheme.of_name "reno" = Some Scheme.Reno);
   Alcotest.(check bool) "garbage" true (Scheme.of_name "QUIC" = None);
-  Alcotest.(check bool) "bad count" true (Scheme.of_name "XMP-0" = None)
+  Alcotest.(check bool) "bad count" true (Scheme.of_name "XMP-0" = None);
+  (* the suffix must be a bare decimal: int_of_string's hex, sign and
+     underscore spellings — and trailing garbage — are all rejected *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reject %S" s)
+        true
+        (Scheme.of_name s = None))
+    [
+      "XMP-2x"; "XMP-0x2"; "XMP-2_"; "XMP-+2"; "XMP--2"; "LIA-2 3"; "VENO-";
+      "AMP-2.0"; "BALIA"; "VENO-1e1";
+    ]
 
 let test_scheme_properties () =
   Alcotest.(check int) "dctcp single" 1 (Scheme.n_subflows Scheme.Dctcp);
   Alcotest.(check int) "xmp-4" 4 (Scheme.n_subflows (Scheme.Xmp 4));
+  Alcotest.(check int) "amp-3" 3 (Scheme.n_subflows (Scheme.Amp 3));
   Alcotest.(check bool) "ecn schemes" true
-    (Scheme.uses_ecn Scheme.Dctcp && Scheme.uses_ecn (Scheme.Xmp 2));
+    (Scheme.uses_ecn Scheme.Dctcp
+    && Scheme.uses_ecn (Scheme.Xmp 2)
+    && Scheme.uses_ecn (Scheme.Amp 2));
   Alcotest.(check bool) "loss schemes" true
-    ((not (Scheme.uses_ecn Scheme.Reno)) && not (Scheme.uses_ecn (Scheme.Lia 2)));
+    ((not (Scheme.uses_ecn Scheme.Reno))
+    && (not (Scheme.uses_ecn (Scheme.Lia 2)))
+    && (not (Scheme.uses_ecn (Scheme.Balia 2)))
+    && not (Scheme.uses_ecn (Scheme.Veno 2)));
   Alcotest.(check bool) "multipath flag" true
     (Scheme.is_multipath (Scheme.Lia 2) && not (Scheme.is_multipath Scheme.Dctcp))
 
@@ -87,8 +113,15 @@ let test_scheme_config () =
   let dctcp_cfg = Scheme.tcp_config Scheme.Dctcp o in
   Alcotest.(check bool) "dctcp echo exact" true
     (dctcp_cfg.Xmp_transport.Tcp.echo = Xmp_transport.Tcp.Counted None);
+  let amp_cfg = Scheme.tcp_config (Scheme.Amp 2) o in
+  Alcotest.(check bool) "amp is ect with exact echo" true
+    (amp_cfg.Xmp_transport.Tcp.ect
+    && amp_cfg.Xmp_transport.Tcp.echo = Xmp_transport.Tcp.Counted None);
   let tcp_cfg = Scheme.tcp_config Scheme.Reno o in
   Alcotest.(check bool) "tcp not ect" false tcp_cfg.Xmp_transport.Tcp.ect;
+  Alcotest.(check bool) "balia and veno not ect" false
+    ((Scheme.tcp_config (Scheme.Balia 2) o).Xmp_transport.Tcp.ect
+    || (Scheme.tcp_config (Scheme.Veno 2) o).Xmp_transport.Tcp.ect);
   let custom = { o with Scheme.rto_min = Time.ms 10 } in
   Alcotest.(check int) "rto override" (Time.ms 10)
     (Scheme.tcp_config Scheme.Reno custom).Xmp_transport.Tcp.rto_min
