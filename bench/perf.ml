@@ -82,7 +82,99 @@ let write_json ~path results =
   output_string oc "\n]\n";
   close_out oc
 
-let run ~quick ~out () =
+(* ----- baseline comparison -----
+
+   Reads back the schema [write_json] emits (one object per line) with a
+   string scanner rather than a JSON dependency: the two fields we gate
+   on are ["scenario"] and ["events_per_s"]. Unknown lines are skipped,
+   so the reader accepts any past or future superset of the schema. *)
+
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec scan i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some (i + m)
+    else scan (i + 1)
+  in
+  scan 0
+
+let parse_baseline_line line =
+  match find_sub line "\"scenario\": \"" with
+  | None -> None
+  | Some i -> (
+    match String.index_from_opt line i '"' with
+    | None -> None
+    | Some j -> (
+      let label = String.sub line i (j - i) in
+      match find_sub line "\"events_per_s\": " with
+      | None -> None
+      | Some k ->
+        let l = ref k in
+        let num c =
+          (c >= '0' && c <= '9')
+          || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E'
+        in
+        while !l < String.length line && num line.[!l] do
+          incr l
+        done;
+        Option.map
+          (fun v -> (label, v))
+          (float_of_string_opt (String.sub line k (!l - k)))))
+
+let load_baseline path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       match parse_baseline_line (input_line ic) with
+       | Some e -> entries := e :: !entries
+       | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+(* an events/s drop beyond this fraction on any shared label fails the
+   run (and with it CI's perf-smoke job) *)
+let regression_tolerance = 0.15
+
+let compare_against ~baseline results =
+  match load_baseline baseline with
+  | exception Sys_error msg ->
+    Printf.printf "perf compare: cannot read baseline: %s\n" msg;
+    false
+  | [] ->
+    Printf.printf "perf compare: no perf entries in %s\n" baseline;
+    false
+  | base ->
+    let shared =
+      List.filter_map
+        (fun r ->
+          Option.map (fun b -> (r, b)) (List.assoc_opt r.label base))
+        results
+    in
+    if shared = [] then begin
+      Printf.printf
+        "perf compare: no scenario labels shared with %s (baseline has: %s)\n"
+        baseline
+        (String.concat ", " (List.map fst base));
+      false
+    end
+    else
+      List.fold_left
+        (fun ok (r, base_eps) ->
+          let ratio =
+            if base_eps > 0. then r.events_per_s /. base_eps else 1.
+          in
+          let fail = ratio < 1. -. regression_tolerance in
+          Printf.printf "perf compare: %-16s %14.1f vs %14.1f ev/s (%+.1f%%)%s\n"
+            r.label r.events_per_s base_eps
+            ((ratio -. 1.) *. 100.)
+            (if fail then "  REGRESSION" else "");
+          ok && not fail)
+        true shared
+
+let run ~quick ~out ?compare () =
   let scenarios = List.map resolve (pinned ~quick) in
   E.Render.heading "Perf benchmark (pinned scenarios, in-process, uncached)";
   Printf.printf "%-16s %12s %9s %14s %10s %13s\n" "scenario" "events"
@@ -97,4 +189,7 @@ let run ~quick ~out () =
       scenarios
   in
   write_json ~path:out results;
-  Printf.printf "wrote %s\n" out
+  Printf.printf "wrote %s\n" out;
+  match compare with
+  | None -> true
+  | Some baseline -> compare_against ~baseline results

@@ -73,7 +73,7 @@ let scheme_conv =
 
 let scheme_t =
   let doc = "Transfer scheme for large flows." in
-  Arg.(value & opt scheme_conv (Scheme.Xmp 2) & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+  Arg.(value & opt scheme_conv (Scheme.xmp 2) & info [ "scheme" ] ~docv:"SCHEME" ~doc)
 
 let pattern_conv =
   let parse = function
@@ -317,12 +317,47 @@ let no_cache_t =
   let doc = "Ignore and do not write _xmp_cache/ result entries." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+(* Commas separate both list elements and scheme tunables
+   ("XMP-2:beta=6,k=10"), so a plain [Arg.list] would cut tunable lists
+   apart. Split on commas, then fold bare "key=val" segments back onto
+   the scheme they qualify: a new scheme either has no '=' at all or
+   carries the "NAME-n:" prefix, while a continued tunable has '=' and
+   no ':'. *)
+let scheme_list_conv =
+  let parse s =
+    let segments = String.split_on_char ',' s in
+    let continues seg =
+      String.contains seg '=' && not (String.contains seg ':')
+    in
+    let grouped =
+      List.fold_left
+        (fun acc seg ->
+          match acc with
+          | prev :: rest when continues seg -> (prev ^ "," ^ seg) :: rest
+          | _ -> seg :: acc)
+        [] segments
+    in
+    let rec convert acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+        match Arg.conv_parser scheme_conv name with
+        | Ok scheme -> convert (scheme :: acc) rest
+        | Error _ as e -> e)
+    in
+    convert [] (List.rev grouped)
+  in
+  let print fmt schemes =
+    Format.pp_print_string fmt
+      (String.concat "," (List.map Scheme.name schemes))
+  in
+  Arg.conv (parse, print)
+
 let schemes_t =
   let doc = "Comma-separated transfer schemes to sweep." in
   Arg.(
     value
-    & opt (list scheme_conv)
-        [ Scheme.Dctcp; Scheme.Lia 4; Scheme.Xmp 2; Scheme.Xmp 4 ]
+    & opt scheme_list_conv
+        [ Scheme.dctcp; Scheme.lia 4; Scheme.xmp 2; Scheme.xmp 4 ]
     & info [ "schemes" ] ~docv:"SCHEMES" ~doc)
 
 let patterns_t =
@@ -550,4 +585,9 @@ let main_cmd =
       sweep_cmd; trace_cmd; faults_cmd; coexist_cmd; ablation_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  (* Simulation allocates fast but retains little; a higher space
+     overhead keeps the major GC off the packet hot path (same setting
+     as the bench harness — results are byte-identical either way). *)
+  Gc.set { (Gc.get ()) with Gc.space_overhead = 200 };
+  exit (Cmd.eval main_cmd)

@@ -39,7 +39,7 @@ let () =
   print_endline
     "Permutation workload, k=4 fat-tree (16 hosts, 1 Gbps links), 1 s:\n";
   List.iter run
-    [ Scheme.Dctcp; Scheme.Lia 2; Scheme.Lia 4; Scheme.Xmp 2; Scheme.Xmp 4 ];
+    [ Scheme.dctcp; Scheme.lia 2; Scheme.lia 4; Scheme.xmp 2; Scheme.xmp 4 ];
   print_endline
     "\nExpected shape (paper, Table 1): XMP-4 > XMP-2 > DCTCP > LIA-2, \
      with XMP-2 already beating DCTCP by >13%."

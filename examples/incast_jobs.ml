@@ -45,9 +45,9 @@ let () =
   print_endline
     "Incast: 3 concurrent jobs, 8 servers each, 2 KB requests / 64 KB \
      responses,\nover a k=4 fat-tree with background bulk flows.\n";
-  describe "XMP-2" (Scheme.Xmp 2);
-  describe "DCTCP" Scheme.Dctcp;
-  describe "LIA-2" (Scheme.Lia 2);
+  describe "XMP-2" (Scheme.xmp 2);
+  describe "DCTCP" Scheme.dctcp;
+  describe "LIA-2" (Scheme.lia 2);
   print_endline
     "Expected shape: ECN-driven schemes (XMP, DCTCP) leave queue headroom, \
      so few jobs hit the 200 ms retransmission timeout; LIA fills buffers \

@@ -33,7 +33,10 @@ val require : name:string -> bool -> (unit -> string) -> unit
     formatting on the hot path. *)
 
 val checks_run : unit -> int
-(** Checks evaluated since start (or {!reset_counters}). *)
+(** Checks evaluated since the last {!reset_counters}. Counting is off
+    until the first {!reset_counters} arms it — the tally costs a
+    domain-local increment per check, which the simulation hot path
+    only pays once a caller has shown interest. *)
 
 val violations : unit -> int
 (** Violations seen — only observable above zero in [Warn] mode, since

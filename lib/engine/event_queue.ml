@@ -1,14 +1,26 @@
-type 'a entry = { time : Time.t; seq : int; payload : 'a }
-
+(* The heap is stored as parallel int arrays plus a slot table rather
+   than an array of (time, seq, payload) records: [times], [seqs] and
+   [slots] are unboxed int arrays ordered by heap position, while the
+   payload pointers sit still in the slot-indexed [payloads] table. Sift
+   operations therefore move only immediates — no write barrier runs
+   while the heap reorders itself, where swap-chaining boxed entries
+   would call the barrier once per level per sift. A payload pointer is
+   written exactly twice per event: once on [add] (into its slot) and
+   once on pop (the slot is scrubbed back to the dummy). *)
 type 'a t = {
-  mutable arr : 'a entry array;
+  mutable times : int array;  (* heap-ordered *)
+  mutable seqs : int array;  (* heap-ordered *)
+  mutable slots : int array;  (* heap-ordered: index into [payloads] *)
+  mutable payloads : 'a array;  (* slot-indexed *)
+  mutable free : int array;  (* free slot stack: free.(0 .. free_top-1) *)
+  mutable free_top : int;
   mutable len : int;
   mutable dead : int;
       (* entries still in the heap whose payload [live] rejects; kept
          accurate by [note_dead] (+1) and [pop] (-1 on a dead top) *)
   mutable rebuilds : int;
-  mutable dummy : 'a entry option;
-      (* canonical entry used to overwrite vacated slots so popped
+  mutable dummy : 'a option;
+      (* canonical payload used to overwrite vacated slots so popped
          payloads are not retained by the backing array; seeded by
          [set_dummy], else by the first [add] (which pins that one
          payload for the heap's lifetime — O(1), documented) *)
@@ -16,12 +28,22 @@ type 'a t = {
 }
 
 let create ?(live = fun _ -> true) () =
-  { arr = [||]; len = 0; dead = 0; rebuilds = 0; dummy = None; live }
+  {
+    times = [||];
+    seqs = [||];
+    slots = [||];
+    payloads = [||];
+    free = [||];
+    free_top = 0;
+    len = 0;
+    dead = 0;
+    rebuilds = 0;
+    dummy = None;
+    live;
+  }
 
 let set_dummy h payload =
-  match h.dummy with
-  | Some _ -> ()
-  | None -> h.dummy <- Some { time = Time.zero; seq = -1; payload }
+  match h.dummy with Some _ -> () | None -> h.dummy <- Some payload
 
 let length h = h.len
 
@@ -31,81 +53,165 @@ let dead_count h = h.dead
 
 let rebuilds h = h.rebuilds
 
-let earlier a b =
-  let c = Time.compare a.time b.time in
-  c < 0 || (c = 0 && Int.compare a.seq b.seq < 0)
+(* Every entry holds exactly one slot, so capacity and slot count grow in
+   lockstep; freshly added capacity goes straight onto the free stack. *)
+let grow_to h cap' =
+  let cap = Array.length h.times in
+  let times' = Array.make cap' 0 in
+  Array.blit h.times 0 times' 0 h.len;
+  h.times <- times';
+  let seqs' = Array.make cap' 0 in
+  Array.blit h.seqs 0 seqs' 0 h.len;
+  h.seqs <- seqs';
+  let slots' = Array.make cap' 0 in
+  Array.blit h.slots 0 slots' 0 h.len;
+  h.slots <- slots';
+  (* the dummy cells above the live region are never read *)
+  let payloads' = Array.make cap' h.payloads.(0) in
+  Array.blit h.payloads 0 payloads' 0 cap;
+  h.payloads <- payloads';
+  let free' = Array.make cap' 0 in
+  Array.blit h.free 0 free' 0 h.free_top;
+  h.free <- free';
+  for s = cap to cap' - 1 do
+    h.free.(h.free_top) <- s;
+    h.free_top <- h.free_top + 1
+  done
 
-let grow h =
-  let cap = Array.length h.arr in
-  let cap' = if cap = 0 then 64 else cap * 2 in
-  (* The dummy cell below the live region is never read. *)
-  let dummy = h.arr.(0) in
-  let arr' = Array.make cap' dummy in
-  Array.blit h.arr 0 arr' 0 h.len;
-  h.arr <- arr'
-
-let rec sift_up h i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if earlier h.arr.(i) h.arr.(parent) then begin
-      let tmp = h.arr.(i) in
-      h.arr.(i) <- h.arr.(parent);
-      h.arr.(parent) <- tmp;
-      sift_up h parent
+(* Both sifts move the displaced entry as a "hole": its three ints are
+   held in locals while ancestors/descendants shift one level, then
+   written once at the final position — half the array traffic of
+   swap-chaining, on the two loops that dominate heap cost. Indices are
+   maintained in [0, len) by construction, so accesses are unchecked. *)
+let sift_up h i0 =
+  let times = h.times and seqs = h.seqs and slots = h.slots in
+  let time = Array.unsafe_get times i0 in
+  let seq = Array.unsafe_get seqs i0 in
+  let slot = Array.unsafe_get slots i0 in
+  let i = ref i0 in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let tp = Array.unsafe_get times parent in
+    (* xmplint: allow poly-compare-time — int array cells, specialized *)
+    if time < tp || (time = tp && seq < Array.unsafe_get seqs parent) then begin
+      Array.unsafe_set times !i tp;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs parent);
+      Array.unsafe_set slots !i (Array.unsafe_get slots parent);
+      i := parent
     end
+    else continue := false
+  done;
+  if !i <> i0 then begin
+    Array.unsafe_set times !i time;
+    Array.unsafe_set seqs !i seq;
+    Array.unsafe_set slots !i slot
   end
 
-let rec sift_down h i =
-  let left = (2 * i) + 1 and right = (2 * i) + 2 in
-  let smallest = ref i in
-  if left < h.len && earlier h.arr.(left) h.arr.(!smallest) then smallest := left;
-  if right < h.len && earlier h.arr.(right) h.arr.(!smallest) then
-    smallest := right;
-  if !smallest <> i then begin
-    let tmp = h.arr.(i) in
-    h.arr.(i) <- h.arr.(!smallest);
-    h.arr.(!smallest) <- tmp;
-    sift_down h !smallest
+let sift_down h i0 =
+  let len = h.len in
+  let times = h.times and seqs = h.seqs and slots = h.slots in
+  let time = Array.unsafe_get times i0 in
+  let seq = Array.unsafe_get seqs i0 in
+  let slot = Array.unsafe_get slots i0 in
+  let i = ref i0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= len then continue := false
+    else begin
+      let r = l + 1 in
+      let c =
+        if r < len then begin
+          let tl = Array.unsafe_get times l and tr = Array.unsafe_get times r in
+          if
+            tr < tl
+            || (tr = tl && Array.unsafe_get seqs r < Array.unsafe_get seqs l)
+          then r
+          else l
+        end
+        else l
+      in
+      let tc = Array.unsafe_get times c in
+      (* xmplint: allow poly-compare-time — int array cells, specialized *)
+      if tc < time || (tc = time && Array.unsafe_get seqs c < seq) then begin
+        Array.unsafe_set times !i tc;
+        Array.unsafe_set seqs !i (Array.unsafe_get seqs c);
+        Array.unsafe_set slots !i (Array.unsafe_get slots c);
+        i := c
+      end
+      else continue := false
+    end
+  done;
+  if !i <> i0 then begin
+    Array.unsafe_set times !i time;
+    Array.unsafe_set seqs !i seq;
+    Array.unsafe_set slots !i slot
   end
 
 let add h ~time ~seq payload =
-  let entry = { time; seq; payload } in
-  if Option.is_none h.dummy then h.dummy <- Some entry;
-  if h.len = 0 && Array.length h.arr = 0 then h.arr <- Array.make 64 entry;
-  if h.len = Array.length h.arr then grow h;
-  h.arr.(h.len) <- entry;
-  h.len <- h.len + 1;
-  sift_up h (h.len - 1)
+  if Option.is_none h.dummy then h.dummy <- Some payload;
+  if h.len = Array.length h.times then
+    if h.len = 0 then begin
+      h.times <- Array.make 64 0;
+      h.seqs <- Array.make 64 0;
+      h.slots <- Array.make 64 0;
+      h.payloads <- Array.make 64 payload;
+      h.free <- Array.init 64 (fun s -> s);
+      h.free_top <- 64
+    end
+    else grow_to h (2 * h.len);
+  h.free_top <- h.free_top - 1;
+  let s = h.free.(h.free_top) in
+  h.payloads.(s) <- payload;
+  let i = h.len in
+  h.times.(i) <- time;
+  h.seqs.(i) <- seq;
+  h.slots.(i) <- s;
+  h.len <- i + 1;
+  sift_up h i
 
-let peek_time h = if h.len = 0 then None else Some h.arr.(0).time
+let peek_time h = if h.len = 0 then None else Some h.times.(0)
 
-let scrub h i =
-  match h.dummy with Some d -> h.arr.(i) <- d | None -> ()
+let top_time h = if h.len = 0 then Time.infinity else h.times.(0)
+
+let scrub h s =
+  match h.dummy with Some d -> h.payloads.(s) <- d | None -> ()
+
+(* Shared pop mechanics: read the root's payload, scrub and free its
+   slot (left populated it would keep the payload reachable — a drained
+   heap would pin a backing array's worth of dead payloads), move the
+   last entry up and restore the heap property, and settle the dead
+   count. An emptied heap keeps its capacity (bursty simulations would
+   otherwise re-allocate from 64 on every burst — call [compact] or
+   [clear] to release memory explicitly). *)
+let remove_top h =
+  let s = h.slots.(0) in
+  let top = h.payloads.(s) in
+  scrub h s;
+  h.free.(h.free_top) <- s;
+  h.free_top <- h.free_top + 1;
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.times.(0) <- h.times.(h.len);
+    h.seqs.(0) <- h.seqs.(h.len);
+    h.slots.(0) <- h.slots.(h.len);
+    sift_down h 0
+  end;
+  if not (h.live top) then h.dead <- h.dead - 1;
+  top
 
 let pop h =
   if h.len = 0 then None
   else begin
-    let top = h.arr.(0) in
-    h.len <- h.len - 1;
-    if h.len > 0 then begin
-      h.arr.(0) <- h.arr.(h.len);
-      (* Clear the vacated slot: left as an alias of the moved entry it
-         would keep referencing that entry after it too is popped, so a
-         drained heap would pin a backing array's worth of dead
-         payloads. One dummy write per pop keeps capacity reusable
-         without retaining anything. *)
-      scrub h h.len;
-      sift_down h 0
-    end
-    else
-      (* Emptied: keep the backing array (bursty simulations would
-         otherwise re-allocate from 64 on every burst — call [compact]
-         or [clear] to release memory explicitly), but scrub the root
-         slot so the popped payload is not retained. *)
-      scrub h 0;
-    if not (h.live top.payload) then h.dead <- h.dead - 1;
-    Some (top.time, top.seq, top.payload)
+    let time = h.times.(0) and seq = h.seqs.(0) in
+    let top = remove_top h in
+    Some (time, seq, top)
   end
+
+let pop_payload h =
+  if h.len = 0 then invalid_arg "Event_queue.pop_payload: empty"
+  else remove_top h
 
 (* Sift out every dead entry and re-establish the heap property with
    Floyd's bottom-up heapify. Dead entries are never dispatched, so
@@ -115,14 +221,18 @@ let purge h =
   if h.dead > 0 then begin
     let j = ref 0 in
     for i = 0 to h.len - 1 do
-      let e = h.arr.(i) in
-      if h.live e.payload then begin
-        h.arr.(!j) <- e;
+      let s = h.slots.(i) in
+      if h.live h.payloads.(s) then begin
+        h.times.(!j) <- h.times.(i);
+        h.seqs.(!j) <- h.seqs.(i);
+        h.slots.(!j) <- s;
         incr j
       end
-    done;
-    for i = !j to h.len - 1 do
-      scrub h i
+      else begin
+        scrub h s;
+        h.free.(h.free_top) <- s;
+        h.free_top <- h.free_top + 1
+      end
     done;
     h.len <- !j;
     h.dead <- 0;
@@ -141,18 +251,62 @@ let note_dead h =
 
 let compact h =
   purge h;
-  let cap = Array.length h.arr in
-  if cap > 64 && h.len * 4 <= cap then begin
-    let cap' = Stdlib.max 64 (2 * h.len) in
-    if h.len = 0 then h.arr <- [||]
-    else begin
-      let arr' = Array.make cap' h.arr.(0) in
-      Array.blit h.arr 0 arr' 0 h.len;
-      h.arr <- arr'
+  let cap = Array.length h.times in
+  if cap > 64 && h.len * 4 <= cap then
+    if h.len = 0 then begin
+      h.times <- [||];
+      h.seqs <- [||];
+      h.slots <- [||];
+      h.payloads <- [||];
+      h.free <- [||];
+      h.free_top <- 0
     end
-  end
+    else begin
+      (* live payloads keep their slot numbers, so the slot table can
+         only shrink to just past the highest live slot *)
+      let max_slot = ref 0 in
+      for i = 0 to h.len - 1 do
+        if h.slots.(i) > !max_slot then max_slot := h.slots.(i)
+      done;
+      let cap' = Stdlib.max 64 (Stdlib.max (2 * h.len) (!max_slot + 1)) in
+      if cap' < cap then begin
+        let times' = Array.make cap' 0 in
+        Array.blit h.times 0 times' 0 h.len;
+        h.times <- times';
+        let seqs' = Array.make cap' 0 in
+        Array.blit h.seqs 0 seqs' 0 h.len;
+        h.seqs <- seqs';
+        let slots' = Array.make cap' 0 in
+        Array.blit h.slots 0 slots' 0 h.len;
+        h.slots <- slots';
+        let payloads' = Array.make cap' h.payloads.(0) in
+        Array.blit h.payloads 0 payloads' 0 cap';
+        h.payloads <- payloads';
+        (* rebuild the free stack from the slots not held by live
+           entries *)
+        let held = Array.make cap' false in
+        for i = 0 to h.len - 1 do
+          held.(h.slots.(i)) <- true
+        done;
+        let free' = Array.make cap' 0 in
+        let top = ref 0 in
+        for s = cap' - 1 downto 0 do
+          if not held.(s) then begin
+            free'.(!top) <- s;
+            incr top
+          end
+        done;
+        h.free <- free';
+        h.free_top <- !top
+      end
+    end
 
 let clear h =
   h.len <- 0;
   h.dead <- 0;
-  h.arr <- [||]
+  h.times <- [||];
+  h.seqs <- [||];
+  h.slots <- [||];
+  h.payloads <- [||];
+  h.free <- [||];
+  h.free_top <- 0

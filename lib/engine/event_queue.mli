@@ -56,10 +56,19 @@ val peek_time : 'a t -> Time.t option
 (** Timestamp of the earliest event, if any (dead entries included:
     the dispatcher skips them as it pops). *)
 
+val top_time : 'a t -> Time.t
+(** Like {!peek_time} but unboxed: [Time.infinity] when the heap is
+    empty. The dispatcher's per-event peek allocates nothing. *)
+
 val pop : 'a t -> (Time.t * int * 'a) option
 (** Removes and returns the earliest event as [(time, seq, payload)].
     Dead entries are returned too (adjusting the dead count) — the
     caller decides whether to dispatch. *)
+
+val pop_payload : 'a t -> 'a
+(** Removes the earliest event and returns only its payload (its time is
+    whatever {!top_time} just said). Allocation-free counterpart of
+    {!pop}; raises [Invalid_argument] on an empty heap. *)
 
 val clear : 'a t -> unit
 (** Empties the heap and releases the backing array. *)

@@ -1,6 +1,13 @@
 type event = {
-  run : unit -> unit;
+  mutable run : unit -> unit;
   mutable live : bool;
+  pooled : bool;
+      (* anonymous [at]/[after] events are recycled through the sim's
+         free list right after they fire — their handles never escape, so
+         nothing can cancel or inspect a recycled record. Timer events
+         ([timer_at]/[timer_after]) hand their record out and are never
+         pooled: a recycled timer handle would let a stale [cancel] kill
+         whatever event the record was reused for. *)
   heap : event Event_queue.t;
       (* owning heap, so [cancel] can report the dead entry for
          lazy-deletion compaction without widening its signature *)
@@ -11,8 +18,14 @@ type timer = event
 type t = {
   mutable now : Time.t;
   heap : event Event_queue.t;
+  mutable free_events : event array;  (* free list of pooled records *)
+  mutable free_top : int;
   mutable next_seq : int;
   mutable executed : int;
+  mutable flushed : int;
+      (* portion of [executed] already added to the process-wide counter;
+         flushed at the end of every [run] so the hot loop never touches
+         the atomic *)
   mutable cancelled_skipped : int;
   mutable heap_peak : int;
   invariants : bool;
@@ -79,12 +92,15 @@ let create ?(config = default_config) () =
     | None -> Invariant.enabled ()
   in
   let heap = Event_queue.create ~live:(fun (ev : event) -> ev.live) () in
-  Event_queue.set_dummy heap { run = ignore; live = false; heap };
+  Event_queue.set_dummy heap { run = ignore; live = false; pooled = false; heap };
   {
     now = Time.zero;
     heap;
+    free_events = [||];
+    free_top = 0;
     next_seq = 0;
     executed = 0;
+    flushed = 0;
     cancelled_skipped = 0;
     heap_peak = 0;
     invariants;
@@ -97,6 +113,7 @@ let create_legacy ?(seed = 42) ?invariants () =
   create ~config:{ default_config with seed; invariants } ()
 
 let now t = t.now
+let next_event_time (t : t) = Event_queue.top_time t.heap
 let rng t = t.random
 let telemetry (t : t) = t.telemetry
 let faults (t : t) = t.faults
@@ -111,23 +128,63 @@ let stats (t : t) =
     rebuilds = Event_queue.rebuilds t.heap;
   }
 
-let schedule t time f =
+let check_time t time =
   if Time.compare time t.now < 0 then
     invalid_arg
       (Format.asprintf "Sim: scheduling at %a before now %a" Time.pp time
-         Time.pp t.now);
-  let ev = { run = f; live = true; heap = t.heap } in
+         Time.pp t.now)
+
+let enqueue t time ev =
   Event_queue.add t.heap ~time ~seq:t.next_seq ev;
   t.next_seq <- t.next_seq + 1;
   let len = Event_queue.length t.heap in
-  if len > t.heap_peak then t.heap_peak <- len;
-  raise_global_peak len;
+  if len > t.heap_peak then begin
+    t.heap_peak <- len;
+    (* the global mark only moves when the local one does, so the atomic
+       stays off the per-event path *)
+    raise_global_peak len
+  end
+
+let acquire_event t f =
+  if t.free_top > 0 then begin
+    let i = t.free_top - 1 in
+    t.free_top <- i;
+    let ev = t.free_events.(i) in
+    ev.run <- f;
+    ev.live <- true;
+    ev
+  end
+  else { run = f; live = true; pooled = true; heap = t.heap }
+
+let release_event t ev =
+  (* drop the fired closure now — a parked free-list record must not keep
+     an arbitrary closure graph (packets, connections) reachable *)
+  ev.run <- ignore;
+  if t.free_top = Array.length t.free_events then begin
+    let cap = Stdlib.max 64 (2 * t.free_top) in
+    let arr = Array.make cap ev in
+    Array.blit t.free_events 0 arr 0 t.free_top;
+    t.free_events <- arr
+  end;
+  t.free_events.(t.free_top) <- ev;
+  t.free_top <- t.free_top + 1
+
+let at t time f =
+  check_time t time;
+  enqueue t time (acquire_event t f)
+
+let after t d f =
+  let time = Time.add t.now d in
+  check_time t time;
+  enqueue t time (acquire_event t f)
+
+let timer_at t time f =
+  check_time t time;
+  let ev = { run = f; live = true; pooled = false; heap = t.heap } in
+  enqueue t time ev;
   ev
 
-let at t time f = ignore (schedule t time f)
-let after t d f = ignore (schedule t (Time.add t.now d) f)
-let timer_at t time f = schedule t time f
-let timer_after t d f = schedule t (Time.add t.now d) f
+let timer_after t d f = timer_at t (Time.add t.now d) f
 
 let cancel (ev : timer) =
   if ev.live then begin
@@ -137,22 +194,26 @@ let cancel (ev : timer) =
 
 let timer_active (ev : timer) = ev.live
 
-let step t =
-  match Event_queue.pop t.heap with
-  | None -> false
-  | Some (time, _seq, ev) ->
-    if ev.live then begin
+(* Dispatch mechanics shared by [step] and the [run] loop; the caller has
+   already established the heap is non-empty and read the top's time. *)
+let dispatch_top t time =
+  let ev = Event_queue.pop_payload t.heap in
+  if ev.live then begin
       if Invariant.enabled () <> t.invariants then
         Invariant.set_enabled t.invariants;
-      Invariant.require ~name:"sim.dispatch-monotone"
-        (Time.compare time t.now >= 0) (fun () ->
-          Format.asprintf "event at %a dispatched after clock reached %a"
-            Time.pp time Time.pp t.now);
+      if t.invariants then
+        Invariant.require ~name:"sim.dispatch-monotone"
+          (Time.compare time t.now >= 0) (fun () ->
+            Format.asprintf "event at %a dispatched after clock reached %a"
+              Time.pp time Time.pp t.now);
       t.now <- time;
       ev.live <- false;
       t.executed <- t.executed + 1;
-      Atomic.incr total;
-      ev.run ()
+      let f = ev.run in
+      (* recycle before running: [f] is saved, and anything [f] schedules
+         may legitimately reuse this record *)
+      if ev.pooled then release_event t ev;
+      f ()
     end
     else begin
       (* cancelled (or compaction dummy) entries still advance the clock
@@ -160,16 +221,32 @@ let step t =
          counted as executed work *)
       if Time.compare time t.now > 0 then t.now <- time;
       t.cancelled_skipped <- t.cancelled_skipped + 1
-    end;
+    end
+
+let step t =
+  if Event_queue.is_empty t.heap then false
+  else begin
+    dispatch_top t (Event_queue.top_time t.heap);
     true
+  end
+
+let flush_total (t : t) =
+  if t.executed > t.flushed then begin
+    ignore (Atomic.fetch_and_add total (t.executed - t.flushed));
+    t.flushed <- t.executed
+  end
 
 let run ?(until = Time.infinity) t =
   let continue = ref true in
   while !continue do
-    match Event_queue.peek_time t.heap with
-    | None -> continue := false
-    | Some time when Time.compare time until > 0 ->
-      t.now <- until;
-      continue := false
-    | Some _ -> ignore (step t)
-  done
+    if Event_queue.is_empty t.heap then continue := false
+    else begin
+      let time = Event_queue.top_time t.heap in
+      if Time.compare time until > 0 then begin
+        t.now <- until;
+        continue := false
+      end
+      else dispatch_top t time
+    end
+  done;
+  flush_total t

@@ -86,6 +86,11 @@ val pending : t -> int
     included — bounded at 1.5× the live count by lazy-deletion
     compaction). *)
 
+val next_event_time : t -> Time.t
+(** Timestamp of the earliest queued event (cancelled entries included),
+    or [Time.infinity] if none — what an epoch orchestrator uses to
+    fast-forward over idle windows. *)
+
 val stats : t -> stats
 (** Dispatch-loop and heap-hygiene counters for this simulator. *)
 

@@ -99,9 +99,9 @@ let print_subflow_sweep ?(base = Fatree_eval.default_base)
         [
           string_of_int n;
           Table.fixed 1
-            (mean_goodput base (Scheme.Lia n) Fatree_eval.Permutation);
+            (mean_goodput base (Scheme.lia n) Fatree_eval.Permutation);
           Table.fixed 1
-            (mean_goodput base (Scheme.Xmp n) Fatree_eval.Permutation);
+            (mean_goodput base (Scheme.xmp n) Fatree_eval.Permutation);
         ])
       counts
   in
@@ -122,9 +122,9 @@ let print_coupling_comparison ?(base = Fatree_eval.default_base) () =
               Table.fixed 1 (mean_goodput base scheme Fatree_eval.Random);
             ])
           [
-            ("LIA", Scheme.Lia n);
-            ("OLIA", Scheme.Olia n);
-            ("XMP", Scheme.Xmp n);
+            ("LIA", Scheme.lia n);
+            ("OLIA", Scheme.olia n);
+            ("XMP", Scheme.xmp n);
           ])
       [ 2; 4 ]
   in
@@ -148,9 +148,9 @@ let print_flow_size_sweep ?(base = Fatree_eval.default_base) () =
         in
         [
           Printf.sprintf "%g-%g MB" (2. *. size_scale) (16. *. size_scale);
-          gp (Scheme.Lia 2);
-          gp (Scheme.Lia 4);
-          gp (Scheme.Xmp 2);
+          gp (Scheme.lia 2);
+          gp (Scheme.lia 4);
+          gp (Scheme.xmp 2);
         ])
       [ 0.5; 2.; 8. ]
   in
@@ -182,7 +182,7 @@ let print_incast_fanout_sweep ?(base = Fatree_eval.default_base) () =
         in
         let cfg =
           {
-            (Fatree_eval.driver_config base (Scheme.Xmp 2)
+            (Fatree_eval.driver_config base (Scheme.xmp 2)
                Fatree_eval.Incast)
             with
             Driver.pattern;
@@ -230,7 +230,7 @@ let print_rto_min_sweep ?(base = Fatree_eval.default_base) () =
                 (Xmp_workload.Metrics.mean_goodput_bps m /. 1e6);
             ])
           [ 200; 20; 2 ])
-      [ Scheme.Lia 2; Scheme.Xmp 2 ]
+      [ Scheme.lia 2; Scheme.xmp 2 ]
   in
   Table.print
     ~header:
@@ -287,7 +287,7 @@ let print_sack_comparison ?(base = Fatree_eval.default_base) () =
           Table.fixed 1 (mean_goodput base scheme Fatree_eval.Permutation)
         in
         [ Scheme.name scheme; gp false; gp true ])
-      [ Scheme.Reno; Scheme.Lia 2; Scheme.Lia 4; Scheme.Xmp 2 ]
+      [ Scheme.reno; Scheme.lia 2; Scheme.lia 4; Scheme.xmp 2 ]
   in
   Table.print ~header:[ "Scheme"; "no SACK"; "SACK" ] ~rows ()
 
@@ -309,7 +309,7 @@ let print_queue_occupancy ?(beta = 4) ?(k = 10) () =
           Table.fixed 1 mx;
           string_of_int drops;
         ])
-      [ Scheme.Xmp 1; Scheme.Dctcp; Scheme.Reno; Scheme.Lia 1 ]
+      [ Scheme.xmp 1; Scheme.dctcp; Scheme.reno; Scheme.lia 1 ]
   in
   Table.print
     ~header:

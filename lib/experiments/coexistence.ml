@@ -11,7 +11,7 @@ type result = {
   cell : cell;
 }
 
-let xmp = Scheme.Xmp 2
+let xmp = Scheme.xmp 2
 
 let run ?(base = Fatree_eval.default_base) ~partner ~queue_pkts () =
   let base = { base with Fatree_eval.queue_pkts } in
@@ -33,9 +33,9 @@ let run ?(base = Fatree_eval.default_base) ~partner ~queue_pkts () =
       };
   }
 
-let partners = [ Scheme.Lia 2; Scheme.Reno; Scheme.Dctcp ]
+let partners = [ Scheme.lia 2; Scheme.reno; Scheme.dctcp ]
 
-let extended_partners = [ Scheme.Balia 2; Scheme.Veno 2; Scheme.Amp 2 ]
+let extended_partners = [ Scheme.balia 2; Scheme.veno 2; Scheme.amp 2 ]
 
 let print_rows ~base partners =
   let cell partner queue_pkts =

@@ -197,10 +197,10 @@ let print_fault_eval base scheme pattern =
     ()
 
 let table1_schemes =
-  [ Scheme.Dctcp; Scheme.Lia 2; Scheme.Lia 4; Scheme.Xmp 2; Scheme.Xmp 4 ]
+  [ Scheme.dctcp; Scheme.lia 2; Scheme.lia 4; Scheme.xmp 2; Scheme.xmp 4 ]
 
 let bar_schemes =
-  [ Scheme.Dctcp; Scheme.Lia 4; Scheme.Xmp 2; Scheme.Xmp 4 ]
+  [ Scheme.dctcp; Scheme.lia 4; Scheme.xmp 2; Scheme.xmp 4 ]
 
 let all_patterns = [ Permutation; Random; Incast ]
 

@@ -1,0 +1,24 @@
+(** The Figure-4 traffic-shifting experiment restaged on a pod-sharded
+    k=4 fat tree ({!Xmp_net.Fat_tree_sharded}): Flow 2's two subflows
+    leave pod 0 through different aggregation switches, and pod-local
+    background flows load first one uplink then the other. Exercises the
+    split sender/receiver transport and the core-layer portals; the
+    [domains] argument never changes the output bytes. *)
+
+type result = {
+  beta : int;
+  domains : int;
+  bucket_s : float;
+  rates : (string * float array) list;
+  loaded_share : float;
+  recovered_share : float;
+  events : int;
+  mail : int;
+}
+
+val run :
+  ?scale:float -> ?seed:int -> ?domains:int -> beta:int -> unit -> result
+
+val print : result -> unit
+
+val run_and_print : ?scale:float -> ?domains:int -> unit -> unit

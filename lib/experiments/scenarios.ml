@@ -137,6 +137,10 @@ let all cfg =
       ~descr:"buffer occupancy by scheme"
       ~params:[ ("beta", "4"); ("k", "10") ]
       (fun () -> Ablations.print_queue_occupancy ());
+    Scenario.create ~name:"fig4.sharded"
+      ~descr:"traffic shifting on a pod-sharded fat tree (k=4)"
+      ~params:(scale_params scale @ [ ("beta", "4"); ("k", "4") ])
+      (fun () -> Fig4_sharded.run_and_print ~scale ());
     (let faults = fig4_linkfail_faults ~scale in
      Scenario.create ~name:"fig4.linkfail"
        ~descr:"traffic shifting with bottleneck DN2 failing mid-run"
@@ -150,7 +154,7 @@ let all cfg =
        ~descr:"incast with 1% Bernoulli loss on rack links"
        ~params:(base_params base)
        (fun () ->
-         Fatree_eval.print_fault_eval base (Xmp_workload.Scheme.Xmp 2)
+         Fatree_eval.print_fault_eval base (Xmp_workload.Scheme.xmp 2)
            Fatree_eval.Incast));
   ]
 

@@ -56,7 +56,7 @@ let in_window sim (w : Spec.window) =
   Time.compare now w.from_ns >= 0 && Time.compare now w.until_ns < 0
 
 let matches filter (p : Packet.t) =
-  match (filter, p.kind) with
+  match (filter, Packet.kind p) with
   | Spec.Any_packet, _ -> true
   | Spec.Data_only, Packet.Data | Spec.Ack_only, Packet.Ack -> true
   | Spec.Data_only, Packet.Ack | Spec.Ack_only, Packet.Data -> false
@@ -84,9 +84,9 @@ let loss_filter t sim sink ~seed ~index ~link ~window ~model ~filter =
             (Tel.Event.Injected_drop
                {
                  link = Link.name link;
-                 flow = p.flow;
-                 subflow = p.subflow;
-                 seq = p.seq;
+                 flow = Packet.flow p;
+                 subflow = Packet.subflow p;
+                 seq = Packet.seq p;
                })
       end;
       dropped

@@ -6,6 +6,7 @@ module Tel = Xmp_telemetry
 
 type t = {
   net : Network.t;
+  rcv_net : Network.t option;  (* split receiver shard, if any *)
   flow : int;
   src : int;
   dst : int;
@@ -71,7 +72,8 @@ let check_complete t =
 let launch_subflow t ~path =
   let idx = Array.length t.subflows in
   let conn =
-    Tcp.create ~net:t.net ~flow:t.flow ~subflow:idx ~src:t.src ~dst:t.dst
+    Tcp.create ~net:t.net ?rcv_net:t.rcv_net ~flow:t.flow ~subflow:idx
+      ~src:t.src ~dst:t.dst
       ~path ~cc:(t.group_factory idx) ?config:t.config ~source:t.source
       ~on_segment_acked:(fun n ->
         t.acked <- t.acked + n;
@@ -88,8 +90,8 @@ let launch_subflow t ~path =
   check_complete t;
   conn
 
-let create ~net ~flow ~src ~dst ~paths ~coupling ?config ?size_segments
-    ?(observer = silent) () =
+let create ~net ?rcv_net ~flow ~src ~dst ~paths ~coupling ?config
+    ?size_segments ?(observer = silent) () =
   if paths = [] then invalid_arg "Mptcp_flow.create: paths";
   let sim = Network.sim net in
   let source =
@@ -102,6 +104,7 @@ let create ~net ~flow ~src ~dst ~paths ~coupling ?config ?size_segments
   let t =
     {
       net;
+      rcv_net;
       flow;
       src;
       dst;

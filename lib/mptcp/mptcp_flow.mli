@@ -30,6 +30,7 @@ val silent : observer
 
 val create :
   net:Xmp_net.Network.t ->
+  ?rcv_net:Xmp_net.Network.t ->
   flow:int ->
   src:int ->
   dst:int ->

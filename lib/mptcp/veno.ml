@@ -1,12 +1,13 @@
 module Cc = Xmp_transport.Cc
 module Reno = Xmp_transport.Reno
 
-(* Veno's backlog threshold: below [beta_pkts] queued segments a loss is
-   presumed random, not congestive. *)
+(* Veno's default backlog threshold: below [beta_pkts] queued segments
+   a loss is presumed random, not congestive. *)
 let beta_pkts = 3.
 
 type state = {
   params : Reno.params;
+  beta : float;  (* backlog threshold in segments *)
   view : Cc.view;
   g : Coupling.group;
   mutable cwnd : float;
@@ -40,7 +41,7 @@ let coupled_increase st =
 
 let in_slow_start st = st.cwnd < st.ssthresh
 
-let coupling ?(params = Reno.default_params) () =
+let coupling ?(params = Reno.default_params) ?(beta_pkts = beta_pkts) () =
   let module M = struct
     let name = "veno"
 
@@ -53,6 +54,7 @@ let coupling ?(params = Reno.default_params) () =
     let init ~flow:() ~group:g ~index:_ view =
       {
         params;
+        beta = beta_pkts;
         view;
         g;
         cwnd = params.Reno.init_cwnd;
@@ -72,7 +74,7 @@ let coupling ?(params = Reno.default_params) () =
           (* available bandwidth: full coupled gain; congestive region
              (N ≥ β): half the gain, Veno's every-other-ACK increase *)
           let gain = coupled_increase st in
-          if backlog st >= beta_pkts then st.cwnd <- st.cwnd +. (gain /. 2.)
+          if backlog st >= st.beta then st.cwnd <- st.cwnd +. (gain /. 2.)
           else st.cwnd <- st.cwnd +. gain
         end
       done
@@ -83,7 +85,7 @@ let coupling ?(params = Reno.default_params) () =
     let on_fast_retransmit st =
       (* N < β: the loss is presumed random — keep 4/5 of the window;
          otherwise congestive — classic halving *)
-      let factor = if backlog st < beta_pkts then 0.8 else 0.5 in
+      let factor = if backlog st < st.beta then 0.8 else 0.5 in
       st.ssthresh <-
         Float.max (st.cwnd *. factor) (Float.max st.params.Reno.min_cwnd 2.);
       st.cwnd <- st.ssthresh

@@ -14,6 +14,12 @@
     otherwise. Loss-driven (not ECN-capable). *)
 
 val beta_pkts : float
-(** Veno's backlog threshold β in segments (3). *)
+(** Veno's default backlog threshold β in segments (3). *)
 
-val coupling : ?params:Xmp_transport.Reno.params -> unit -> Coupling.t
+val coupling :
+  ?params:Xmp_transport.Reno.params ->
+  ?beta_pkts:float ->
+  unit ->
+  Coupling.t
+(** [beta_pkts] (default {!beta_pkts}) is the backlog threshold β the
+    random-vs-congestive discrimination compares against. *)

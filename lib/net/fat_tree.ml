@@ -104,12 +104,12 @@ let create ~net ~k ?(rate = Units.gbps 1.) ?(rack_delay = Time.us 20)
       Node.set_route
         edges.(pod).(e)
         (fun p ->
-          let dst = p.Packet.dst in
+          let dst = Packet.dst p in
           if pod_of dst = pod && edge_of dst = e then slot_of dst
           else begin
             let a =
-              if pod_of dst = pod then p.Packet.path mod half
-              else p.Packet.path / half mod half
+              if pod_of dst = pod then Packet.path p mod half
+              else Packet.path p / half mod half
             in
             half + a
           end)
@@ -118,14 +118,14 @@ let create ~net ~k ?(rate = Units.gbps 1.) ?(rack_delay = Time.us 20)
       Node.set_route
         aggs.(pod).(a)
         (fun p ->
-          let dst = p.Packet.dst in
+          let dst = Packet.dst p in
           if pod_of dst = pod then edge_of dst
-          else half + (p.Packet.path mod half))
+          else half + (Packet.path p mod half))
     done
   done;
   for g = 0 to half - 1 do
     for c = 0 to half - 1 do
-      Node.set_route cores.(g).(c) (fun p -> pod_of p.Packet.dst)
+      Node.set_route cores.(g).(c) (fun p -> pod_of (Packet.dst p))
     done
   done;
   { k; net; host_base; n_hosts; rack_delay; agg_delay; core_delay }

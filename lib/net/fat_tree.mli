@@ -18,6 +18,10 @@ val pp_locality : Format.formatter -> locality -> unit
 
 val locality_name : locality -> string
 
+val decompose : k:int -> int -> int * int * int
+(** [decompose ~k i] splits host index [i] into [(pod, edge, slot)] —
+    [k/2] hosts per edge switch, [(k/2)²] per pod. *)
+
 type t
 
 val create :

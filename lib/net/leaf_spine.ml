@@ -55,12 +55,12 @@ let create ~net ~leaves ~spines ~hosts_per_leaf
   Array.iteri
     (fun l sw ->
       Node.set_route sw (fun p ->
-          let dst = p.Packet.dst in
+          let dst = Packet.dst p in
           if leaf_of dst = l then slot_of dst
-          else hosts_per_leaf + (p.Packet.path mod spines)))
+          else hosts_per_leaf + (Packet.path p mod spines)))
     leaf_sw;
   Array.iter
-    (fun sw -> Node.set_route sw (fun p -> leaf_of p.Packet.dst))
+    (fun sw -> Node.set_route sw (fun p -> leaf_of (Packet.dst p)))
     spine_sw;
   { leaves; spines; hosts_per_leaf; host_base }
 

@@ -4,11 +4,19 @@ module Invariant = Xmp_check.Invariant
 
 module Tel = Xmp_telemetry
 
+(* The serialize-complete and deliver events are the two hottest closures
+   in the simulator (two per packet per hop). Both are allocated once per
+   link: the serializing packet sits in the [tx] register (only one
+   packet serializes at a time), and in-flight packets sit in the [wire]
+   FIFO ring (propagation delay is constant per link, so deliveries
+   complete in push order and each deliver event pops the head). *)
 type t = {
   sim : Sim.t;
   id : int;
   name : string;
   rate : Units.rate;
+  tx_ns_data : Time.t;  (* Units.tx_time rate for the two wire sizes, *)
+  tx_ns_ack : Time.t;  (* computed once — kinds fix the sizes *)
   delay : Time.t;
   disc : Queue_disc.t;
   mutable receiver : Packet.t -> unit;
@@ -17,12 +25,80 @@ type t = {
   mutable up : bool;
   mutable bytes_sent : int;
   mutable packets_sent : int;
+  mutable tx : Packet.t;  (* the packet currently serializing *)
+  mutable wire : Packet.t array;  (* circular FIFO of in-flight packets *)
+  mutable wire_head : int;
+  mutable wire_len : int;
+  mutable on_serialized : unit -> unit;  (* preallocated, see [create] *)
+  mutable on_deliver : unit -> unit;
   (* resolved once at creation iff the sim's sink is active *)
   c_tx_packets : Tel.Metric.Counter.t option;
   c_tx_bytes : Tel.Metric.Counter.t option;
 }
 
 let no_receiver _ = failwith "Link: receiver not attached"
+
+let wire_push t p =
+  if t.wire_len = Array.length t.wire then begin
+    let cap = 2 * t.wire_len in
+    let wire = Array.make cap Packet.dummy in
+    for i = 0 to t.wire_len - 1 do
+      wire.(i) <- t.wire.((t.wire_head + i) mod t.wire_len)
+    done;
+    t.wire <- wire;
+    t.wire_head <- 0
+  end;
+  let tail = t.wire_head + t.wire_len in
+  let cap = Array.length t.wire in
+  let tail = if tail >= cap then tail - cap else tail in
+  t.wire.(tail) <- p;
+  t.wire_len <- t.wire_len + 1
+
+let wire_pop t =
+  let p = t.wire.(t.wire_head) in
+  let cap = Array.length t.wire in
+  t.wire_head <- (if t.wire_head + 1 >= cap then 0 else t.wire_head + 1);
+  t.wire_len <- t.wire_len - 1;
+  p
+
+let rec transmit t (p : Packet.t) =
+  t.busy <- true;
+  if Invariant.enabled () then
+    Invariant.require ~name:"link.queue-within-capacity"
+      (Queue_disc.length t.disc <= Queue_disc.capacity t.disc) (fun () ->
+        Printf.sprintf "%s holds %d packets, capacity %d" t.name
+          (Queue_disc.length t.disc)
+          (Queue_disc.capacity t.disc));
+  t.tx <- p;
+  Sim.after t.sim
+    (if Packet.is_ack p then t.tx_ns_ack else t.tx_ns_data)
+    t.on_serialized
+
+and serialized t =
+  let p = t.tx in
+  t.bytes_sent <- t.bytes_sent + Packet.size p;
+  t.packets_sent <- t.packets_sent + 1;
+  (match t.c_tx_packets with
+  | Some c ->
+    Tel.Metric.Counter.inc c;
+    (match t.c_tx_bytes with
+    | Some b -> Tel.Metric.Counter.inc b ~by:(Packet.size p)
+    | None -> ())
+  | None -> ());
+  (* Propagation: the packet is on the wire while the next one
+     serializes. Deliver only if the link is still up. *)
+  if t.up then begin
+    wire_push t p;
+    Sim.after t.sim t.delay t.on_deliver
+  end
+  else Packet.release p;
+  match Queue_disc.dequeue t.disc with
+  | Some next -> transmit t next
+  | None -> t.busy <- false
+
+and deliver t =
+  let p = wire_pop t in
+  if t.up then t.receiver p else Packet.release p
 
 let create ~sim ~id ~name ~rate ~delay ~disc =
   if rate <= 0 then invalid_arg "Link.create: rate";
@@ -41,22 +117,35 @@ let create ~sim ~id ~name ~rate ~delay ~disc =
     end
     else (None, None)
   in
-  {
-    sim;
-    id;
-    name;
-    rate;
-    delay;
-    disc;
-    receiver = no_receiver;
-    drop_filter = None;
-    busy = false;
-    up = true;
-    bytes_sent = 0;
-    packets_sent = 0;
-    c_tx_packets;
-    c_tx_bytes;
-  }
+  let t =
+    {
+      sim;
+      id;
+      name;
+      rate;
+      tx_ns_data = Units.tx_time rate ~bytes:Packet.data_wire_bytes;
+      tx_ns_ack = Units.tx_time rate ~bytes:Packet.ack_wire_bytes;
+      delay;
+      disc;
+      receiver = no_receiver;
+      drop_filter = None;
+      busy = false;
+      up = true;
+      bytes_sent = 0;
+      packets_sent = 0;
+      tx = Packet.dummy;
+      wire = Array.make 16 Packet.dummy;
+      wire_head = 0;
+      wire_len = 0;
+      on_serialized = ignore;
+      on_deliver = ignore;
+      c_tx_packets;
+      c_tx_bytes;
+    }
+  in
+  t.on_serialized <- (fun () -> serialized t);
+  t.on_deliver <- (fun () -> deliver t);
+  t
 
 let set_receiver t f = t.receiver <- f
 let wrap_receiver t wrap = t.receiver <- wrap t.receiver
@@ -68,38 +157,13 @@ let delay t = t.delay
 let disc t = t.disc
 let is_up t = t.up
 
-let rec transmit t (p : Packet.t) =
-  t.busy <- true;
-  Invariant.require ~name:"link.queue-within-capacity"
-    (Queue_disc.length t.disc <= Queue_disc.capacity t.disc) (fun () ->
-      Printf.sprintf "%s holds %d packets, capacity %d" t.name
-        (Queue_disc.length t.disc)
-        (Queue_disc.capacity t.disc));
-  let tx = Units.tx_time t.rate ~bytes:p.size in
-  Sim.after t.sim tx (fun () ->
-      t.bytes_sent <- t.bytes_sent + p.size;
-      t.packets_sent <- t.packets_sent + 1;
-      (match t.c_tx_packets with
-      | Some c ->
-        Tel.Metric.Counter.inc c;
-        (match t.c_tx_bytes with
-        | Some b -> Tel.Metric.Counter.inc b ~by:p.size
-        | None -> ())
-      | None -> ());
-      (* Propagation: the packet is on the wire while the next one
-         serializes. Deliver only if the link is still up. *)
-      if t.up then
-        Sim.after t.sim t.delay (fun () -> if t.up then t.receiver p);
-      match Queue_disc.dequeue t.disc with
-      | Some next -> transmit t next
-      | None -> t.busy <- false)
-
 let send t p =
   if t.up then
     (* The drop filter models loss on the wire's ingress: a killed packet
        never reaches the queue. Accounting/telemetry is the filter's job
        (the fault injector counts and emits Injected_drop). *)
-    if (match t.drop_filter with Some f -> f p | None -> false) then ()
+    if match t.drop_filter with Some f -> f p | None -> false then
+      Packet.release p
     else if t.busy then ignore (Queue_disc.enqueue t.disc p)
     else begin
       (* An idle link still runs the packet through the discipline so that
@@ -109,6 +173,7 @@ let send t p =
         | Some q -> transmit t q
         | None -> assert false
     end
+  else Packet.release p
 
 let set_up t up =
   if t.up && not up then ignore (Queue_disc.clear t.disc);

@@ -42,10 +42,10 @@ end)
 type t = {
   sim : Sim.t;
   mutable nodes : Node.t list;  (* reverse creation order *)
-  mutable node_arr : Node.t array;
+  mutable node_arr : Node.t option array;  (* indexed by node id *)
   mutable n_nodes : int;
+  mutable next_id : int;
   mutable links_rev : Link.t list;
-  mutable next_uid : int;
   mutable next_link : int;
   tags : (int, string) Hashtbl.t;  (* link id -> tag *)
   endpoints : (Packet.t -> unit) Endpoints.t;  (* packed (dst, flow, subflow) *)
@@ -59,8 +59,8 @@ let create sim =
     nodes = [];
     node_arr = [||];
     n_nodes = 0;
+    next_id = 0;
     links_rev = [];
-    next_uid = 0;
     next_link = 0;
     tags = Hashtbl.create 64;
     endpoints = Endpoints.create 256;
@@ -70,56 +70,84 @@ let create sim =
 
 let sim t = t.sim
 
-let fresh_uid t =
-  let u = t.next_uid in
-  t.next_uid <- u + 1;
-  u
-
+(* Endpoint dispatch consumes the packet: whether a handler ran or the
+   packet dead-lettered, the record returns to the pool when the handler
+   is done with it. Handlers copy what they keep (the transport extracts
+   scalars; traces format eagerly) — nothing downstream retains the
+   record. The header word IS the endpoint key, and the lookup goes
+   through [find] + [Not_found] so a delivery allocates nothing. *)
 let dispatch t (p : Packet.t) =
-  let key = Endpoint_key.pack ~host:p.dst ~flow:p.flow ~subflow:p.subflow in
-  match Endpoints.find_opt t.endpoints key with
-  | Some handler ->
+  (match Endpoints.find t.endpoints (Packet.endpoint_key p) with
+  | handler ->
     t.delivered <- t.delivered + 1;
     handler p
-  | None -> t.dead <- t.dead + 1
+  | exception Not_found -> t.dead <- t.dead + 1);
+  Packet.release p
 
-let add_node t ~kind ~name =
-  let node = Node.create ~kind ~id:t.n_nodes ~name in
-  if t.n_nodes = Array.length t.node_arr then begin
-    let cap = if t.n_nodes = 0 then 16 else t.n_nodes * 2 in
-    let arr = Array.make cap node in
-    Array.blit t.node_arr 0 arr 0 t.n_nodes;
+let add_node_opt t ~id ~kind ~name =
+  let id =
+    match id with
+    | None -> t.next_id
+    | Some i ->
+      if i < 0 || i > Endpoint_key.max_dst then
+        invalid_arg "Network.add_node: id outside packed range";
+      if i < Array.length t.node_arr && Option.is_some t.node_arr.(i) then
+        invalid_arg (Printf.sprintf "Network.add_node: id %d taken" i);
+      i
+  in
+  let node = Node.create ~kind ~id ~name in
+  if id >= Array.length t.node_arr then begin
+    let cap = Stdlib.max 16 (Stdlib.max (2 * Array.length t.node_arr) (id + 1)) in
+    let arr = Array.make cap None in
+    Array.blit t.node_arr 0 arr 0 (Array.length t.node_arr);
     t.node_arr <- arr
   end;
-  t.node_arr.(t.n_nodes) <- node;
+  t.node_arr.(id) <- Some node;
   t.n_nodes <- t.n_nodes + 1;
+  if id >= t.next_id then t.next_id <- id + 1;
   t.nodes <- node :: t.nodes;
   (match kind with
   | Node.Host -> Node.set_local_rx node (dispatch t)
   | Node.Switch -> ());
   node
 
-let add_host t ~name = add_node t ~kind:Node.Host ~name
-let add_switch t ~name = add_node t ~kind:Node.Switch ~name
+let add_host t ~name = add_node_opt t ~id:None ~kind:Node.Host ~name
+let add_switch t ~name = add_node_opt t ~id:None ~kind:Node.Switch ~name
+
+(* Sharded topologies place nodes at explicit ids so host addresses stay
+   globally meaningful across shard networks (a packet's [dst] must name
+   the same host in whichever shard decodes it). *)
+let add_host_at t ~id ~name = add_node_opt t ~id:(Some id) ~kind:Node.Host ~name
+
+let add_switch_at t ~id ~name =
+  add_node_opt t ~id:(Some id) ~kind:Node.Switch ~name
 
 let node t i =
-  if i < 0 || i >= t.n_nodes then invalid_arg "Network.node";
-  t.node_arr.(i)
+  if i < 0 || i >= Array.length t.node_arr then invalid_arg "Network.node";
+  match t.node_arr.(i) with
+  | Some n -> n
+  | None -> invalid_arg "Network.node"
 
 let n_nodes t = t.n_nodes
 
-let make_link t ?tag ~rate ~delay ~disc src dst =
+(* An egress link delivers to an arbitrary callback instead of a peer
+   node's receive — the seam shard portals use to carry packets across a
+   domain boundary. The link still gets the next port number on [src],
+   so topology builders can mix local links and portals freely as long
+   as they keep their construction order. *)
+let add_egress t ?tag ~name ~rate ~delay ~disc src receiver =
   let id = t.next_link in
   t.next_link <- id + 1;
-  let name = Printf.sprintf "%s->%s" (Node.name src) (Node.name dst) in
-  let link =
-    Link.create ~sim:t.sim ~id ~name ~rate ~delay ~disc:(disc ())
-  in
-  Link.set_receiver link (fun p -> Node.receive dst p);
+  let link = Link.create ~sim:t.sim ~id ~name ~rate ~delay ~disc:(disc ()) in
+  Link.set_receiver link receiver;
   ignore (Node.add_port src link);
   t.links_rev <- link :: t.links_rev;
   (match tag with Some tag -> Hashtbl.replace t.tags id tag | None -> ());
   link
+
+let make_link t ?tag ~rate ~delay ~disc src dst =
+  let name = Printf.sprintf "%s->%s" (Node.name src) (Node.name dst) in
+  add_egress t ?tag ~name ~rate ~delay ~disc src (fun p -> Node.receive dst p)
 
 let connect_asym t ?tag ~rate_fwd ~rate_rev ~delay ~disc a b =
   let fwd = make_link t ?tag ~rate:rate_fwd ~delay ~disc a b in

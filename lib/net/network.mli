@@ -1,5 +1,10 @@
-(** Network container: node/link registry, directed wiring helper, packet
-    uid allocation, and the per-host transport demultiplexer. *)
+(** Network container: node/link registry, directed wiring helper, and the
+    per-host transport demultiplexer.
+
+    Delivery is a packet's last stop: the demultiplexer hands it to the
+    registered endpoint handler (or dead-letters it) and then releases it
+    back to the {!Packet} pool, so handlers must extract what they keep
+    before returning. *)
 
 type t
 
@@ -7,11 +12,17 @@ val create : Xmp_engine.Sim.t -> t
 
 val sim : t -> Xmp_engine.Sim.t
 
-val fresh_uid : t -> int
-
 val add_host : t -> name:string -> Node.t
 
 val add_switch : t -> name:string -> Node.t
+
+val add_host_at : t -> id:int -> name:string -> Node.t
+(** Like {!add_host} with an explicit node id — sharded topologies keep
+    host ids globally meaningful across shard networks. The id must fit
+    the packed 20-bit host range and be unused; ids skipped over are
+    never assigned implicitly afterwards. *)
+
+val add_switch_at : t -> id:int -> name:string -> Node.t
 
 val node : t -> int -> Node.t
 
@@ -31,6 +42,24 @@ val connect :
     ports on [a] and [b], and wires packet delivery to the far node's
     receive. Returns [(a_to_b, b_to_a)]. The [tag] labels both directions
     (e.g. the fat-tree layer) for utilization grouping. *)
+
+val add_egress :
+  t ->
+  ?tag:string ->
+  name:string ->
+  rate:Units.rate ->
+  delay:Xmp_engine.Time.t ->
+  disc:(unit -> Queue_disc.t) ->
+  Node.t ->
+  (Packet.t -> unit) ->
+  Link.t
+(** [add_egress t ~name ~rate ~delay ~disc src receiver] creates a single
+    directed link whose deliveries go to [receiver] instead of a peer
+    node — the seam {!Shard} portals use to hand packets across a domain
+    boundary. The link takes the next port number on [src] exactly as
+    {!connect} would, so builders can substitute a portal for a local
+    link without disturbing port-indexed routing. The receiver owns each
+    delivered packet (it must pass it on or release it). *)
 
 val connect_asym :
   t ->

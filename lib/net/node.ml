@@ -60,7 +60,7 @@ let forward t p =
 let receive t (p : Packet.t) =
   match t.kind with
   | Host ->
-    if p.dst = t.id then t.local_rx p
+    if Packet.dst p = t.id then t.local_rx p
     else
       failwith
         (Format.asprintf "Node %s: received transit packet %a" t.name

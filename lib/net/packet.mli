@@ -1,39 +1,28 @@
-(** Packets.
+(** Pooled, packed packets.
 
     Sequence numbers are in whole segments (one data packet carries one
     segment), matching the paper's packet-granularity window arithmetic.
     Wire sizes follow the paper's BDP computations: 1500-byte data packets
-    (1460 B payload) and 60-byte ACKs. *)
+    (1460 B payload) and 60-byte ACKs.
+
+    The representation is allocation-free on the hot path: header fields
+    are packed into two immediate words (range-checked at construction),
+    flags and the up-to-3 SACK blocks into fixed slots, and records are
+    recycled through a domain-local free-list pool. {!data}, {!ack} and
+    {!of_image} acquire from the pool; {!release} returns a record to it.
+
+    Ownership rule: exactly one component owns a packet at any instant,
+    and the owner either passes it on (link -> queue -> link -> dispatch)
+    or releases it. The sinks that release are: endpoint dispatch after
+    the handler returns ({!Network.dispatch}), queue-disc drops and
+    clears, a link's ingress drop filter, and in-flight delivery on a
+    downed link. Handlers must therefore copy anything they need out of
+    the packet before returning — retaining a packet reads as garbage
+    once the pool reuses it. *)
 
 type kind = Data | Ack
 
-type t = {
-  uid : int;  (** unique within a simulation run *)
-  flow : int;  (** flow identifier *)
-  subflow : int;  (** subflow index within the flow (0 for single-path) *)
-  src : int;  (** source host id *)
-  dst : int;  (** destination host id *)
-  path : int;
-      (** path selector: models the destination address choice that steers a
-          subflow onto one of the equal-cost paths *)
-  kind : kind;
-  size : int;  (** bytes on the wire *)
-  seq : int;
-      (** data: segment index; ack: cumulative acknowledgement (the next
-          expected segment) *)
-  ect : bool;  (** ECN-capable transport codepoint *)
-  mutable ce : bool;  (** Congestion Experienced, set by switches *)
-  ece_count : int;
-      (** acks only: number of CE marks echoed by this ack. The paper's
-          2-bit ECE/CWR encoding caps this at 3 for XMP. *)
-  cwr : bool;  (** data only: Congestion Window Reduced (classic ECN) *)
-  ts : Xmp_engine.Time.t;
-      (** data: send timestamp; ack: echoed timestamp for RTT sampling *)
-  sack : (int * int) list;
-      (** acks only: selective acknowledgement blocks [start, stop) of
-          segments held above the cumulative ack, at most 3 (the option
-          space of a real SACK header) *)
-}
+type t
 
 val data_wire_bytes : int
 (** 1500 *)
@@ -44,8 +33,32 @@ val payload_bytes : int
 val ack_wire_bytes : int
 (** 60 *)
 
+(** {1 Packed-field ranges}
+
+    Construction range-checks every header field; the limits are chosen
+    so both packed words stay within OCaml's 63-bit immediate ints. *)
+
+val max_flow : int
+(** flows: 30 bits *)
+
+val max_subflow : int
+(** subflows: 12 bits *)
+
+val max_host : int
+(** src/dst host ids: 20 bits *)
+
+val max_path : int
+(** path selectors: 10 bits *)
+
+val max_seq : int
+(** sequence numbers: 31 bits *)
+
+val max_ece : int
+(** echoed CE count: 16 bits *)
+
+(** {1 Constructors (pool acquires)} *)
+
 val data :
-  uid:int ->
   flow:int ->
   subflow:int ->
   src:int ->
@@ -59,7 +72,6 @@ val data :
 
 val ack :
   ?sack:(int * int) list ->
-  uid:int ->
   flow:int ->
   subflow:int ->
   src:int ->
@@ -70,6 +82,101 @@ val ack :
   ts:Xmp_engine.Time.t ->
   unit ->
   t
-(** ACKs are not ECN-capable (per RFC 3168, ACKs are sent non-ECT). *)
+(** ACKs are not ECN-capable (per RFC 3168, ACKs are sent non-ECT).
+    [sack] is a convenience for tests; the transport's hot path fills
+    blocks with {!add_sack_block} instead. *)
+
+val release : t -> unit
+(** Returns the record to the current domain's pool. Raises
+    [Invalid_argument] on a double release. *)
+
+val dummy : t
+(** A shared placeholder for preallocated slots (queue rings, wire
+    registers). It never circulates: releasing it raises, and its fields
+    read as zeros. *)
+
+val pool_created : unit -> int
+(** Records ever created by the current domain's pool (grows only when
+    the pool runs dry). *)
+
+val pool_free : unit -> int
+(** Records currently available for reuse in the current domain's pool. *)
+
+(** {1 Accessors} *)
+
+val flow : t -> int
+val subflow : t -> int
+
+val src : t -> int
+val dst : t -> int
+
+val path : t -> int
+(** path selector: models the destination address choice that steers a
+    subflow onto one of the equal-cost paths *)
+
+val kind : t -> kind
+val is_ack : t -> bool
+
+val size : t -> int
+(** bytes on the wire, derived from the kind *)
+
+val seq : t -> int
+(** data: segment index; ack: cumulative acknowledgement (the next
+    expected segment) *)
+
+val ect : t -> bool
+(** ECN-capable transport codepoint *)
+
+val ce : t -> bool
+(** Congestion Experienced, set by switches via {!set_ce} *)
+
+val set_ce : t -> unit
+
+val cwr : t -> bool
+(** data only: Congestion Window Reduced (classic ECN) *)
+
+val ece_count : t -> int
+(** acks only: number of CE marks echoed by this ack. The paper's 2-bit
+    ECE/CWR encoding caps this at 3 for XMP. *)
+
+val ts : t -> Xmp_engine.Time.t
+(** data: send timestamp; ack: echoed timestamp for RTT sampling *)
+
+val endpoint_key : t -> int
+(** The packet's (dst, flow, subflow) triple packed exactly as
+    {!Network.Endpoint_key.pack} lays it out — endpoint dispatch reads
+    the key straight out of the header word. *)
+
+(** {1 SACK blocks}
+
+    acks only: selective acknowledgement blocks [start, stop) of segments
+    held above the cumulative ack, at most 3 (the option space of a real
+    SACK header). *)
+
+val sack_count : t -> int
+
+val sack_start : t -> int -> int
+(** [sack_start p i] for [i < sack_count p]; block bounds are 31-bit. *)
+
+val sack_stop : t -> int -> int
+
+val add_sack_block : t -> start:int -> stop:int -> unit
+(** Appends a block; raises [Invalid_argument] past the third block or
+    on bounds outside 31 bits. *)
+
+val sack : t -> (int * int) list
+(** The blocks as a list (allocates — tests and pretty-printers only). *)
+
+(** {1 Cross-domain image}
+
+    A shard boundary copies the packet's words into an immutable [image],
+    releases the original into the sending domain's pool, and rebuilds
+    with {!of_image} from the receiving domain's pool. *)
+
+type image
+
+val image : t -> image
+
+val of_image : image -> t
 
 val pp : Format.formatter -> t -> unit

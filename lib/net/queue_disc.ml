@@ -30,7 +30,8 @@ type telem = {
 type t = {
   policy : policy;
   capacity : int;
-  q : Packet.t Queue.t;
+  ring : Packet.t array;  (* circular FIFO of [capacity] slots *)
+  mutable head : int;  (* index of the next packet to dequeue *)
   mutable len : int;
   mutable enqueued : int;
   mutable dropped : int;
@@ -51,7 +52,8 @@ let create ~policy ~capacity_pkts =
   {
     policy;
     capacity = capacity_pkts;
-    q = Queue.create ();
+    ring = Array.make capacity_pkts Packet.dummy;
+    head = 0;
     len = 0;
     enqueued = 0;
     dropped = 0;
@@ -96,16 +98,16 @@ let capacity t = t.capacity
 let length t = t.len
 
 let mark t (p : Packet.t) =
-  if p.ect && not p.ce then begin
-    p.ce <- true;
+  if Packet.ect p && not (Packet.ce p) then begin
+    Packet.set_ce p;
     t.marked <- t.marked + 1;
     (match t.telem with
     | Some tl ->
       Tel.Metric.Counter.inc tl.c_marked;
       Tel.Sink.event tl.sink ~time_ns:(tl.now ())
         (Tel.Event.Ce_mark
-           { queue = tl.queue; flow = p.flow; subflow = p.subflow;
-             depth = t.len })
+           { queue = tl.queue; flow = Packet.flow p;
+             subflow = Packet.subflow p; depth = t.len })
     | None -> ());
     match t.on_mark with Some f -> f p | None -> ()
   end
@@ -141,7 +143,9 @@ let red_decision t params =
   end
 
 let append t (p : Packet.t) =
-  Queue.push p t.q;
+  let tail = t.head + t.len in
+  let tail = if tail >= t.capacity then tail - t.capacity else tail in
+  t.ring.(tail) <- p;
   t.len <- t.len + 1;
   t.enqueued <- t.enqueued + 1;
   if t.len > t.max_len then t.max_len <- t.len;
@@ -151,13 +155,16 @@ let append t (p : Packet.t) =
     Tel.Metric.Histogram.add tl.h_depth (float_of_int t.len);
     Tel.Sink.event tl.sink ~time_ns:(tl.now ())
       (Tel.Event.Enqueue
-         { queue = tl.queue; flow = p.flow; subflow = p.subflow;
-           depth = t.len })
+         { queue = tl.queue; flow = Packet.flow p;
+           subflow = Packet.subflow p; depth = t.len })
   | None -> ());
-  Invariant.require ~name:"queue.occupancy-bounds"
-    (t.len >= 0 && t.len <= t.capacity) (fun () ->
-      Printf.sprintf "occupancy %d outside [0, %d]" t.len t.capacity)
+  if Invariant.enabled () then
+    Invariant.require ~name:"queue.occupancy-bounds"
+      (t.len >= 0 && t.len <= t.capacity) (fun () ->
+        Printf.sprintf "occupancy %d outside [0, %d]" t.len t.capacity)
 
+(* A dropped packet's life ends here: account it, let the hook observe it,
+   then return the record to the pool. *)
 let drop t (p : Packet.t) =
   t.dropped <- t.dropped + 1;
   (match t.telem with
@@ -165,10 +172,11 @@ let drop t (p : Packet.t) =
     Tel.Metric.Counter.inc tl.c_dropped;
     Tel.Sink.event tl.sink ~time_ns:(tl.now ())
       (Tel.Event.Drop
-         { queue = tl.queue; flow = p.flow; subflow = p.subflow;
-           depth = t.len })
+         { queue = tl.queue; flow = Packet.flow p;
+           subflow = Packet.subflow p; depth = t.len })
   | None -> ());
   (match t.on_drop with Some f -> f p | None -> ());
+  Packet.release p;
   false
 
 let enqueue t (p : Packet.t) =
@@ -192,20 +200,21 @@ let enqueue t (p : Packet.t) =
          a mark only ever happens above K, and above K every
          CE-markable packet is marked. *)
       let pre = t.len in
-      let ce_eligible = p.ect && not p.ce in
+      let ce_eligible = Packet.ect p && not (Packet.ce p) in
       let marked_before = t.marked in
       if pre > k then mark t p;
       append t p;
-      Invariant.require ~name:"queue.mark-above-threshold"
-        (if t.marked > marked_before then pre > k
-         else not (pre > k && ce_eligible))
-        (fun () ->
-          Printf.sprintf
-            "ECN decision at pre-enqueue occupancy %d disagrees with K=%d \
-             (marked %b, eligible %b)"
-            pre k
-            (t.marked > marked_before)
-            ce_eligible);
+      if Invariant.enabled () then
+        Invariant.require ~name:"queue.mark-above-threshold"
+          (if t.marked > marked_before then pre > k
+           else not (pre > k && ce_eligible))
+          (fun () ->
+            Printf.sprintf
+              "ECN decision at pre-enqueue occupancy %d disagrees with K=%d \
+               (marked %b, eligible %b)"
+              pre k
+              (t.marked > marked_before)
+              ce_eligible);
       true
     | Red params -> (
       match red_decision t params with
@@ -213,7 +222,7 @@ let enqueue t (p : Packet.t) =
         append t p;
         true
       | `Force ->
-        if params.mark_ecn && p.ect then begin
+        if params.mark_ecn && Packet.ect p then begin
           mark t p;
           append t p;
           true
@@ -239,22 +248,29 @@ let dequeue t =
       t.avg <-
         ((1. -. params.wq) *. t.avg) +. (params.wq *. float_of_int t.len)
     | Droptail | Threshold_mark _ -> ());
-    Invariant.require ~name:"queue.occupancy-bounds" (t.len >= 0) (fun () ->
-        Printf.sprintf "occupancy %d went negative" t.len);
-    let p = Queue.pop t.q in
+    if Invariant.enabled () then
+      Invariant.require ~name:"queue.occupancy-bounds" (t.len >= 0) (fun () ->
+          Printf.sprintf "occupancy %d went negative" t.len);
+    let p = t.ring.(t.head) in
+    t.head <- (if t.head + 1 >= t.capacity then 0 else t.head + 1);
     (match t.telem with
     | Some tl ->
       Tel.Sink.event tl.sink ~time_ns:(tl.now ())
         (Tel.Event.Dequeue
-           { queue = tl.queue; flow = p.flow; subflow = p.subflow;
-             depth = t.len })
+           { queue = tl.queue; flow = Packet.flow p;
+             subflow = Packet.subflow p; depth = t.len })
     | None -> ());
     Some p
   end
 
 let clear t =
   let n = t.len in
-  Queue.clear t.q;
+  for i = 0 to n - 1 do
+    let slot = t.head + i in
+    let slot = if slot >= t.capacity then slot - t.capacity else slot in
+    Packet.release t.ring.(slot)
+  done;
+  t.head <- 0;
   t.len <- 0;
   t.dropped <- t.dropped + n;
   n

@@ -1,0 +1,77 @@
+(** Pod-sharded parallel simulation: several {!Xmp_engine.Sim}/{!Network}
+    pairs advancing in lockstep epochs, coupled by portal links.
+
+    Each shard is an ordinary single-domain simulation. A {!portal} is a
+    directed cross-shard link: its serializer and egress queue run in the
+    source shard at the given rate, and its propagation delay is applied
+    across the epoch barrier — the packet is captured as an immutable
+    {!Packet.image} when it finishes serializing, released into the
+    sending domain's pool, and rebuilt from the receiving domain's pool
+    when it is injected.
+
+    {2 Epoch-barrier semantics}
+
+    The epoch length is the minimum portal delay Δ (the conservative
+    lookahead): epoch [e] simulates [[eΔ, (e+1)Δ)] in every shard, so any
+    mail emitted during epoch [e] carries an arrival timestamp of at
+    least [(e+1)Δ] and is injected at the barrier before the epoch that
+    contains it — no shard ever receives an event in its past.
+
+    {2 Determinism}
+
+    Shards are pinned to domains round-robin, each shard's event loop is
+    sequential, and the barrier merges all mail into one total order —
+    [(arrival, source shard, per-shard emission sequence)] — before
+    injection. That order fixes the destination sims' tie-breaking
+    sequence numbers, so a run with [domains:1] and a run with
+    [domains:N] produce byte-identical results. Nothing a shard computes
+    may depend on which domain hosts it (per-domain packet pools satisfy
+    this: pool identity never changes packet contents). *)
+
+type t
+
+val create : ?config:Xmp_engine.Sim.config -> shards:int -> unit -> t
+(** Each shard gets its own simulator seeded [config.seed + index] and
+    its own network. *)
+
+val n_shards : t -> int
+
+val net : t -> int -> Network.t
+
+val sim : t -> int -> Xmp_engine.Sim.t
+
+val portal :
+  t ->
+  ?tag:string ->
+  src:int * Node.t ->
+  dst:int * Node.t ->
+  rate:Units.rate ->
+  delay:Xmp_engine.Time.t ->
+  disc:(unit -> Queue_disc.t) ->
+  unit ->
+  Link.t
+(** [portal t ~src:(i, a) ~dst:(j, b) ~rate ~delay ~disc ()] wires a
+    directed cross-shard link from node [a] of shard [i] to node [b] of
+    shard [j], taking the next port number on [a] exactly as
+    {!Network.connect} would. [delay] must be positive: it is the
+    lookahead that bounds the epoch length. Raises [Invalid_argument] on
+    a same-shard portal or a non-positive delay. *)
+
+val epoch_delta : t -> Xmp_engine.Time.t
+(** The epoch length Δ (minimum portal delay); [Time.infinity] while no
+    portal exists. *)
+
+val run : ?domains:int -> ?until:Xmp_engine.Time.t -> t -> unit
+(** Advances every shard to [until] in Δ-sized epochs, injecting portal
+    mail at each barrier. [domains:1] (the default) runs the epochs on
+    the calling domain; [domains:n] spawns [n - 1] worker domains for
+    the duration of the call and shards are pinned round-robin. The
+    domain count never changes results (see the determinism notes
+    above). Idle stretches where no shard has events and no mail is in
+    flight are skipped in O(1). *)
+
+val events_executed : t -> int
+(** Sum of {!Xmp_engine.Sim.events_executed} over the shards. *)
+
+val mail_injected : t -> int
+(** Portal packets carried across barriers so far. *)

@@ -74,20 +74,20 @@ let create ~net ~n_left ~n_right ~bottlenecks
   let is_left id = id >= left_base && id < left_base + n_left in
   let is_right id = id >= right_base && id < right_base + n_right in
   (* Hosts: the access port toward bottleneck [path] is port [path]. *)
-  Array.iter (fun h -> Node.set_route h (fun p -> p.Packet.path)) left;
-  Array.iter (fun h -> Node.set_route h (fun p -> p.Packet.path)) right;
+  Array.iter (fun h -> Node.set_route h (fun p -> Packet.path p)) left;
+  Array.iter (fun h -> Node.set_route h (fun p -> Packet.path p)) right;
   (* IN_j: packets for left hosts came back over the bottleneck and go down
      the matching access port; everything else crosses the bottleneck
      (port [n_left]). *)
   Array.iter
     (fun sw ->
       Node.set_route sw (fun p ->
-          if is_left p.Packet.dst then p.Packet.dst - left_base else n_left))
+          if is_left (Packet.dst p) then Packet.dst p - left_base else n_left))
     in_sw;
   Array.iter
     (fun sw ->
       Node.set_route sw (fun p ->
-          if is_right p.Packet.dst then p.Packet.dst - right_base
+          if is_right (Packet.dst p) then Packet.dst p - right_base
           else n_right))
     out_sw;
   {

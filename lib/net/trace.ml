@@ -52,9 +52,9 @@ let record t kind ~where (p : Packet.t) =
           kind;
           where;
           packet = Format.asprintf "%a" Packet.pp p;
-          flow = p.flow;
-          subflow = p.subflow;
-          seq = p.seq;
+          flow = Packet.flow p;
+          subflow = Packet.subflow p;
+          seq = Packet.seq p;
         }
         :: t.events;
       t.stored <- t.stored + 1

@@ -57,6 +57,15 @@ type t = {
   path : int;
   src_node : Node.t;
   dst_node : Node.t;
+  (* Receiver half. In split mode ([rcv_net] differs from [net]) the
+     receiver lives on another shard: its endpoint registers on
+     [rcv_net], its timers run on [rcv_sim], and no mutable field is
+     touched by both halves — the sender and receiver then communicate
+     through packets alone, which keeps a cross-shard flow free of
+     cross-domain data races. *)
+  rcv_net : Network.t;
+  rcv_sim : Sim.t;
+  split : bool;
   mutable cc : Cc.t;
   est : Rtt_estimator.t;
   source : source;
@@ -81,6 +90,9 @@ type t = {
   mutable rto_deadline : Time.t;
   mutable watchdog_time : Time.t;  (* fire time of the live watchdog *)
   mutable watchdog : Sim.timer option;  (* the live watchdog's handle *)
+  mutable wd_fire : unit -> unit;
+      (* the watchdog body, allocated once — rescheduling the chased
+         deadline then costs no closure *)
   mutable torn_down : bool;
   mutable completed_at : Time.t option;
   (* receiver *)
@@ -90,6 +102,11 @@ type t = {
   mutable ece_latched : bool;
   mutable delack_pending : int;
   mutable delack_timer : Sim.timer option;
+  mutable delack_fire : unit -> unit;  (* allocated once, like [wd_fire] *)
+  mutable rcv_closed : bool;
+      (* receiver-owned teardown mark; mirrors [torn_down] in same-net
+         mode and stays false for a split receiver (which outlives the
+         sender half and simply dead-letters late arrivals) *)
   mutable last_ts : Time.t;
   (* stats *)
   mutable segments_sent : int;
@@ -132,14 +149,20 @@ let source_drained t =
 let teardown t =
   if not t.torn_down then begin
     t.torn_down <- true;
-    (match t.delack_timer with Some tm -> Sim.cancel tm | None -> ());
-    t.delack_timer <- None;
+    if not t.split then begin
+      (match t.delack_timer with Some tm -> Sim.cancel tm | None -> ());
+      t.delack_timer <- None;
+      t.rcv_closed <- true
+    end;
     (match t.watchdog with Some tm -> Sim.cancel tm | None -> ());
     t.watchdog <- None;
     Network.unregister_endpoint t.net ~host:t.src ~flow:t.flow
       ~subflow:t.subflow;
-    Network.unregister_endpoint t.net ~host:t.dst ~flow:t.flow
-      ~subflow:t.subflow
+    (* a split receiver's registration belongs to another shard's network
+       (and domain); it stays registered and late packets dead-letter *)
+    if not t.split then
+      Network.unregister_endpoint t.rcv_net ~host:t.dst ~flow:t.flow
+        ~subflow:t.subflow
   end
 
 let complete t =
@@ -157,9 +180,8 @@ let send_data t ~seq ~retx =
   let now = Sim.now t.sim in
   let cwr = (not retx) && t.cc.Cc.take_cwr () in
   let p =
-    Packet.data ~uid:(Network.fresh_uid t.net) ~flow:t.flow
-      ~subflow:t.subflow ~src:t.src ~dst:t.dst ~path:t.path ~seq
-      ~ect:t.config.ect ~cwr ~ts:now
+    Packet.data ~flow:t.flow ~subflow:t.subflow ~src:t.src ~dst:t.dst
+      ~path:t.path ~seq ~ect:t.config.ect ~cwr ~ts:now
   in
   if retx then begin
     t.retransmits <- t.retransmits + 1;
@@ -181,12 +203,12 @@ let send_data t ~seq ~retx =
    event, which the event heap's lazy-deletion compaction then reaps —
    so a long transfer keeps O(1) watchdog entries pending instead of one
    per reschedule aging out at full RTO depth. *)
-let rec schedule_watchdog t at =
+let schedule_watchdog t at =
   (match t.watchdog with Some tm -> Sim.cancel tm | None -> ());
   t.watchdog_time <- at;
-  t.watchdog <- Some (Sim.timer_at t.sim at (fun () -> watchdog_fire t))
+  t.watchdog <- Some (Sim.timer_at t.sim at t.wd_fire)
 
-and watchdog_fire t =
+let rec watchdog_fire t =
   t.watchdog <- None;
   if not t.torn_down then begin
     t.watchdog_time <- Time.infinity;
@@ -225,14 +247,16 @@ and refresh_rto t =
 
 and send_pending t =
   if not t.torn_down then begin
-    Invariant.require ~name:"tcp.cwnd-at-least-one-mss"
-      (t.cc.Cc.cwnd () >= 1.) (fun () ->
-        Printf.sprintf "flow %d subflow %d: %s cwnd %.3f < 1 segment" t.flow
-          t.subflow t.cc.Cc.name (t.cc.Cc.cwnd ()));
-    Invariant.require ~name:"tcp.inflight-conservation"
-      (t.snd_una <= t.snd_nxt && t.snd_nxt <= t.snd_max) (fun () ->
-        Printf.sprintf "flow %d subflow %d: una=%d nxt=%d max=%d" t.flow
-          t.subflow t.snd_una t.snd_nxt t.snd_max);
+    if Invariant.enabled () then begin
+      Invariant.require ~name:"tcp.cwnd-at-least-one-mss"
+        (t.cc.Cc.cwnd () >= 1.) (fun () ->
+          Printf.sprintf "flow %d subflow %d: %s cwnd %.3f < 1 segment" t.flow
+            t.subflow t.cc.Cc.name (t.cc.Cc.cwnd ()));
+      Invariant.require ~name:"tcp.inflight-conservation"
+        (t.snd_una <= t.snd_nxt && t.snd_nxt <= t.snd_max) (fun () ->
+          Printf.sprintf "flow %d subflow %d: una=%d nxt=%d max=%d" t.flow
+            t.subflow t.snd_una t.snd_nxt t.snd_max)
+    end;
     let window = Stdlib.max 1 (int_of_float (t.cc.Cc.cwnd ())) in
     if flight t < window then begin
       (* skip segments the SACK scoreboard says the receiver already has *)
@@ -263,16 +287,20 @@ let send_loop = send_pending
 
 (* ----- receiver side ----- *)
 
-(* up to 3 maximal [start, stop) runs of out-of-order segments — the
-   reorder buffer already stores maximal runs, so this is a prefix walk,
-   not a rebuild-and-sort of every buffered segment *)
-let sack_blocks t =
-  if (not t.config.sack) || Seqset.is_empty t.rcv_ooo then []
-  else
-    let rec take n l =
-      match l with x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> []
+(* up to 3 maximal [start, stop) runs of out-of-order segments copied
+   into the ack's fixed SACK slots — the reorder buffer already stores
+   maximal runs, so this is a prefix walk that allocates nothing *)
+let fill_sack t p =
+  if t.config.sack && not (Seqset.is_empty t.rcv_ooo) then begin
+    let rec put n l =
+      match l with
+      | (start, stop) :: rest when n > 0 ->
+        Packet.add_sack_block p ~start ~stop;
+        put (n - 1) rest
+      | _ -> ()
     in
-    take 3 (Seqset.blocks t.rcv_ooo)
+    put 3 (Seqset.blocks t.rcv_ooo)
+  end
 
 let make_ack t =
   let ece_count =
@@ -287,9 +315,12 @@ let make_ack t =
       t.pending_ce <- t.pending_ce - n;
       n
   in
-  Packet.ack ~sack:(sack_blocks t) ~uid:(Network.fresh_uid t.net)
-    ~flow:t.flow ~subflow:t.subflow ~src:t.dst ~dst:t.src ~path:t.path
-    ~seq:t.rcv_nxt ~ece_count ~ts:t.last_ts ()
+  let p =
+    Packet.ack ~flow:t.flow ~subflow:t.subflow ~src:t.dst ~dst:t.src
+      ~path:t.path ~seq:t.rcv_nxt ~ece_count ~ts:t.last_ts ()
+  in
+  fill_sack t p;
+  p
 
 let send_ack t =
   (match t.delack_timer with Some tm -> Sim.cancel tm | None -> ());
@@ -302,23 +333,21 @@ let arm_delack t =
   | Some _ -> ()
   | None ->
     t.delack_timer <-
-      Some
-        (Sim.timer_after t.sim t.config.delack_timeout (fun () ->
-             t.delack_timer <- None;
-             if not t.torn_down then send_ack t))
+      Some (Sim.timer_after t.rcv_sim t.config.delack_timeout t.delack_fire)
 
 let receiver_rx t (p : Packet.t) =
   (* Echo the timestamp of the most recent arrival: re-ACKs triggered by
      retransmissions then carry a fresh timestamp, so the sender's RTT
      samples are never polluted by pre-loss history (the ambiguity Karn's
      rule exists for). *)
-  t.last_ts <- p.ts;
+  t.last_ts <- Packet.ts p;
   (match t.config.echo with
   | Classic ->
-    if p.cwr then t.ece_latched <- false;
-    if p.ce then t.ece_latched <- true
-  | Counted _ -> if p.ce then t.pending_ce <- t.pending_ce + 1);
-  if p.seq = t.rcv_nxt then begin
+    if Packet.cwr p then t.ece_latched <- false;
+    if Packet.ce p then t.ece_latched <- true
+  | Counted _ -> if Packet.ce p then t.pending_ce <- t.pending_ce + 1);
+  let seq = Packet.seq p in
+  if seq = t.rcv_nxt then begin
     t.rcv_nxt <- t.rcv_nxt + 1;
     (* the reorder buffer keeps maximal runs, so the whole contiguous
        stretch above the new rcv_nxt lifts out in one step *)
@@ -329,14 +358,14 @@ let receiver_rx t (p : Packet.t) =
     if t.delack_pending >= t.config.delack_segments then send_ack t
     else arm_delack t
   end
-  else if p.seq > t.rcv_nxt then begin
+  else if seq > t.rcv_nxt then begin
     (* buffer unless the reassembly queue is at its limit; beyond it the
        segment is treated as lost (the sender will retransmit), which
        bounds receiver state under sustained injected loss *)
     if
-      (not (Seqset.mem p.seq t.rcv_ooo))
+      (not (Seqset.mem seq t.rcv_ooo))
       && Seqset.cardinal t.rcv_ooo < t.config.reassembly_limit
-    then t.rcv_ooo <- Seqset.add p.seq t.rcv_ooo;
+    then t.rcv_ooo <- Seqset.add seq t.rcv_ooo;
     (* out of order: duplicate ACK right away so the sender can detect the
        loss with fast retransmit *)
     send_ack t
@@ -353,15 +382,15 @@ let receiver_rx t (p : Packet.t) =
 let ingest_sack t (p : Packet.t) =
   (* in-order traffic carries no blocks; skip the scoreboard-cardinal
      walks entirely rather than computing an unchanged count twice *)
-  if (not t.config.sack) || p.sack = [] then false
+  let n = Packet.sack_count p in
+  if (not t.config.sack) || n = 0 then false
   else begin
     let before = Seqset.cardinal t.sacked in
-    List.iter
-      (fun (start, stop) ->
-        let start = Stdlib.max start (t.snd_una + 1) in
-        if start < stop then
-          t.sacked <- Seqset.add_range ~start ~stop t.sacked)
-      p.sack;
+    for i = 0 to n - 1 do
+      let start = Stdlib.max (Packet.sack_start p i) (t.snd_una + 1) in
+      let stop = Packet.sack_stop p i in
+      if start < stop then t.sacked <- Seqset.add_range ~start ~stop t.sacked
+    done;
     Seqset.cardinal t.sacked > before
   end
 
@@ -404,21 +433,24 @@ let repair_hole t hole =
 
 let sender_rx t (p : Packet.t) =
   if not t.torn_down then begin
-    if p.ece_count > 0 then t.cc.Cc.on_ecn ~count:p.ece_count;
+    let ece_count = Packet.ece_count p in
+    if ece_count > 0 then t.cc.Cc.on_ecn ~count:ece_count;
     let sack_advanced = ingest_sack t p in
-    if p.seq > t.snd_una then begin
-      Invariant.require ~name:"tcp.ack-within-sent" (p.seq <= t.snd_max)
-        (fun () ->
-          Printf.sprintf "flow %d subflow %d: cumulative ACK %d beyond \
-                          snd_max %d"
-            t.flow t.subflow p.seq t.snd_max);
-      let newly = p.seq - t.snd_una in
-      t.snd_una <- p.seq;
-      if p.seq > t.snd_nxt then t.snd_nxt <- p.seq;
+    let ack = Packet.seq p in
+    if ack > t.snd_una then begin
+      if Invariant.enabled () then
+        Invariant.require ~name:"tcp.ack-within-sent" (ack <= t.snd_max)
+          (fun () ->
+            Printf.sprintf "flow %d subflow %d: cumulative ACK %d beyond \
+                            snd_max %d"
+              t.flow t.subflow ack t.snd_max);
+      let newly = ack - t.snd_una in
+      t.snd_una <- ack;
+      if ack > t.snd_nxt then t.snd_nxt <- ack;
       t.dupacks <- 0;
       prune_scoreboard t;
       let now = Sim.now t.sim in
-      let rtt = Time.sub now p.ts in
+      let rtt = Time.sub now (Packet.ts p) in
       if Time.compare rtt Time.zero >= 0 then begin
         Rtt_estimator.sample t.est rtt;
         (match t.h_rtt with
@@ -427,7 +459,7 @@ let sender_rx t (p : Packet.t) =
         t.on_rtt_sample rtt
       end;
       Rtt_estimator.reset_backoff t.est;
-      t.cc.Cc.on_ack ~ack:p.seq ~newly_acked:newly ~ce_count:p.ece_count;
+      t.cc.Cc.on_ack ~ack ~newly_acked:newly ~ce_count:ece_count;
       t.segments_acked <- t.segments_acked + newly;
       t.on_segment_acked newly;
       if t.in_recovery then begin
@@ -485,11 +517,13 @@ let sender_rx t (p : Packet.t) =
     end
   end
 
-let create ~net ~flow ~subflow ~src ~dst ~path ~cc
+let create ~net ?rcv_net ~flow ~subflow ~src ~dst ~path ~cc
     ?(config = default_config) ?(source = Infinite)
     ?(on_segment_acked = nop1) ?(on_rtt_sample = nop1)
     ?(on_complete = fun () -> ()) () =
   let sim = Network.sim net in
+  let rcv_net = match rcv_net with Some n -> n | None -> net in
+  let split = not (rcv_net == net) in
   let est =
     Rtt_estimator.create ~rto_min:config.rto_min ~rto_max:config.rto_max ()
   in
@@ -530,7 +564,10 @@ let create ~net ~flow ~subflow ~src ~dst ~path ~cc
       dst;
       path;
       src_node = Network.node net src;
-      dst_node = Network.node net dst;
+      dst_node = Network.node rcv_net dst;
+      rcv_net;
+      rcv_sim = Network.sim rcv_net;
+      split;
       cc = placeholder_cc;
       est;
       source;
@@ -546,6 +583,7 @@ let create ~net ~flow ~subflow ~src ~dst ~path ~cc
       rto_deadline = Time.infinity;
       watchdog_time = Time.infinity;
       watchdog = None;
+      wd_fire = ignore;
       torn_down = false;
       completed_at = None;
       rcv_nxt = 0;
@@ -554,6 +592,8 @@ let create ~net ~flow ~subflow ~src ~dst ~path ~cc
       ece_latched = false;
       delack_pending = 0;
       delack_timer = None;
+      delack_fire = ignore;
+      rcv_closed = false;
       last_ts = Time.zero;
       segments_sent = 0;
       segments_acked = 0;
@@ -583,8 +623,13 @@ let create ~net ~flow ~subflow ~src ~dst ~path ~cc
     }
   in
   t.cc <- cc view;
+  t.wd_fire <- (fun () -> watchdog_fire t);
+  t.delack_fire <-
+    (fun () ->
+      t.delack_timer <- None;
+      if not t.rcv_closed then send_ack t);
   Network.register_endpoint net ~host:src ~flow ~subflow (sender_rx t);
-  Network.register_endpoint net ~host:dst ~flow ~subflow (receiver_rx t);
+  Network.register_endpoint rcv_net ~host:dst ~flow ~subflow (receiver_rx t);
   send_loop t;
   t
 

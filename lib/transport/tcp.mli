@@ -58,6 +58,7 @@ type t
 
 val create :
   net:Xmp_net.Network.t ->
+  ?rcv_net:Xmp_net.Network.t ->
   flow:int ->
   subflow:int ->
   src:int ->
@@ -74,7 +75,14 @@ val create :
 (** Registers both endpoints and starts sending immediately (wrap in
     [Sim.at] for deferred starts). [source] defaults to [Infinite].
     [on_complete] fires once, when a [Limited] source is exhausted and
-    every segment is acknowledged; the connection then tears down. *)
+    every segment is acknowledged; the connection then tears down.
+
+    [rcv_net] places the receiver half on a different network (a sharded
+    run's destination shard): the data endpoint registers there, its
+    delayed-ACK timer runs on that network's simulator, and the two
+    halves share no timers — only packets — so each shard's domain
+    touches only its own half. The receiver half stays registered after
+    teardown in this mode (late cross-shard arrivals dead-letter). *)
 
 val stop : t -> unit
 (** Tears the connection down without completing it (cancels timers,

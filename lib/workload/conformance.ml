@@ -60,14 +60,14 @@ let episodes =
 
 let schemes =
   [
-    Scheme.Dctcp;
-    Scheme.Reno;
-    Scheme.Lia 2;
-    Scheme.Olia 2;
-    Scheme.Xmp 2;
-    Scheme.Balia 2;
-    Scheme.Veno 2;
-    Scheme.Amp 2;
+    Scheme.dctcp;
+    Scheme.reno;
+    Scheme.lia 2;
+    Scheme.olia 2;
+    Scheme.xmp 2;
+    Scheme.balia 2;
+    Scheme.veno 2;
+    Scheme.amp 2;
   ]
 
 type sub = { cc : Cc.t; una : int ref; nxt : int ref }
@@ -140,6 +140,30 @@ let step_name = function
   | Timeout -> "rto"
   | Sibling_ack k -> Printf.sprintf "sib:%d" k
 
+type sample = {
+  step_idx : int;
+  step : step;
+  cwnd0 : float;
+  total : float;
+  slow_start0 : bool;
+}
+
+(* The rig persists across calls, so episodes concatenate: running
+   "timeout" after "ecn" continues from the post-ecn state, which is
+   what the order-randomized safety fuzz leans on. *)
+let run_episode rig episode =
+  List.mapi
+    (fun step_idx step ->
+      apply rig step;
+      {
+        step_idx;
+        step;
+        cwnd0 = cwnd rig 0;
+        total = total_cwnd rig;
+        slow_start0 = in_slow_start rig 0;
+      })
+    episode.steps
+
 (* One trace line per step: subflow-0 cwnd and the aggregate window,
    %.6g so the text is stable across runs and platforms. *)
 let render_episode scheme episode =
@@ -147,13 +171,12 @@ let render_episode scheme episode =
   Buffer.add_string buf
     (Printf.sprintf "# %s %s\n" (Scheme.name scheme) episode.ep_name);
   let rig = make_rig scheme in
-  List.iteri
-    (fun idx step ->
-      apply rig step;
+  List.iter
+    (fun s ->
       Buffer.add_string buf
-        (Printf.sprintf "%3d %-6s %.6g %.6g\n" idx (step_name step)
-           (cwnd rig 0) (total_cwnd rig)))
-    episode.steps;
+        (Printf.sprintf "%3d %-6s %.6g %.6g\n" s.step_idx (step_name s.step)
+           s.cwnd0 s.total))
+    (run_episode rig episode);
   Buffer.contents buf
 
 let render_all () =

@@ -53,6 +53,20 @@ val in_slow_start : rig -> int -> bool
 
 val total_cwnd : rig -> float
 
+type sample = {
+  step_idx : int;  (** position within the episode *)
+  step : step;
+  cwnd0 : float;  (** subflow-0 window after the step *)
+  total : float;  (** aggregate window after the step *)
+  slow_start0 : bool;  (** subflow 0 still in slow start *)
+}
+
+val run_episode : rig -> episode -> sample list
+(** Applies every step of [episode] to [rig] in order and returns one
+    sample per step. The rig keeps its state, so successive calls
+    concatenate episodes — run them in any order against one rig to
+    check that safety properties are order-independent. *)
+
 val render_episode : Scheme.t -> episode -> string
 (** The golden cwnd trace: one line per step with the step label,
     subflow-0 window and aggregate window ([%.6g]). *)

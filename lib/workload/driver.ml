@@ -79,7 +79,7 @@ let default_config =
     beta = 4;
     rto_min = Time.ms 200;
     sack = false;
-    assignment = Uniform (Scheme.Xmp 2);
+    assignment = Uniform (Scheme.xmp 2);
     pattern = permutation_scaled;
     rtt_subsample = 16;
     faults = Xmp_engine.Fault_spec.empty;
@@ -192,7 +192,7 @@ let launch_small ctx ~src ~dst ~size_segments ~on_complete =
        ~dst:(Fat_tree.host_id ctx.ft dst)
        ~paths ~size_segments
        ~observer:{ Scheme.silent with on_complete = (fun _ -> on_complete ()) }
-       Scheme.Reno)
+       Scheme.reno)
 
 let uniform_size ctx ~min_segments ~max_segments =
   min_segments + Random.State.int ctx.rng (max_segments - min_segments + 1)
@@ -334,9 +334,18 @@ let run cfg =
       ()
   in
   let net = Network.create sim in
+  (* under a uniform assignment a scheme tuned for a specific marking
+     threshold K (e.g. "XMP-2:k=20") gets the fabric configured to
+     match; a split assignment keeps the config's fabric-wide value *)
+  let marking =
+    match cfg.assignment with
+    | Uniform s ->
+      Option.value (Scheme.marking_threshold s) ~default:cfg.marking_threshold
+    | Split _ -> cfg.marking_threshold
+  in
   let disc () =
     Queue_disc.create
-      ~policy:(Queue_disc.Threshold_mark cfg.marking_threshold)
+      ~policy:(Queue_disc.Threshold_mark marking)
       ~capacity_pkts:cfg.queue_pkts
   in
   let ft = Fat_tree.create ~net ~k:cfg.k ~disc () in

@@ -3,34 +3,114 @@ module Tcp = Xmp_transport.Tcp
 module Coupling = Xmp_mptcp.Coupling
 module Mptcp_flow = Xmp_mptcp.Mptcp_flow
 
-type t =
-  | Dctcp
-  | Reno
-  | Lia of int
-  | Olia of int
-  | Xmp of int
-  | Balia of int
-  | Veno of int
-  | Amp of int
+type kind = Dctcp | Reno | Lia | Olia | Xmp | Balia | Veno | Amp
 
-let name = function
+type ect_mode = Counted | Classic
+
+type tunables = {
+  xmp_beta : int option;
+  xmp_k : int option;
+  veno_beta : float option;
+  amp_ect : ect_mode;
+}
+
+let default_tunables =
+  { xmp_beta = None; xmp_k = None; veno_beta = None; amp_ect = Counted }
+
+type t = { kind : kind; subflows : int; tunables : tunables }
+
+(* ----- constructors ----- *)
+
+let make kind subflows tunables =
+  if subflows < 1 then
+    invalid_arg
+      (Printf.sprintf "Scheme: subflow count must be >= 1, got %d" subflows);
+  { kind; subflows; tunables }
+
+let dctcp = make Dctcp 1 default_tunables
+
+let reno = make Reno 1 default_tunables
+
+let lia n = make Lia n default_tunables
+
+let olia n = make Olia n default_tunables
+
+let balia n = make Balia n default_tunables
+
+let xmp ?beta ?k n =
+  Option.iter
+    (fun b ->
+      if b < 2 then
+        invalid_arg (Printf.sprintf "Scheme.xmp: beta must be >= 2, got %d" b))
+    beta;
+  Option.iter
+    (fun k ->
+      if k < 1 then
+        invalid_arg (Printf.sprintf "Scheme.xmp: k must be >= 1, got %d" k))
+    k;
+  make Xmp n { default_tunables with xmp_beta = beta; xmp_k = k }
+
+(* a Veno beta must survive "%g" printing in plain decimal so
+   [of_name (name t) = Some t]: the strict grammar has no exponents *)
+let plain_decimal s =
+  let digits sub = String.length sub > 0 && String.for_all (fun c -> c >= '0' && c <= '9') sub in
+  match String.index_opt s '.' with
+  | None -> digits s
+  | Some i ->
+    digits (String.sub s 0 i)
+    && digits (String.sub s (i + 1) (String.length s - i - 1))
+
+let veno ?beta n =
+  Option.iter
+    (fun b ->
+      let img = Printf.sprintf "%g" b in
+      if not (b > 0. && plain_decimal img && float_of_string img = b) then
+        invalid_arg
+          (Printf.sprintf
+             "Scheme.veno: beta must be positive and print exactly in plain \
+              decimal, got %h" b))
+    beta;
+  make Veno n { default_tunables with veno_beta = beta }
+
+let amp ?(ect = Counted) n = make Amp n { default_tunables with amp_ect = ect }
+
+(* ----- names ----- *)
+
+let base_name t =
+  match t.kind with
   | Dctcp -> "DCTCP"
   | Reno -> "TCP"
-  | Lia n -> Printf.sprintf "LIA-%d" n
-  | Olia n -> Printf.sprintf "OLIA-%d" n
-  | Xmp n -> Printf.sprintf "XMP-%d" n
-  | Balia n -> Printf.sprintf "BALIA-%d" n
-  | Veno n -> Printf.sprintf "VENO-%d" n
-  | Amp n -> Printf.sprintf "AMP-%d" n
+  | Lia -> Printf.sprintf "LIA-%d" t.subflows
+  | Olia -> Printf.sprintf "OLIA-%d" t.subflows
+  | Xmp -> Printf.sprintf "XMP-%d" t.subflows
+  | Balia -> Printf.sprintf "BALIA-%d" t.subflows
+  | Veno -> Printf.sprintf "VENO-%d" t.subflows
+  | Amp -> Printf.sprintf "AMP-%d" t.subflows
+
+(* non-default tunables in a fixed key order, making the name canonical *)
+let opt_strings t =
+  let u = t.tunables in
+  match t.kind with
+  | Xmp ->
+    List.filter_map Fun.id
+      [
+        Option.map (Printf.sprintf "beta=%d") u.xmp_beta;
+        Option.map (Printf.sprintf "k=%d") u.xmp_k;
+      ]
+  | Veno ->
+    List.filter_map Fun.id [ Option.map (Printf.sprintf "beta=%g") u.veno_beta ]
+  | Amp -> ( match u.amp_ect with Counted -> [] | Classic -> [ "ect=classic" ])
+  | Dctcp | Reno | Lia | Olia | Balia -> []
+
+let name t =
+  match opt_strings t with
+  | [] -> base_name t
+  | opts -> base_name t ^ ":" ^ String.concat "," opts
 
 let multipath_prefixes =
   [
-    ("LIA", fun n -> Lia n);
-    ("OLIA", fun n -> Olia n);
-    ("XMP", fun n -> Xmp n);
-    ("BALIA", fun n -> Balia n);
-    ("VENO", fun n -> Veno n);
-    ("AMP", fun n -> Amp n);
+    ("LIA", Lia); ("OLIA", Olia); ("XMP", Xmp); ("BALIA", Balia);
+    ("VENO", Veno); ("AMP", Amp);
   ]
 
 (* strict decimal suffix: [int_of_string_opt] alone would admit "0x2",
@@ -40,33 +120,84 @@ let decimal_opt s =
   then int_of_string_opt s
   else None
 
-let of_name s =
-  let s = String.uppercase_ascii (String.trim s) in
-  let multipath (prefix, mk) =
+let decimal_float_opt s = if plain_decimal s then float_of_string_opt s else None
+
+let split_on_first c s =
+  match String.index_opt s c with
+  | None -> (s, None)
+  | Some i ->
+    (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+
+let base_of_name s =
+  let multipath (prefix, kind) =
     let plen = String.length prefix in
     if
       String.length s > plen + 1
       && String.sub s 0 (plen + 1) = prefix ^ "-"
     then
-      match decimal_opt (String.sub s (plen + 1) (String.length s - plen - 1)) with
-      | Some n when n >= 1 -> Some (mk n)
+      match
+        decimal_opt (String.sub s (plen + 1) (String.length s - plen - 1))
+      with
+      | Some n when n >= 1 -> Some (kind, n)
       | Some _ | None -> None
     else None
   in
   match s with
-  | "DCTCP" -> Some Dctcp
-  | "TCP" | "RENO" -> Some Reno
+  | "DCTCP" -> Some (Dctcp, 1)
+  | "TCP" | "RENO" -> Some (Reno, 1)
   | _ -> List.find_map multipath multipath_prefixes
 
-let n_subflows = function
-  | Dctcp | Reno -> 1
-  | Lia n | Olia n | Xmp n | Balia n | Veno n | Amp n -> n
+(* keys are per-kind; a key may appear at most once; the fold threads
+   [tunables option] so any violation collapses to [None] *)
+let apply_opt kind acc kv =
+  Option.bind acc (fun u ->
+      match (kind, split_on_first '=' kv) with
+      | Xmp, ("BETA", Some v) when u.xmp_beta = None ->
+        Option.bind (decimal_opt v) (fun b ->
+            if b >= 2 then Some { u with xmp_beta = Some b } else None)
+      | Xmp, ("K", Some v) when u.xmp_k = None ->
+        Option.bind (decimal_opt v) (fun k ->
+            if k >= 1 then Some { u with xmp_k = Some k } else None)
+      | Veno, ("BETA", Some v) when u.veno_beta = None ->
+        Option.bind (decimal_float_opt v) (fun b ->
+            if b > 0. && float_of_string (Printf.sprintf "%g" b) = b then
+              Some { u with veno_beta = Some b }
+            else None)
+      | Amp, ("ECT", Some "CLASSIC") when u.amp_ect = Counted ->
+        Some { u with amp_ect = Classic }
+      | _ -> None)
 
-let is_multipath t = n_subflows t > 1
+let of_name s =
+  let s = String.uppercase_ascii (String.trim s) in
+  let base, opts = split_on_first ':' s in
+  match base_of_name base with
+  | None -> None
+  | Some (kind, subflows) -> (
+    let tunables =
+      match opts with
+      | None -> Some default_tunables
+      | Some "" -> None (* a trailing ":" names nothing *)
+      | Some o ->
+        List.fold_left (apply_opt kind) (Some default_tunables)
+          (String.split_on_char ',' o)
+    in
+    match tunables with
+    | Some u -> Some (make kind subflows u)
+    | None -> None)
 
-let uses_ecn = function
-  | Dctcp | Xmp _ | Amp _ -> true
-  | Reno | Lia _ | Olia _ | Balia _ | Veno _ -> false
+(* ----- properties ----- *)
+
+let n_subflows t = t.subflows
+
+let is_multipath t = t.subflows > 1
+
+let uses_ecn t =
+  match t.kind with
+  | Dctcp | Xmp | Amp -> true
+  | Reno | Lia | Olia | Balia | Veno -> false
+
+let marking_threshold t =
+  match t.kind with Xmp -> t.tunables.xmp_k | _ -> None
 
 type transport_overrides = { rto_min : Time.t; beta : int; sack : bool }
 
@@ -74,28 +205,33 @@ let default_overrides = { rto_min = Time.ms 200; beta = 4; sack = false }
 
 let tcp_config t overrides =
   let base =
-    match t with
-    | Xmp _ -> Xmp_core.Xmp.tcp_config
-    | Dctcp | Amp _ -> Xmp_core.Xmp.dctcp_tcp_config
-    | Reno | Lia _ | Olia _ | Balia _ | Veno _ -> Xmp_core.Xmp.plain_tcp_config
+    match t.kind with
+    | Xmp -> Xmp_core.Xmp.tcp_config
+    | Dctcp -> Xmp_core.Xmp.dctcp_tcp_config
+    | Amp -> (
+      match t.tunables.amp_ect with
+      | Counted -> Xmp_core.Xmp.dctcp_tcp_config
+      | Classic -> { Xmp_core.Xmp.dctcp_tcp_config with Tcp.echo = Tcp.Classic })
+    | Reno | Lia | Olia | Balia | Veno -> Xmp_core.Xmp.plain_tcp_config
   in
   { base with Tcp.rto_min = overrides.rto_min; sack = overrides.sack }
 
 let coupling t overrides =
-  match t with
+  match t.kind with
   | Dctcp ->
     Coupling.uncoupled ~name:"dctcp" (fun view ->
         Xmp_transport.Dctcp.make view)
   | Reno ->
     Coupling.uncoupled ~name:"reno" (fun view ->
         Xmp_transport.Reno.make view)
-  | Lia _ -> Xmp_mptcp.Lia.coupling ()
-  | Olia _ -> Xmp_mptcp.Olia.coupling ()
-  | Balia _ -> Xmp_mptcp.Balia.coupling ()
-  | Veno _ -> Xmp_mptcp.Veno.coupling ()
-  | Amp _ -> Xmp_mptcp.Amp.coupling ()
-  | Xmp _ ->
-    let params = { Xmp_core.Bos.default_params with beta = overrides.beta } in
+  | Lia -> Xmp_mptcp.Lia.coupling ()
+  | Olia -> Xmp_mptcp.Olia.coupling ()
+  | Balia -> Xmp_mptcp.Balia.coupling ()
+  | Veno -> Xmp_mptcp.Veno.coupling ?beta_pkts:t.tunables.veno_beta ()
+  | Amp -> Xmp_mptcp.Amp.coupling ()
+  | Xmp ->
+    let beta = Option.value t.tunables.xmp_beta ~default:overrides.beta in
+    let params = { Xmp_core.Bos.default_params with beta } in
     Xmp_core.Trash.coupling ~params ()
 
 type observer = Mptcp_flow.observer = {

@@ -1,31 +1,104 @@
 (** The data-transfer schemes the paper evaluates, unified behind one
-    launcher. The trailing digit in names like "XMP-2" is the number of
-    subflows a large flow establishes (§5.2.2). *)
+    launcher. A scheme is a {e kind} (the congestion controller), a
+    subflow count, and a set of typed per-scheme tunables; values are
+    built by the smart constructors below, which validate ranges, and
+    print/parse through the strict [NAME-<subflows>[:key=val,...]]
+    grammar of {!name}/{!of_name}. *)
 
-type t =
+type kind =
   | Dctcp  (** single-path DCTCP over ECN switches *)
   | Reno  (** plain single-path TCP, loss-driven *)
-  | Lia of int  (** MPTCP with Linked Increases, n subflows *)
-  | Olia of int  (** MPTCP with OLIA, n subflows (extension) *)
-  | Xmp of int  (** MPTCP with XMP (BOS + TraSh), n subflows *)
-  | Balia of int  (** MPTCP with BALIA, n subflows (extension) *)
-  | Veno of int  (** MPTCP with MP-Veno, n subflows (extension) *)
-  | Amp of int  (** MPTCP with AMP (arXiv:1707.00322), n subflows *)
+  | Lia  (** MPTCP with Linked Increases *)
+  | Olia  (** MPTCP with OLIA (extension) *)
+  | Xmp  (** MPTCP with XMP (BOS + TraSh) *)
+  | Balia  (** MPTCP with BALIA (extension) *)
+  | Veno  (** MPTCP with MP-Veno (extension) *)
+  | Amp  (** MPTCP with AMP (arXiv:1707.00322) *)
+
+type ect_mode =
+  | Counted  (** DCTCP-style exact CE echo (AMP's default) *)
+  | Classic  (** RFC 3168: ECE latched until the sender's CWR *)
+
+type tunables = {
+  xmp_beta : int option;
+      (** XMP's window-reduction divisor β; [None] defers to the ambient
+          {!transport_overrides.beta} *)
+  xmp_k : int option;
+      (** the switch marking threshold K (packets) this scheme was tuned
+          for; carried so a driver can configure the fabric to match
+          (see {!marking_threshold}) *)
+  veno_beta : float option;
+      (** MP-Veno's backlog threshold β in segments; [None] means the
+          module default ({!Xmp_mptcp.Veno.beta_pkts}, 3) *)
+  amp_ect : ect_mode;  (** AMP's ECN echo mode (default [Counted]) *)
+}
+
+val default_tunables : tunables
+(** All-default: every option [None], [amp_ect = Counted]. *)
+
+type t = private { kind : kind; subflows : int; tunables : tunables }
+(** Private: build values with the constructors below so invariants
+    (subflow count ≥ 1, tunables only on the kind they apply to, names
+    that round-trip) hold by construction. Matching and field access
+    are unrestricted. *)
+
+(** {1 Constructors} *)
+
+val dctcp : t
+
+val reno : t
+
+val lia : int -> t
+
+val olia : int -> t
+
+val xmp : ?beta:int -> ?k:int -> int -> t
+(** [xmp ?beta ?k n] — XMP with [n] subflows. [beta ≥ 2] overrides the
+    ambient window-reduction divisor for this scheme's flows; [k ≥ 1]
+    records the marking threshold the scheme expects from the fabric. *)
+
+val balia : int -> t
+
+val veno : ?beta:float -> int -> t
+(** [veno ?beta n] — MP-Veno with [n] subflows. [beta] (> 0, in
+    segments) replaces the default backlog threshold of 3. It must
+    survive ["%g"] printing exactly (plain decimal, no exponent) so
+    {!name} round-trips; e.g. [2.5] is accepted, [1e-7] is not. *)
+
+val amp : ?ect:ect_mode -> int -> t
+(** [amp ?ect n] — AMP with [n] subflows, echoing CE marks in [ect]
+    mode (default [Counted]). *)
+
+(** {1 Names} *)
 
 val name : t -> string
-(** Paper-style name: "DCTCP", "TCP", "LIA-4", "XMP-2", "OLIA-2",
-    "BALIA-2", "VENO-2", "AMP-2". *)
+(** Paper-style name plus non-default tunables: "DCTCP", "TCP",
+    "LIA-4", "XMP-2", "XMP-2:beta=6,k=20", "VENO-2:beta=2.5",
+    "AMP-2:ect=classic". Keys appear in a fixed order and only when
+    they differ from the default, so the name is canonical. *)
 
 val of_name : string -> t option
-(** Inverse of {!name} (case-insensitive). The subflow suffix must be a
-    bare decimal ≥ 1 — trailing garbage ("XMP-2x"), signs, hex and
-    underscores are rejected. *)
+(** Inverse of {!name} (case-insensitive): strict
+    [NAME-<subflows>[:key=val,...]]. The subflow suffix must be a bare
+    decimal ≥ 1 — trailing garbage ("XMP-2x"), signs, hex and
+    underscores are rejected. Tunable keys must belong to the scheme
+    ([beta]/[k] for XMP, [beta] for VENO, [ect] for AMP), appear at
+    most once, and carry values in range; anything else is [None].
+    [of_name (name t) = Some t] for every [t]. *)
+
+(** {1 Properties} *)
 
 val n_subflows : t -> int
 
 val is_multipath : t -> bool
 
 val uses_ecn : t -> bool
+
+val marking_threshold : t -> int option
+(** The switch marking threshold K this scheme was tuned for (XMP's [k]
+    tunable) — [None] for every other scheme or when unset. Drivers use
+    it to override their fabric-wide threshold under a uniform
+    assignment. *)
 
 type transport_overrides = {
   rto_min : Xmp_engine.Time.t;
@@ -38,12 +111,15 @@ val default_overrides : transport_overrides
 
 val tcp_config : t -> transport_overrides -> Xmp_transport.Tcp.config
 (** The transport configuration this scheme runs with: ECT + capped echo
-    for XMP, ECT + exact echo for DCTCP and AMP, plain for the
+    for XMP, ECT + exact echo for DCTCP and AMP ([Counted]; AMP in
+    [Classic] mode uses RFC 3168 echo instead), plain for the
     loss-driven schemes (TCP/LIA/OLIA/BALIA/VENO). *)
 
 val coupling : t -> transport_overrides -> Xmp_mptcp.Coupling.t
 (** The coupled controller a flow of this scheme instantiates (exposed
-    so conformance rigs can drive it without a network). *)
+    so conformance rigs can drive it without a network). Scheme-level
+    tunables win over [overrides]: XMP's [beta] replaces
+    [overrides.beta], Veno's [beta] replaces the module default. *)
 
 type observer = Xmp_mptcp.Mptcp_flow.observer = {
   on_complete : Xmp_mptcp.Mptcp_flow.t -> unit;

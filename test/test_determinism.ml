@@ -36,7 +36,7 @@ let fat_tree_config =
     Driver.default_config with
     horizon = Time.ms 120;
     seed = 7;
-    assignment = Driver.Uniform (Scheme.Xmp 2);
+    assignment = Driver.Uniform (Scheme.xmp 2);
     pattern = Driver.Permutation { min_segments = 40; max_segments = 80 };
   }
 

@@ -38,7 +38,7 @@ let test_pure_incast_faster_than_loaded () =
         Driver.default_config with
         pattern;
         horizon = Time.ms 800;
-        assignment = Driver.Uniform (Scheme.Xmp 2);
+        assignment = Driver.Uniform (Scheme.xmp 2);
       }
     in
     let r = Driver.run cfg in
@@ -85,7 +85,7 @@ let test_permutation_paths_spread () =
   let cfg =
     {
       Driver.default_config with
-      assignment = Driver.Uniform (Scheme.Xmp 4);
+      assignment = Driver.Uniform (Scheme.xmp 4);
       pattern = Driver.Permutation { min_segments = 200; max_segments = 400 };
       horizon = Time.ms 500;
     }

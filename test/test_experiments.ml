@@ -106,20 +106,20 @@ let test_fatree_matrix_shape () =
     let r = E.Fatree_eval.result base scheme E.Fatree_eval.Permutation in
     Xmp_workload.Metrics.mean_goodput_bps r.Xmp_workload.Driver.metrics
   in
-  let xmp2 = gp (Xmp_workload.Scheme.Xmp 2) in
-  let dctcp = gp Xmp_workload.Scheme.Dctcp in
-  let lia2 = gp (Xmp_workload.Scheme.Lia 2) in
+  let xmp2 = gp (Xmp_workload.Scheme.xmp 2) in
+  let dctcp = gp Xmp_workload.Scheme.dctcp in
+  let lia2 = gp (Xmp_workload.Scheme.lia 2) in
   Alcotest.(check bool) "XMP-2 > DCTCP" true (xmp2 > dctcp);
   Alcotest.(check bool) "XMP-2 > LIA-2" true (xmp2 > lia2)
 
 let test_fatree_result_cached () =
   let base = { E.Fatree_eval.default_base with horizon = Time.ms 100 } in
   let r1 =
-    E.Fatree_eval.result base Xmp_workload.Scheme.Dctcp
+    E.Fatree_eval.result base Xmp_workload.Scheme.dctcp
       E.Fatree_eval.Permutation
   in
   let r2 =
-    E.Fatree_eval.result base Xmp_workload.Scheme.Dctcp
+    E.Fatree_eval.result base Xmp_workload.Scheme.dctcp
       E.Fatree_eval.Permutation
   in
   Alcotest.(check bool) "memoized (same object)" true (r1 == r2)
@@ -129,7 +129,7 @@ let test_fatree_cache_scoping () =
   Alcotest.(check int) "cleared" 0 (E.Fatree_eval.cache_size ());
   let base = { E.Fatree_eval.default_base with horizon = Time.ms 100 } in
   let r1 =
-    E.Fatree_eval.result base Xmp_workload.Scheme.Dctcp
+    E.Fatree_eval.result base Xmp_workload.Scheme.dctcp
       E.Fatree_eval.Permutation
   in
   Alcotest.(check int) "one entry" 1 (E.Fatree_eval.cache_size ());
@@ -138,7 +138,7 @@ let test_fatree_cache_scoping () =
     E.Fatree_eval.with_cache (fun () ->
         let before = E.Fatree_eval.cache_size () in
         let r =
-          E.Fatree_eval.result base Xmp_workload.Scheme.Dctcp
+          E.Fatree_eval.result base Xmp_workload.Scheme.dctcp
             E.Fatree_eval.Permutation
         in
         (before, r, E.Fatree_eval.cache_size ()))
@@ -149,7 +149,7 @@ let test_fatree_cache_scoping () =
   (* ...and restores the outer cache afterwards *)
   Alcotest.(check int) "outer cache restored" 1 (E.Fatree_eval.cache_size ());
   let r2 =
-    E.Fatree_eval.result base Xmp_workload.Scheme.Dctcp
+    E.Fatree_eval.result base Xmp_workload.Scheme.dctcp
       E.Fatree_eval.Permutation
   in
   Alcotest.(check bool) "outer entry survives" true (r1 == r2)
@@ -157,7 +157,7 @@ let test_fatree_cache_scoping () =
 let test_coexistence_direction () =
   let base = { E.Fatree_eval.default_base with horizon = Time.ms 500 } in
   let r =
-    E.Coexistence.run ~base ~partner:Xmp_workload.Scheme.Reno
+    E.Coexistence.run ~base ~partner:Xmp_workload.Scheme.reno
       ~queue_pkts:100 ()
   in
   Alcotest.(check bool) "XMP beats plain TCP" true

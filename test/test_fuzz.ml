@@ -157,7 +157,6 @@ let fat_tree_route_fuzz =
         Net.Node.send
           (Net.Network.node net (Net.Fat_tree.host_id ft src))
           (Net.Packet.data
-             ~uid:(Net.Network.fresh_uid net)
              ~flow:1 ~subflow:0
              ~src:(Net.Fat_tree.host_id ft src)
              ~dst:(Net.Fat_tree.host_id ft dst)
@@ -215,19 +214,28 @@ let scenario_digest_semantics_fuzz =
 
 module Scheme = Xmp_workload.Scheme
 
+(* tunables draw from the documented ranges; Veno betas come from a
+   pool of clean decimals (the constructor demands exact "%g" printing) *)
 let arbitrary_scheme =
   QCheck.map
-    (fun (which, n) ->
+    (fun ((which, n), (xmp_beta, xmp_k, veno_beta, ect)) ->
       match which with
-      | 0 -> Scheme.Dctcp
-      | 1 -> Scheme.Reno
-      | 2 -> Scheme.Lia n
-      | 3 -> Scheme.Olia n
-      | 4 -> Scheme.Xmp n
-      | 5 -> Scheme.Balia n
-      | 6 -> Scheme.Veno n
-      | _ -> Scheme.Amp n)
-    QCheck.(pair (int_range 0 7) (int_range 1 64))
+      | 0 -> Scheme.dctcp
+      | 1 -> Scheme.reno
+      | 2 -> Scheme.lia n
+      | 3 -> Scheme.olia n
+      | 4 -> Scheme.xmp ?beta:xmp_beta ?k:xmp_k n
+      | 5 -> Scheme.balia n
+      | 6 -> Scheme.veno ?beta:veno_beta n
+      | _ -> Scheme.amp ~ect n)
+    QCheck.(
+      pair
+        (pair (int_range 0 7) (int_range 1 64))
+        (quad
+           (option (int_range 2 16))
+           (option (int_range 1 200))
+           (option (oneofl [ 0.5; 1.; 1.5; 2.; 2.5; 3.; 4.5; 10.; 0.125 ]))
+           (oneofl [ Scheme.Counted; Scheme.Classic ])))
 
 let scheme_name_roundtrip_fuzz =
   QCheck.Test.make ~count:200 ~name:"scheme name <-> of_name round-trips"
@@ -237,14 +245,71 @@ let scheme_name_roundtrip_fuzz =
       && Scheme.of_name (String.lowercase_ascii (Scheme.name scheme))
          = Some scheme)
 
+(* tunable-free schemes: junk appended to a name that ends in a tunable
+   value can spell a different legal value ("beta=1" ^ ".0"), so the
+   rejection property is about the base grammar *)
+let arbitrary_plain_scheme =
+  QCheck.map
+    (fun (which, n) ->
+      match which with
+      | 0 -> Scheme.dctcp
+      | 1 -> Scheme.reno
+      | 2 -> Scheme.lia n
+      | 3 -> Scheme.olia n
+      | 4 -> Scheme.xmp n
+      | 5 -> Scheme.balia n
+      | 6 -> Scheme.veno n
+      | _ -> Scheme.amp n)
+    QCheck.(pair (int_range 0 7) (int_range 1 64))
+
 let scheme_name_garbage_fuzz =
   (* every non-decimal tail must be rejected; digits are excluded from
      the junk pool because "XMP-2" ^ "3" is the legitimate XMP-23 *)
   QCheck.Test.make ~count:200 ~name:"of_name rejects trailing garbage"
     QCheck.(
-      pair arbitrary_scheme
-        (oneofl [ "x"; "_"; "+"; "-"; " 3"; ".0"; "e1"; "x2"; "-2" ]))
+      pair arbitrary_plain_scheme
+        (oneofl [ "x"; "_"; "+"; "-"; " 3"; ".0"; "e1"; "x2"; "-2"; ":" ]))
     (fun (scheme, junk) -> Scheme.of_name (Scheme.name scheme ^ junk) = None)
+
+module Conformance = Xmp_workload.Conformance
+
+(* The property matrix pins each (scheme, episode) cell in isolation;
+   here the same episodes hit one long-lived rig in a random order, so
+   the safety floor (finite windows >= 1, aggregate >= the driven
+   subflow, clean ACKs never shrink) must hold from any reachable
+   state, not just the fresh-rig states the matrix explores. *)
+let episode_order_safety_fuzz =
+  QCheck.Test.make ~count:80
+    ~name:"conformance safety holds under any episode order"
+    QCheck.(pair (int_range 0 7) (int_bound 100_000))
+    (fun (which, seed) ->
+      let scheme = List.nth Conformance.schemes which in
+      let rng = Random.State.make [| seed |] in
+      let eps = Array.of_list Conformance.episodes in
+      for i = Array.length eps - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let t = eps.(i) in
+        eps.(i) <- eps.(j);
+        eps.(j) <- t
+      done;
+      let rig = Conformance.make_rig scheme in
+      let last = ref Float.nan in
+      Array.for_all
+        (fun ep ->
+          List.for_all
+            (fun (s : Conformance.sample) ->
+              let pre = !last in
+              last := s.cwnd0;
+              Float.is_finite s.cwnd0 && Float.is_finite s.total
+              && s.cwnd0 >= 1. -. 1e-9
+              && s.total >= s.cwnd0 -. 1e-9
+              &&
+              match s.step with
+              | Conformance.Ack _ ->
+                Float.is_nan pre || s.cwnd0 >= pre -. 1e-9
+              | _ -> true)
+            (Conformance.run_episode rig ep))
+        eps)
 
 let suite =
   [
@@ -256,4 +321,5 @@ let suite =
     QCheck_alcotest.to_alcotest ~long:false scenario_digest_semantics_fuzz;
     QCheck_alcotest.to_alcotest ~long:false scheme_name_roundtrip_fuzz;
     QCheck_alcotest.to_alcotest ~long:false scheme_name_garbage_fuzz;
+    QCheck_alcotest.to_alcotest ~long:false episode_order_safety_fuzz;
   ]

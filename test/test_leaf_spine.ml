@@ -48,7 +48,7 @@ let test_all_pairs_routable () =
             ~subflow:0 (fun _ -> got := true);
           Net.Node.send
             (Network.node net (LS.host_id ls src))
-            (Net.Packet.data ~uid:(Network.fresh_uid net) ~flow:1 ~subflow:0
+            (Net.Packet.data ~flow:1 ~subflow:0
                ~src:(LS.host_id ls src) ~dst:(LS.host_id ls dst) ~path ~seq:0
                ~ect:false ~cwr:false ~ts:0);
           Sim.run sim;
@@ -68,7 +68,7 @@ let test_spine_diversity () =
   for path = 0 to 1 do
     Net.Node.send
       (Network.node net (LS.host_id ls 0))
-      (Net.Packet.data ~uid:(Network.fresh_uid net) ~flow:1 ~subflow:0
+      (Net.Packet.data ~flow:1 ~subflow:0
          ~src:(LS.host_id ls 0) ~dst:(LS.host_id ls 4) ~path ~seq:0
          ~ect:false ~cwr:false ~ts:0)
   done;

@@ -7,7 +7,7 @@ module Queue_disc = Xmp_net.Queue_disc
 
 let mk_data ?(size_seq = 0) seq =
   ignore size_seq;
-  Packet.data ~uid:seq ~flow:0 ~subflow:0 ~src:0 ~dst:1 ~path:0 ~seq
+  Packet.data ~flow:0 ~subflow:0 ~src:0 ~dst:1 ~path:0 ~seq
     ~ect:true ~cwr:false ~ts:0
 
 let mk_link ?(rate = Units.gbps 1.) ?(delay = Time.us 10) ?(capacity = 10)
@@ -19,7 +19,7 @@ let test_delivery_timing () =
   let sim = Sim.create () in
   let link = mk_link sim in
   let arrivals = ref [] in
-  Link.set_receiver link (fun p -> arrivals := (Sim.now sim, p.Packet.seq) :: !arrivals);
+  Link.set_receiver link (fun p -> arrivals := (Sim.now sim, (Packet.seq p)) :: !arrivals);
   Link.send link (mk_data 1);
   Sim.run sim;
   (* 1500B at 1Gbps = 12us serialization + 10us propagation = 22us *)
@@ -33,7 +33,7 @@ let test_serialization_queueing () =
   let link = mk_link sim in
   let arrivals = ref [] in
   Link.set_receiver link (fun p ->
-      arrivals := (Sim.now sim, p.Packet.seq) :: !arrivals);
+      arrivals := (Sim.now sim, (Packet.seq p)) :: !arrivals);
   (* two packets sent back to back: second is delayed by serialization of
      the first only (propagation pipelines) *)
   Link.send link (mk_data 1);
@@ -94,7 +94,7 @@ let test_marking_on_busy_link () =
   let sim = Sim.create () in
   let link = mk_link ~policy:(Queue_disc.Threshold_mark 1) ~capacity:10 sim in
   let ce_seen = ref 0 in
-  Link.set_receiver link (fun p -> if p.Packet.ce then incr ce_seen);
+  Link.set_receiver link (fun p -> if (Packet.ce p) then incr ce_seen);
   for s = 1 to 5 do
     Link.send link (mk_data s)
   done;

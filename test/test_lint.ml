@@ -175,6 +175,27 @@ let test_hashtbl_order_fixture () =
         (List.mem negative decls))
     [ "sorted_keys"; "sorted_pairs"; "list_iter"; "restore" ]
 
+let test_packet_release_fixtures () =
+  let leak = lint_fixture "packet_release_leak.ml" in
+  Alcotest.(check int) "leaking file flagged once" 1
+    (rule_count "packet-release" leak);
+  let balanced = lint_fixture "packet_release_balanced.ml" in
+  Alcotest.(check int) "balanced file clean" 0
+    (rule_count "packet-release" balanced);
+  (* the rule is lib-scoped: tests build throwaway packets freely *)
+  let rep = Report.create () in
+  Rules.lint_source rep ~path:"test/packet_release_leak.ml"
+    (read_file (Filename.concat fixture_dir "packet_release_leak.ml"));
+  Alcotest.(check int) "test/ exempt" 0
+    (rule_count "packet-release" (Report.sorted rep));
+  (* the allowlisted hand-off path acquires without releasing by design:
+     the same leaking source is clean when attributed to it *)
+  let rep = Report.create () in
+  Rules.lint_source rep ~path:"lib/transport/tcp.ml"
+    (read_file (Filename.concat fixture_dir "packet_release_leak.ml"));
+  Alcotest.(check int) "hand-off allowlist suppresses" 0
+    (rule_count "packet-release" (Report.sorted rep))
+
 let test_bad_example_still_fires () =
   let findings = lint_fixture "bad_example.ml" in
   List.iter
@@ -385,6 +406,8 @@ let suite =
       test_unit_suffix_fixture;
     Alcotest.test_case "hashtbl-order: fixture cases" `Quick
       test_hashtbl_order_fixture;
+    Alcotest.test_case "packet-release: fixture cases" `Quick
+      test_packet_release_fixtures;
     Alcotest.test_case "legacy rules still fire on bad_example" `Quick
       test_bad_example_still_fires;
     Alcotest.test_case "self-lint: engine sources are clean" `Quick

@@ -57,17 +57,17 @@ let drop_data rig plan =
   Net.Link.set_drop_filter rig.fwd
     (Some
        (fun p ->
-         match p.Net.Packet.kind with
+         match (Net.Packet.kind p) with
          | Net.Packet.Ack -> false
          | Net.Packet.Data -> (
-           match List.assoc_opt p.Net.Packet.seq plan with
+           match List.assoc_opt (Net.Packet.seq p) plan with
            | None -> false
            | Some n ->
              let c =
-               Option.value ~default:0 (Hashtbl.find_opt killed p.Net.Packet.seq)
+               Option.value ~default:0 (Hashtbl.find_opt killed (Net.Packet.seq p))
              in
              if c < n then begin
-               Hashtbl.replace killed p.Net.Packet.seq (c + 1);
+               Hashtbl.replace killed (Net.Packet.seq p) (c + 1);
                true
              end
              else false)))
@@ -79,7 +79,7 @@ let drop_acks rig ~from ~n =
   Net.Link.set_drop_filter rig.rev
     (Some
        (fun p ->
-         match p.Net.Packet.kind with
+         match (Net.Packet.kind p) with
          | Net.Packet.Data -> false
          | Net.Packet.Ack ->
            let i = !seen in

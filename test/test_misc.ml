@@ -14,7 +14,7 @@ let test_node_port_bounds () =
 let test_node_route_required () =
   let node = Node.create ~kind:Node.Switch ~id:0 ~name:"sw" in
   let p =
-    Net.Packet.data ~uid:0 ~flow:1 ~subflow:0 ~src:5 ~dst:9 ~path:0 ~seq:0
+    Net.Packet.data ~flow:1 ~subflow:0 ~src:5 ~dst:9 ~path:0 ~seq:0
       ~ect:false ~cwr:false ~ts:0
   in
   Alcotest.(check bool) "no route installed fails loudly" true

@@ -271,7 +271,7 @@ let test_aggregate_view_sees_sibling_updates () =
       Alcotest.(check bool)
         (Scheme.name scheme ^ ": sibling growth damps the next increase")
         true (after < before))
-    [ Xmp_workload.Scheme.Olia 2; Xmp_workload.Scheme.Balia 2 ]
+    [ Xmp_workload.Scheme.olia 2; Xmp_workload.Scheme.balia 2 ]
 
 let suite =
   [

@@ -35,41 +35,104 @@ let test_pp_rate () =
 
 let test_packet_data () =
   let p =
-    Packet.data ~uid:7 ~flow:1 ~subflow:2 ~src:3 ~dst:4 ~path:5 ~seq:6
+    Packet.data ~flow:1 ~subflow:2 ~src:3 ~dst:4 ~path:5 ~seq:6
       ~ect:true ~cwr:false ~ts:123
   in
-  Alcotest.(check int) "size" Packet.data_wire_bytes p.Packet.size;
-  Alcotest.(check bool) "kind" true (p.Packet.kind = Packet.Data);
-  Alcotest.(check bool) "ect" true p.Packet.ect;
-  Alcotest.(check bool) "ce starts clear" false p.Packet.ce;
-  Alcotest.(check int) "ece 0 on data" 0 p.Packet.ece_count
+  Alcotest.(check int) "size" Packet.data_wire_bytes (Packet.size p);
+  Alcotest.(check bool) "kind" true ((Packet.kind p) = Packet.Data);
+  Alcotest.(check bool) "ect" true (Packet.ect p);
+  Alcotest.(check bool) "ce starts clear" false (Packet.ce p);
+  Alcotest.(check int) "ece 0 on data" 0 (Packet.ece_count p)
 
 let test_packet_ack () =
   let p =
-    Packet.ack ~sack:[ (12, 15) ] ~uid:1 ~flow:1 ~subflow:0 ~src:4 ~dst:3
+    Packet.ack ~sack:[ (12, 15) ] ~flow:1 ~subflow:0 ~src:4 ~dst:3
       ~path:5 ~seq:9 ~ece_count:3 ~ts:55 ()
   in
-  Alcotest.(check int) "ack size" Packet.ack_wire_bytes p.Packet.size;
-  Alcotest.(check bool) "acks are not ECT" false p.Packet.ect;
-  Alcotest.(check int) "ece count" 3 p.Packet.ece_count;
-  Alcotest.(check bool) "sack blocks carried" true (p.Packet.sack = [ (12, 15) ])
+  Alcotest.(check int) "ack size" Packet.ack_wire_bytes (Packet.size p);
+  Alcotest.(check bool) "acks are not ECT" false (Packet.ect p);
+  Alcotest.(check int) "ece count" 3 (Packet.ece_count p);
+  Alcotest.(check bool) "sack blocks carried" true ((Packet.sack p) = [ (12, 15) ])
 
 let test_packet_pp () =
   let p =
-    Packet.data ~uid:1 ~flow:2 ~subflow:0 ~src:1 ~dst:3 ~path:0 ~seq:5
+    Packet.data ~flow:2 ~subflow:0 ~src:1 ~dst:3 ~path:0 ~seq:5
       ~ect:true ~cwr:false ~ts:0
   in
-  p.Packet.ce <- true;
+  Packet.set_ce p;
   let s = Format.asprintf "%a" Packet.pp p in
   Alcotest.(check bool) "mentions CE" true
     (String.length s > 0
     && String.contains s 'C'
     && String.contains s 'E')
 
+(* A released record reincarnated by a later acquire must carry none of
+   its previous life: no CE, no CWR, no stale SACK blocks, no ECE count.
+   The pool is LIFO, so dirtying one record and releasing it makes the
+   very next acquire the aliasing candidate. *)
+let test_pool_reuse_no_aliasing () =
+  let p =
+    Packet.ack ~sack:[ (12, 15); (20, 22) ] ~flow:9 ~subflow:1 ~src:4 ~dst:3
+      ~path:5 ~seq:9 ~ece_count:3 ~ts:55 ()
+  in
+  Packet.release p;
+  let q =
+    Packet.data ~flow:1 ~subflow:0 ~src:0 ~dst:1 ~path:0 ~seq:0 ~ect:true
+      ~cwr:false ~ts:0
+  in
+  Alcotest.(check bool) "no stale CE" false (Packet.ce q);
+  Alcotest.(check bool) "no stale CWR" false (Packet.cwr q);
+  Alcotest.(check int) "no stale SACK" 0 (Packet.sack_count q);
+  Alcotest.(check int) "no stale ECE" 0 (Packet.ece_count q);
+  Alcotest.(check bool) "data kind" true (Packet.kind q = Packet.Data);
+  (* same check through the cross-domain image path *)
+  Packet.set_ce q;
+  let img = Packet.image q in
+  Packet.release q;
+  let r = Packet.of_image img in
+  Alcotest.(check bool) "image preserves CE" true (Packet.ce r);
+  Packet.release r;
+  let s =
+    Packet.ack ~flow:2 ~subflow:0 ~src:1 ~dst:0 ~path:0 ~seq:1 ~ece_count:0
+      ~ts:0 ()
+  in
+  Alcotest.(check bool) "reused after image: clean" false
+    (Packet.ce s || Packet.cwr s || Packet.sack_count s > 0);
+  Packet.release s
+
+(* Draining the free list grows the pool on demand and releases feed it
+   back: created stabilizes while free tracks the live population. *)
+let test_pool_exhaustion_growth () =
+  let created0 = Packet.pool_created () in
+  let burst = Packet.pool_free () + 64 in
+  let live =
+    List.init burst (fun i ->
+        Packet.data ~flow:1 ~subflow:0 ~src:0 ~dst:1 ~path:0 ~seq:i
+          ~ect:false ~cwr:false ~ts:0)
+  in
+  Alcotest.(check bool) "pool grew under exhaustion" true
+    (Packet.pool_created () > created0);
+  Alcotest.(check int) "free list drained" 0 (Packet.pool_free ());
+  let created_peak = Packet.pool_created () in
+  List.iter Packet.release live;
+  Alcotest.(check bool) "releases refill the free list" true
+    (Packet.pool_free () >= burst);
+  let again =
+    List.init burst (fun i ->
+        Packet.data ~flow:1 ~subflow:0 ~src:0 ~dst:1 ~path:0 ~seq:i
+          ~ect:false ~cwr:false ~ts:0)
+  in
+  Alcotest.(check int) "reacquire creates nothing new" created_peak
+    (Packet.pool_created ());
+  List.iter Packet.release again;
+  Alcotest.check_raises "double release detected"
+    (Invalid_argument "Packet.release: packet already released")
+    (fun () -> Packet.release (List.hd again))
+
 (* ----- Queue_disc ----- *)
 
 let mk_data ?(ect = true) seq =
-  Packet.data ~uid:seq ~flow:0 ~subflow:0 ~src:0 ~dst:1 ~path:0 ~seq ~ect
+  Packet.data ~flow:0 ~subflow:0 ~src:0 ~dst:1 ~path:0 ~seq ~ect
     ~cwr:false ~ts:0
 
 let test_droptail_overflow () =
@@ -89,7 +152,7 @@ let test_fifo_order () =
   List.iter (fun i -> ignore (Queue_disc.enqueue d (mk_data i))) [ 1; 2; 3 ];
   let pop () =
     match Queue_disc.dequeue d with
-    | Some p -> p.Packet.seq
+    | Some p -> (Packet.seq p)
     | None -> Alcotest.fail "empty"
   in
   Alcotest.(check int) "fifo 1" 1 (pop ());
@@ -107,7 +170,7 @@ let test_threshold_marking () =
   for i = 1 to 7 do
     let p = mk_data i in
     ignore (Queue_disc.enqueue d p);
-    if p.Packet.ce then marked := i :: !marked
+    if (Packet.ce p) then marked := i :: !marked
   done;
   (* arrivals 1..4 saw length 0..3 (not > 3); arrivals 5..7 saw 4..6 *)
   Alcotest.(check (list int)) "marks start once length exceeds K" [ 5; 6; 7 ]
@@ -121,10 +184,10 @@ let test_threshold_nonect_not_marked () =
   ignore (Queue_disc.enqueue d (mk_data 1));
   let p = mk_data ~ect:false 2 in
   ignore (Queue_disc.enqueue d p);
-  Alcotest.(check bool) "non-ECT never marked" false p.Packet.ce;
+  Alcotest.(check bool) "non-ECT never marked" false (Packet.ce p);
   let p2 = mk_data 3 in
   ignore (Queue_disc.enqueue d p2);
-  Alcotest.(check bool) "ECT marked" true p2.Packet.ce
+  Alcotest.(check bool) "ECT marked" true (Packet.ce p2)
 
 let test_clear () =
   let d = Queue_disc.create ~policy:Queue_disc.Droptail ~capacity_pkts:10 in
@@ -150,7 +213,7 @@ let test_red_marks_under_load () =
   for i = 1 to 30 do
     let p = mk_data i in
     ignore (Queue_disc.enqueue d p);
-    if p.Packet.ce then incr marked
+    if (Packet.ce p) then incr marked
   done;
   Alcotest.(check bool) "red marks when avg above max_th" true (!marked > 0);
   Alcotest.(check int) "no drops while marking" 0 (Queue_disc.dropped d)
@@ -201,7 +264,7 @@ let test_red_average_decays_across_idle () =
   let accepted = Queue_disc.enqueue d p in
   Alcotest.(check bool) "first packet after idle accepted" true accepted;
   Alcotest.(check bool) "not marked against a stale average" false
-    p.Packet.ce;
+    (Packet.ce p);
   Alcotest.(check int) "no mark recorded" marked_before (Queue_disc.marked d)
 
 let test_occupancy_sampling () =
@@ -238,6 +301,10 @@ let suite =
     Alcotest.test_case "data packet" `Quick test_packet_data;
     Alcotest.test_case "ack packet" `Quick test_packet_ack;
     Alcotest.test_case "packet printing" `Quick test_packet_pp;
+    Alcotest.test_case "pool reuse leaks no state" `Quick
+      test_pool_reuse_no_aliasing;
+    Alcotest.test_case "pool exhaustion growth" `Quick
+      test_pool_exhaustion_growth;
     Alcotest.test_case "droptail overflow" `Quick test_droptail_overflow;
     Alcotest.test_case "FIFO order" `Quick test_fifo_order;
     Alcotest.test_case "threshold marking" `Quick test_threshold_marking;

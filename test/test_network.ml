@@ -8,11 +8,23 @@ module Queue_disc = Xmp_net.Queue_disc
 
 let disc () = Queue_disc.create ~policy:Queue_disc.Droptail ~capacity_pkts:100
 
-let test_uids () =
+let test_explicit_ids () =
   let sim = Sim.create () in
   let net = Network.create sim in
-  Alcotest.(check int) "0" 0 (Network.fresh_uid net);
-  Alcotest.(check int) "1" 1 (Network.fresh_uid net)
+  let h = Network.add_host_at net ~id:40 ~name:"h40" in
+  let s = Network.add_switch_at net ~id:7 ~name:"s7" in
+  Alcotest.(check int) "host id honoured" 40 (Node.id h);
+  Alcotest.(check int) "switch id honoured" 7 (Node.id s);
+  Alcotest.(check bool) "lookup by explicit id" true
+    (Network.node net 40 == h && Network.node net 7 == s);
+  (* implicit allocation continues past the highest explicit id *)
+  let n = Network.add_host net ~name:"next" in
+  Alcotest.(check int) "implicit id after explicit" 41 (Node.id n);
+  Alcotest.(check bool) "collision rejected" true
+    (try
+       ignore (Network.add_host_at net ~id:7 ~name:"dup");
+       false
+     with Invalid_argument _ -> true)
 
 let test_nodes () =
   let sim = Sim.create () in
@@ -37,12 +49,12 @@ let test_connect_and_forward () =
   ignore (Network.connect net ~rate ~delay:(Time.us 1) ~disc sw b);
   (* a: port 0 -> sw; sw: port 0 -> a, port 1 -> b *)
   Node.set_route a (fun _ -> 0);
-  Node.set_route sw (fun p -> if p.Packet.dst = Node.id b then 1 else 0);
+  Node.set_route sw (fun p -> if (Packet.dst p) = Node.id b then 1 else 0);
   let received = ref [] in
   Network.register_endpoint net ~host:(Node.id b) ~flow:1 ~subflow:0
-    (fun p -> received := p.Packet.seq :: !received);
+    (fun p -> received := (Packet.seq p) :: !received);
   let pkt =
-    Packet.data ~uid:0 ~flow:1 ~subflow:0 ~src:(Node.id a) ~dst:(Node.id b)
+    Packet.data ~flow:1 ~subflow:0 ~src:(Node.id a) ~dst:(Node.id b)
       ~path:0 ~seq:42 ~ect:false ~cwr:false ~ts:0
   in
   Node.send a pkt;
@@ -61,7 +73,7 @@ let test_dead_letter () =
        b);
   Node.set_route a (fun _ -> 0);
   let pkt =
-    Packet.data ~uid:0 ~flow:9 ~subflow:0 ~src:(Node.id a) ~dst:(Node.id b)
+    Packet.data ~flow:9 ~subflow:0 ~src:(Node.id a) ~dst:(Node.id b)
       ~path:0 ~seq:1 ~ect:false ~cwr:false ~ts:0
   in
   Node.send a pkt;
@@ -83,7 +95,7 @@ let test_unregister () =
     (fun _ -> incr hits);
   Network.unregister_endpoint net ~host:(Node.id b) ~flow:1 ~subflow:0;
   Node.send a
-    (Packet.data ~uid:0 ~flow:1 ~subflow:0 ~src:(Node.id a) ~dst:(Node.id b)
+    (Packet.data ~flow:1 ~subflow:0 ~src:(Node.id a) ~dst:(Node.id b)
        ~path:0 ~seq:1 ~ect:false ~cwr:false ~ts:0);
   Sim.run sim;
   Alcotest.(check int) "handler removed" 0 !hits
@@ -128,7 +140,7 @@ let test_host_rejects_transit () =
   let net = Network.create sim in
   let a = Network.add_host net ~name:"a" in
   let pkt =
-    Packet.data ~uid:0 ~flow:1 ~subflow:0 ~src:9 ~dst:99 ~path:0 ~seq:1
+    Packet.data ~flow:1 ~subflow:0 ~src:9 ~dst:99 ~path:0 ~seq:1
       ~ect:false ~cwr:false ~ts:0
   in
   Alcotest.(check bool) "raises" true
@@ -139,7 +151,7 @@ let test_host_rejects_transit () =
 
 let suite =
   [
-    Alcotest.test_case "packet uids" `Quick test_uids;
+    Alcotest.test_case "explicit ids" `Quick test_explicit_ids;
     Alcotest.test_case "node registry" `Quick test_nodes;
     Alcotest.test_case "connect and forward" `Quick test_connect_and_forward;
     Alcotest.test_case "dead letter" `Quick test_dead_letter;

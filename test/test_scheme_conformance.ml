@@ -27,47 +27,47 @@ type profile = {
 let profiles =
   [
     {
-      scheme = Scheme.Dctcp;
+      scheme = Scheme.dctcp;
       retx_floor = 0.5;
       ecn_floor = Some 0.5;
       harm = Single_path;
     };
     {
-      scheme = Scheme.Reno;
+      scheme = Scheme.reno;
       retx_floor = 0.5;
       ecn_floor = None;
       harm = Single_path;
     };
-    { scheme = Scheme.Lia 2; retx_floor = 0.5; ecn_floor = None; harm = Per_ack };
+    { scheme = Scheme.lia 2; retx_floor = 0.5; ecn_floor = None; harm = Per_ack };
     {
-      scheme = Scheme.Olia 2;
+      scheme = Scheme.olia 2;
       retx_floor = 0.5;
       ecn_floor = None;
       harm = Per_ack;
     };
     {
       (* ECN cut is w − max(w/β, 1) with the default β = 4 *)
-      scheme = Scheme.Xmp 2;
+      scheme = Scheme.xmp 2;
       retx_floor = 0.5;
       ecn_floor = Some 0.75;
       harm = Per_round;
     };
     {
       (* cut keeps 1 − min(α, 1.5)/2 ∈ [1/4, 1/2] of the window *)
-      scheme = Scheme.Balia 2;
+      scheme = Scheme.balia 2;
       retx_floor = 0.25;
       ecn_floor = None;
       harm = Per_ack;
     };
     {
       (* 4/5 on presumed-random losses, 1/2 on congestive ones *)
-      scheme = Scheme.Veno 2;
+      scheme = Scheme.veno 2;
       retx_floor = 0.5;
       ecn_floor = None;
       harm = Per_ack;
     };
     {
-      scheme = Scheme.Amp 2;
+      scheme = Scheme.amp 2;
       retx_floor = 0.5;
       ecn_floor = Some 0.5;
       harm = Per_ack;

@@ -31,7 +31,7 @@ let send_and_await net ~src ~dst ~path =
       got := Some (Sim.now sim, p));
   Node.send
     (Network.node net src)
-    (Packet.data ~uid:(Network.fresh_uid net) ~flow:1 ~subflow:0 ~src ~dst
+    (Packet.data ~flow:1 ~subflow:0 ~src ~dst
        ~path ~seq:0 ~ect:false ~cwr:false ~ts:0);
   Sim.run sim;
   Network.unregister_endpoint net ~host:dst ~flow:1 ~subflow:0;

@@ -72,7 +72,7 @@ let test_filter_and_limit () =
   let sim, net, tb = make_rig ~policy:Net.Queue_disc.Droptail ~capacity:50 in
   let trace =
     Trace.create ~sim
-      ~filter:(fun p -> p.Net.Packet.seq mod 2 = 0)
+      ~filter:(fun p -> (Net.Packet.seq p) mod 2 = 0)
       ~limit:3 ()
   in
   Trace.watch_link trace (Testbed.bottleneck_fwd tb 0);

@@ -51,28 +51,42 @@ let test_pareto_sample_int () =
 (* ----- Scheme ----- *)
 
 let test_scheme_names () =
-  Alcotest.(check string) "dctcp" "DCTCP" (Scheme.name Scheme.Dctcp);
-  Alcotest.(check string) "tcp" "TCP" (Scheme.name Scheme.Reno);
-  Alcotest.(check string) "lia" "LIA-4" (Scheme.name (Scheme.Lia 4));
-  Alcotest.(check string) "xmp" "XMP-2" (Scheme.name (Scheme.Xmp 2));
-  Alcotest.(check string) "olia" "OLIA-3" (Scheme.name (Scheme.Olia 3));
-  Alcotest.(check string) "balia" "BALIA-2" (Scheme.name (Scheme.Balia 2));
-  Alcotest.(check string) "veno" "VENO-2" (Scheme.name (Scheme.Veno 2));
-  Alcotest.(check string) "amp" "AMP-4" (Scheme.name (Scheme.Amp 4))
+  Alcotest.(check string) "dctcp" "DCTCP" (Scheme.name Scheme.dctcp);
+  Alcotest.(check string) "tcp" "TCP" (Scheme.name Scheme.reno);
+  Alcotest.(check string) "lia" "LIA-4" (Scheme.name (Scheme.lia 4));
+  Alcotest.(check string) "xmp" "XMP-2" (Scheme.name (Scheme.xmp 2));
+  Alcotest.(check string) "olia" "OLIA-3" (Scheme.name (Scheme.olia 3));
+  Alcotest.(check string) "balia" "BALIA-2" (Scheme.name (Scheme.balia 2));
+  Alcotest.(check string) "veno" "VENO-2" (Scheme.name (Scheme.veno 2));
+  Alcotest.(check string) "amp" "AMP-4" (Scheme.name (Scheme.amp 4));
+  (* non-default tunables print in a fixed key order; defaults print
+     nothing, so names stay canonical *)
+  Alcotest.(check string) "xmp tuned" "XMP-2:beta=6,k=20"
+    (Scheme.name (Scheme.xmp ~beta:6 ~k:20 2));
+  Alcotest.(check string) "xmp k only" "XMP-4:k=10"
+    (Scheme.name (Scheme.xmp ~k:10 4));
+  Alcotest.(check string) "veno tuned" "VENO-2:beta=2.5"
+    (Scheme.name (Scheme.veno ~beta:2.5 2));
+  Alcotest.(check string) "veno whole beta" "VENO-2:beta=4"
+    (Scheme.name (Scheme.veno ~beta:4. 2));
+  Alcotest.(check string) "amp classic" "AMP-2:ect=classic"
+    (Scheme.name (Scheme.amp ~ect:Scheme.Classic 2));
+  Alcotest.(check string) "amp counted is default" "AMP-2"
+    (Scheme.name (Scheme.amp ~ect:Scheme.Counted 2))
 
 let test_scheme_parse () =
   Alcotest.(check bool) "roundtrip" true
     (List.for_all
        (fun s -> Scheme.of_name (Scheme.name s) = Some s)
        [
-         Scheme.Dctcp; Scheme.Reno; Scheme.Lia 2; Scheme.Olia 8; Scheme.Xmp 1;
-         Scheme.Balia 2; Scheme.Veno 3; Scheme.Amp 2;
+         Scheme.dctcp; Scheme.reno; Scheme.lia 2; Scheme.olia 8; Scheme.xmp 1;
+         Scheme.balia 2; Scheme.veno 3; Scheme.amp 2;
        ]);
   Alcotest.(check bool) "case insensitive" true
-    (Scheme.of_name "xmp-4" = Some (Scheme.Xmp 4));
+    (Scheme.of_name "xmp-4" = Some (Scheme.xmp 4));
   Alcotest.(check bool) "balia case" true
-    (Scheme.of_name "balia-2" = Some (Scheme.Balia 2));
-  Alcotest.(check bool) "reno alias" true (Scheme.of_name "reno" = Some Scheme.Reno);
+    (Scheme.of_name "balia-2" = Some (Scheme.balia 2));
+  Alcotest.(check bool) "reno alias" true (Scheme.of_name "reno" = Some Scheme.reno);
   Alcotest.(check bool) "garbage" true (Scheme.of_name "QUIC" = None);
   Alcotest.(check bool) "bad count" true (Scheme.of_name "XMP-0" = None);
   (* the suffix must be a bare decimal: int_of_string's hex, sign and
@@ -88,43 +102,105 @@ let test_scheme_parse () =
       "AMP-2.0"; "BALIA"; "VENO-1e1";
     ]
 
+let test_scheme_tunable_grammar () =
+  let parses s t =
+    Alcotest.(check bool)
+      (Printf.sprintf "parse %S" s)
+      true
+      (Scheme.of_name s = Some t)
+  in
+  parses "XMP-2:beta=6,k=20" (Scheme.xmp ~beta:6 ~k:20 2);
+  parses "xmp-2:K=20,BETA=6" (Scheme.xmp ~beta:6 ~k:20 2);
+  parses "VENO-2:beta=2.5" (Scheme.veno ~beta:2.5 2);
+  parses "veno-4:beta=3" (Scheme.veno ~beta:3. 4);
+  parses "AMP-2:ect=classic" (Scheme.amp ~ect:Scheme.Classic 2);
+  (* keys must belong to the scheme, appear once, and carry a value in
+     range; the opts section must not be empty *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reject %S" s)
+        true
+        (Scheme.of_name s = None))
+    [
+      "XMP-2:"; "XMP-2:beta=6,beta=8"; "XMP-2:beta=1"; "XMP-2:beta=";
+      "XMP-2:ect=classic"; "XMP-2:beta=6,"; "LIA-2:beta=6"; "VENO-2:k=10";
+      "VENO-2:beta=0"; "VENO-2:beta=2.5.0"; "VENO-2:beta=1e1";
+      "AMP-2:ect=counted2"; "AMP-2:ect=classic,ect=classic"; "DCTCP:k=10";
+      "XMP-2:beta"; "XMP-2::beta=6";
+    ];
+  (* AMP's default echo mode spelled out parses to the same value the
+     canonical (suffix-free) name denotes *)
+  Alcotest.(check bool) "amp counted alias" true
+    (Scheme.of_name "AMP-2:ect=classic" <> Scheme.of_name "AMP-2")
+
+let test_scheme_tunables_thread () =
+  let o = Scheme.default_overrides in
+  (* AMP's ECT mode switches the transport's echo behaviour *)
+  let counted = Scheme.tcp_config (Scheme.amp 2) o in
+  let classic = Scheme.tcp_config (Scheme.amp ~ect:Scheme.Classic 2) o in
+  Alcotest.(check bool) "amp counted echo" true
+    (counted.Xmp_transport.Tcp.echo = Xmp_transport.Tcp.Counted None);
+  Alcotest.(check bool) "amp classic echo" true
+    (classic.Xmp_transport.Tcp.echo = Xmp_transport.Tcp.Classic
+    && classic.Xmp_transport.Tcp.ect);
+  (* XMP's k rides along for the fabric; only XMP carries one *)
+  Alcotest.(check bool) "xmp k exposed" true
+    (Scheme.marking_threshold (Scheme.xmp ~k:20 2) = Some 20
+    && Scheme.marking_threshold (Scheme.xmp 2) = None
+    && Scheme.marking_threshold Scheme.dctcp = None);
+  (* constructors validate ranges *)
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "constructor rejects" true
+        (match f () with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [
+      (fun () -> Scheme.xmp ~beta:1 2);
+      (fun () -> Scheme.xmp ~k:0 2);
+      (fun () -> Scheme.veno ~beta:0. 2);
+      (fun () -> Scheme.veno ~beta:1e-7 2);
+      (fun () -> Scheme.lia 0);
+    ]
+
 let test_scheme_properties () =
-  Alcotest.(check int) "dctcp single" 1 (Scheme.n_subflows Scheme.Dctcp);
-  Alcotest.(check int) "xmp-4" 4 (Scheme.n_subflows (Scheme.Xmp 4));
-  Alcotest.(check int) "amp-3" 3 (Scheme.n_subflows (Scheme.Amp 3));
+  Alcotest.(check int) "dctcp single" 1 (Scheme.n_subflows Scheme.dctcp);
+  Alcotest.(check int) "xmp-4" 4 (Scheme.n_subflows (Scheme.xmp 4));
+  Alcotest.(check int) "amp-3" 3 (Scheme.n_subflows (Scheme.amp 3));
   Alcotest.(check bool) "ecn schemes" true
-    (Scheme.uses_ecn Scheme.Dctcp
-    && Scheme.uses_ecn (Scheme.Xmp 2)
-    && Scheme.uses_ecn (Scheme.Amp 2));
+    (Scheme.uses_ecn Scheme.dctcp
+    && Scheme.uses_ecn (Scheme.xmp 2)
+    && Scheme.uses_ecn (Scheme.amp 2));
   Alcotest.(check bool) "loss schemes" true
-    ((not (Scheme.uses_ecn Scheme.Reno))
-    && (not (Scheme.uses_ecn (Scheme.Lia 2)))
-    && (not (Scheme.uses_ecn (Scheme.Balia 2)))
-    && not (Scheme.uses_ecn (Scheme.Veno 2)));
+    ((not (Scheme.uses_ecn Scheme.reno))
+    && (not (Scheme.uses_ecn (Scheme.lia 2)))
+    && (not (Scheme.uses_ecn (Scheme.balia 2)))
+    && not (Scheme.uses_ecn (Scheme.veno 2)));
   Alcotest.(check bool) "multipath flag" true
-    (Scheme.is_multipath (Scheme.Lia 2) && not (Scheme.is_multipath Scheme.Dctcp))
+    (Scheme.is_multipath (Scheme.lia 2) && not (Scheme.is_multipath Scheme.dctcp))
 
 let test_scheme_config () =
   let o = Scheme.default_overrides in
-  let xmp_cfg = Scheme.tcp_config (Scheme.Xmp 2) o in
+  let xmp_cfg = Scheme.tcp_config (Scheme.xmp 2) o in
   Alcotest.(check bool) "xmp is ect" true xmp_cfg.Xmp_transport.Tcp.ect;
   Alcotest.(check bool) "xmp echo capped at 3" true
     (xmp_cfg.Xmp_transport.Tcp.echo = Xmp_transport.Tcp.Counted (Some 3));
-  let dctcp_cfg = Scheme.tcp_config Scheme.Dctcp o in
+  let dctcp_cfg = Scheme.tcp_config Scheme.dctcp o in
   Alcotest.(check bool) "dctcp echo exact" true
     (dctcp_cfg.Xmp_transport.Tcp.echo = Xmp_transport.Tcp.Counted None);
-  let amp_cfg = Scheme.tcp_config (Scheme.Amp 2) o in
+  let amp_cfg = Scheme.tcp_config (Scheme.amp 2) o in
   Alcotest.(check bool) "amp is ect with exact echo" true
     (amp_cfg.Xmp_transport.Tcp.ect
     && amp_cfg.Xmp_transport.Tcp.echo = Xmp_transport.Tcp.Counted None);
-  let tcp_cfg = Scheme.tcp_config Scheme.Reno o in
+  let tcp_cfg = Scheme.tcp_config Scheme.reno o in
   Alcotest.(check bool) "tcp not ect" false tcp_cfg.Xmp_transport.Tcp.ect;
   Alcotest.(check bool) "balia and veno not ect" false
-    ((Scheme.tcp_config (Scheme.Balia 2) o).Xmp_transport.Tcp.ect
-    || (Scheme.tcp_config (Scheme.Veno 2) o).Xmp_transport.Tcp.ect);
+    ((Scheme.tcp_config (Scheme.balia 2) o).Xmp_transport.Tcp.ect
+    || (Scheme.tcp_config (Scheme.veno 2) o).Xmp_transport.Tcp.ect);
   let custom = { o with Scheme.rto_min = Time.ms 10 } in
   Alcotest.(check int) "rto override" (Time.ms 10)
-    (Scheme.tcp_config Scheme.Reno custom).Xmp_transport.Tcp.rto_min
+    (Scheme.tcp_config Scheme.reno custom).Xmp_transport.Tcp.rto_min
 
 let prop_pick_paths_distinct =
   QCheck.Test.make ~count:300 ~name:"pick_paths: distinct, in range"
@@ -138,7 +214,7 @@ let prop_pick_paths_distinct =
 
 (* ----- Metrics ----- *)
 
-let flow_record ?(scheme = Scheme.Xmp 2) ?(locality = Xmp_net.Fat_tree.Inter_pod)
+let flow_record ?(scheme = Scheme.xmp 2) ?(locality = Xmp_net.Fat_tree.Inter_pod)
     ?(goodput = 5e8) flow =
   {
     Metrics.flow;
@@ -162,14 +238,14 @@ let test_metrics_goodput () =
 
 let test_metrics_by_scheme () =
   let m = Metrics.create ~rtt_subsample:1 in
-  Metrics.record_flow m (flow_record ~scheme:(Scheme.Xmp 2) ~goodput:4e8 1);
-  Metrics.record_flow m (flow_record ~scheme:(Scheme.Lia 2) ~goodput:2e8 2);
+  Metrics.record_flow m (flow_record ~scheme:(Scheme.xmp 2) ~goodput:4e8 1);
+  Metrics.record_flow m (flow_record ~scheme:(Scheme.lia 2) ~goodput:2e8 2);
   Alcotest.(check (float 1e-3)) "xmp" 4e8
-    (Metrics.mean_goodput_bps_of_scheme m (Scheme.Xmp 2));
+    (Metrics.mean_goodput_bps_of_scheme m (Scheme.xmp 2));
   Alcotest.(check (float 1e-3)) "lia" 2e8
-    (Metrics.mean_goodput_bps_of_scheme m (Scheme.Lia 2));
+    (Metrics.mean_goodput_bps_of_scheme m (Scheme.lia 2));
   Alcotest.(check (float 1e-3)) "absent scheme" 0.
-    (Metrics.mean_goodput_bps_of_scheme m Scheme.Dctcp)
+    (Metrics.mean_goodput_bps_of_scheme m Scheme.dctcp)
 
 let test_metrics_rtt_subsampling () =
   let m = Metrics.create ~rtt_subsample:4 in
@@ -219,7 +295,7 @@ let small_incast =
     }
 
 let test_driver_permutation () =
-  let r = Driver.run (mini_config small_permutation (Scheme.Xmp 2)) in
+  let r = Driver.run (mini_config small_permutation (Scheme.xmp 2)) in
   let m = r.Driver.metrics in
   Alcotest.(check bool) "flows completed" true
     (Metrics.n_completed_flows m >= 16);
@@ -234,20 +310,20 @@ let test_driver_permutation () =
   Alcotest.(check int) "all 16 hosts sent" 16 (List.length srcs)
 
 let test_driver_permutation_never_self () =
-  let r = Driver.run (mini_config small_permutation Scheme.Dctcp) in
+  let r = Driver.run (mini_config small_permutation Scheme.dctcp) in
   List.iter
     (fun (f : Metrics.flow_record) ->
       Alcotest.(check bool) "src <> dst" true (f.src <> f.dst))
     (Metrics.completed_flows r.Driver.metrics)
 
 let test_driver_random_inbound_cap () =
-  let r = Driver.run (mini_config small_random (Scheme.Xmp 2)) in
+  let r = Driver.run (mini_config small_random (Scheme.xmp 2)) in
   let m = r.Driver.metrics in
   Alcotest.(check bool) "flows completed" true
     (Metrics.n_completed_flows m > 16)
 
 let test_driver_incast () =
-  let r = Driver.run (mini_config small_incast Scheme.Dctcp) in
+  let r = Driver.run (mini_config small_incast Scheme.dctcp) in
   let m = r.Driver.metrics in
   Alcotest.(check bool) "jobs completed" true
     (Distribution.count (Metrics.job_times_ms m) > 0);
@@ -261,8 +337,8 @@ let test_driver_incast () =
 let test_driver_split_assignment () =
   let cfg =
     {
-      (mini_config small_random (Scheme.Xmp 2)) with
-      Driver.assignment = Driver.Split (Scheme.Xmp 2, Scheme.Lia 2);
+      (mini_config small_random (Scheme.xmp 2)) with
+      Driver.assignment = Driver.Split (Scheme.xmp 2, Scheme.lia 2);
     }
   in
   let r = Driver.run cfg in
@@ -276,13 +352,13 @@ let test_driver_split_assignment () =
   (* even hosts run XMP, odd hosts run LIA *)
   List.iter
     (fun (f : Metrics.flow_record) ->
-      let expect = if f.src mod 2 = 0 then Scheme.Xmp 2 else Scheme.Lia 2 in
+      let expect = if f.src mod 2 = 0 then Scheme.xmp 2 else Scheme.lia 2 in
       Alcotest.(check bool) "host parity assignment" true (f.scheme = expect))
     (Metrics.completed_flows m)
 
 let test_driver_determinism () =
   let run () =
-    let r = Driver.run (mini_config small_permutation (Scheme.Xmp 2)) in
+    let r = Driver.run (mini_config small_permutation (Scheme.xmp 2)) in
     ( Metrics.n_completed_flows r.Driver.metrics,
       r.Driver.events,
       Metrics.mean_goodput_bps r.Driver.metrics )
@@ -291,7 +367,7 @@ let test_driver_determinism () =
   Alcotest.(check bool) "bit-identical reruns" true (a = b)
 
 let test_driver_utilization () =
-  let r = Driver.run (mini_config small_permutation (Scheme.Xmp 4)) in
+  let r = Driver.run (mini_config small_permutation (Scheme.xmp 4)) in
   let layers = Driver.utilization_by_layer r in
   Alcotest.(check int) "three layers" 3 (List.length layers);
   List.iter
@@ -310,6 +386,10 @@ let suite =
     Alcotest.test_case "pareto integer samples" `Quick test_pareto_sample_int;
     Alcotest.test_case "scheme names" `Quick test_scheme_names;
     Alcotest.test_case "scheme parsing" `Quick test_scheme_parse;
+    Alcotest.test_case "scheme tunable grammar" `Quick
+      test_scheme_tunable_grammar;
+    Alcotest.test_case "scheme tunables thread through" `Quick
+      test_scheme_tunables_thread;
     Alcotest.test_case "scheme properties" `Quick test_scheme_properties;
     Alcotest.test_case "scheme transport configs" `Quick test_scheme_config;
     QCheck_alcotest.to_alcotest prop_pick_paths_distinct;

@@ -16,7 +16,7 @@ let test_switch_disc () =
   let disc2 = d () in
   ignore
     (Queue_disc.enqueue disc
-       (Xmp_net.Packet.data ~uid:0 ~flow:0 ~subflow:0 ~src:0 ~dst:1 ~path:0
+       (Xmp_net.Packet.data ~flow:0 ~subflow:0 ~src:0 ~dst:1 ~path:0
           ~seq:0 ~ect:true ~cwr:false ~ts:0));
   Alcotest.(check int) "independent state" 0 (Queue_disc.length disc2);
   Alcotest.(check int) "first has the packet" 1 (Queue_disc.length disc)

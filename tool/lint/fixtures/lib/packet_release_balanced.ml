@@ -1,0 +1,11 @@
+(* [packet-release] fixture, negative: the acquiring file also releases,
+   so ownership stays balanced. Never compiled; exercised by
+   test/test_lint.ml. *)
+
+let bounce p =
+  let reply = Packet.ack ~flow:1 ~subflow:0 ~src:1 ~dst:0 ~path:0 ~seq:0 in
+  Packet.release p;
+  reply
+
+(* releases alone (a sink) are fine too *)
+let drop p = Packet.release p

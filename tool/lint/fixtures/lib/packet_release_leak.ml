@@ -1,0 +1,13 @@
+(* [packet-release] fixture, positive: acquires pooled packets but the
+   file never mentions Packet.release. Never compiled; exercised by
+   test/test_lint.ml. *)
+
+let probe net =
+  let p =
+    Packet.data ~flow:1 ~subflow:0 ~src:0 ~dst:1 ~path:0 ~seq:0 ~ect:false
+      ~cwr:false ~ts:0
+  in
+  Node.send net p
+
+(* mentioning sizes must not count as an acquire *)
+let tx_ns rate = Units.tx_time rate ~bytes:Packet.data_wire_bytes

@@ -56,6 +56,9 @@ let file_allowlist =
     ("direct-printf", "lib/engine/slog.ml");
     ("direct-printf", "lib/check/invariant.ml");
     ("direct-printf", "lib/runner/runner.ml");
+    (* the transport acquires pooled packets and hands ownership to
+       Node.send; the network layer (links, discs, endpoints) releases *)
+    ("packet-release", "lib/transport/tcp.ml");
   ]
 
 let file_allowed rule path = List.mem (rule, path) file_allowlist
@@ -200,6 +203,45 @@ let check_idents rep ~path ~cat (toks : token array) =
               or record telemetry instead")
       | Keyword _ | Op _ | Num _ | Str | Punct _ -> ())
     toks
+
+(* Pooled-packet balance: Packet.data/ack/of_image acquire a record
+   from the domain-local pool, and exactly one owner must release it
+   (or hand it to a sink that does). A lib/ file that acquires but
+   never mentions Packet.release is either leaking pool records —
+   silent, since the pool just grows — or transferring ownership, in
+   which case it belongs on the allowlist with the hand-off spelled
+   out. Exact-ident matching keeps Packet.data_wire_bytes and friends
+   out of scope. *)
+let packet_acquire_idents =
+  [
+    "Packet.data"; "Packet.ack"; "Packet.of_image"; "Xmp_net.Packet.data";
+    "Xmp_net.Packet.ack"; "Xmp_net.Packet.of_image";
+  ]
+
+let packet_release_idents = [ "Packet.release"; "Xmp_net.Packet.release" ]
+
+let check_packet_release rep ~path ~cat (toks : token array) =
+  if cat = Lib && not (file_allowed "packet-release" path) then begin
+    let first_acquire = ref None in
+    let releases = ref false in
+    Array.iter
+      (fun (tok : token) ->
+        match tok.kind with
+        | Ident name ->
+          if List.mem name packet_acquire_idents && !first_acquire = None
+          then first_acquire := Some (tok.line, name);
+          if List.mem name packet_release_idents then releases := true
+        | Keyword _ | Op _ | Num _ | Str | Punct _ -> ())
+      toks;
+    match !first_acquire with
+    | Some (line, name) when not !releases ->
+      Report.add rep ~path ~line ~rule:"packet-release"
+        (name
+       ^ " acquires a pooled packet but this file never calls \
+          Packet.release; release it, hand it to a releasing sink, or \
+          allowlist the file as an ownership hand-off point")
+    | Some _ | None -> ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Line-scoped passes (ported from the PR 1 scanner; their adjacency
@@ -631,6 +673,7 @@ let lint_source rep ~path src =
   check_idents rep ~path ~cat lx.tokens;
   check_bare_compare rep ~path ~cat lx.tokens;
   check_poly_compare rep ~path ~cat lx.tokens;
+  check_packet_release rep ~path ~cat lx.tokens;
   if Filename.check_suffix path ".ml" then begin
     check_mutable_global rep ~path ~cat items;
     check_unit_suffix rep ~path ~cat items;
