@@ -28,23 +28,26 @@ type result = {
   major_words : float;
 }
 
-(* The pinned set exercises the three hot-path regimes: fig4 (testbed
+(* The pinned set exercises the hot-path regimes: fig4 (testbed
    multipath shifting, timer-churn heavy), fig9 (fat-tree incast job
-   completion, burst heavy) and table1 (full fat-tree sweep at quick
-   scale, events/sec bound). [--quick] drops everything to quick scale
-   for CI smoke runs. *)
+   completion, burst heavy), table1 (full fat-tree sweep at quick
+   scale, events/sec bound) and wl.websearch (open-loop sharded k=8
+   workload, flow-churn plus portal-mail heavy). [--quick] drops
+   everything to quick scale for CI smoke runs. *)
 let pinned ~quick =
   if quick then
     [
       ("fig4@quick", "fig4", E.Scenarios.quick);
       ("fig9@quick", "fig9", E.Scenarios.quick);
       ("table1@quick", "table1", E.Scenarios.quick);
+      ("wl.websearch@quick", "wl.websearch.k8", E.Scenarios.quick);
     ]
   else
     [
       ("fig4@default", "fig4", E.Scenarios.default);
       ("fig9@default", "fig9", E.Scenarios.default);
       ("table1@quick", "table1", E.Scenarios.quick);
+      ("wl.websearch@quick", "wl.websearch.k8", E.Scenarios.quick);
     ]
 
 let resolve (label, name, cfg) =

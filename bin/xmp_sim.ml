@@ -555,6 +555,129 @@ let faults_cmd =
       const run $ k_arity_t $ horizon_t $ seed_t $ marking_t $ queue_t
       $ beta_t $ sack_t $ scheme_t $ pattern_t $ faults_t $ list_links_t)
 
+(* ----- workload: open-loop FCT-slowdown runs at paper scale ----- *)
+
+module Open_loop = Xmp_workload.Open_loop
+module Flow_size = Xmp_workload.Flow_size
+
+let cdf_conv =
+  let parse = function
+    | "websearch" -> Ok Flow_size.web_search
+    | "datamining" -> Ok Flow_size.data_mining
+    | path when Sys.file_exists path -> (
+      match Flow_size.of_file path with
+      | t -> Ok t
+      | exception Invalid_argument m -> Error (`Msg m))
+    | s ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown CDF %S (websearch, datamining, or a file of \
+               \"size_segments cum_prob\" lines)"
+              s))
+  in
+  Arg.conv (parse, fun fmt t -> Format.pp_print_string fmt (Flow_size.name t))
+
+let cdf_t =
+  let doc =
+    "Flow-size distribution: $(b,websearch), $(b,datamining) or a file of \
+     $(i,size_segments cum_prob) lines."
+  in
+  Arg.(value & opt cdf_conv Flow_size.web_search & info [ "cdf" ] ~docv:"CDF" ~doc)
+
+let wl_k_t =
+  let doc = "Fat-tree arity $(docv) (even; 8 => 128 hosts)." in
+  Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc)
+
+let load_t =
+  let doc = "Offered load as a fraction of the host line rate." in
+  Arg.(value & opt float 0.4 & info [ "load" ] ~docv:"FRACTION" ~doc)
+
+let size_scale_t =
+  let doc =
+    "Factor applied to the CDF's sizes (default 1/32, the repo-wide paper \
+     scaling)."
+  in
+  Arg.(
+    value & opt float (1. /. 32.) & info [ "size-scale" ] ~docv:"FACTOR" ~doc)
+
+let wl_horizon_t =
+  let doc = "Arrival horizon in simulated seconds." in
+  Arg.(value & opt float 0.1 & info [ "horizon" ] ~docv:"SECONDS" ~doc)
+
+let drain_t =
+  let doc = "Extra simulated seconds for in-flight flows to finish." in
+  Arg.(value & opt float 0.2 & info [ "drain" ] ~docv:"SECONDS" ~doc)
+
+let flows_t =
+  let doc = "Stop generating after $(docv) flows (before the horizon)." in
+  Arg.(value & opt (some int) None & info [ "flows" ] ~docv:"N" ~doc)
+
+let domains_t =
+  let doc = "Worker domains for the pod-sharded run (never changes results)." in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let wl_out_t =
+  let doc =
+    "Write $(docv).fct.csv (per-bucket slowdown summary) and $(docv).cdf.csv \
+     (slowdown CDF points)."
+  in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"PREFIX" ~doc)
+
+let workload_cmd =
+  let run k seed scheme cdf size_scale load horizon drain flows domains mark
+      queue beta sack out =
+    let sizes =
+      if size_scale = 1. then cdf else Flow_size.scaled cdf size_scale
+    in
+    let config =
+      {
+        Open_loop.default_config with
+        Open_loop.k;
+        seed;
+        scheme;
+        sizes;
+        load;
+        horizon = Time.sec horizon;
+        drain = Time.sec drain;
+        max_flows = flows;
+        marking_threshold = mark;
+        queue_pkts = queue;
+        beta;
+        sack;
+      }
+    in
+    let r = Open_loop.run ~config ~domains () in
+    let m = r.Open_loop.metrics in
+    Printf.printf
+      "workload %s: k=%d seed=%d load=%.3f cdf=%s mean_size=%.1f segments\n"
+      (Scheme.name scheme) k seed load (Flow_size.name sizes)
+      (Flow_size.mean_segments sizes);
+    Printf.printf
+      "flows: %d launched, %d completed, %d truncated (horizon %.3fs + drain %.3fs)\n"
+      r.Open_loop.launched r.Open_loop.completed r.Open_loop.truncated horizon
+      drain;
+    Printf.printf "events executed: %d (portal mail %d)\n" r.Open_loop.events
+      r.Open_loop.mail;
+    print_string (Xmp_workload.Metrics.fct_summary_csv m);
+    match out with
+    | Some prefix ->
+      write_file (prefix ^ ".fct.csv") (Xmp_workload.Metrics.fct_summary_csv m);
+      write_file (prefix ^ ".cdf.csv") (Xmp_workload.Metrics.fct_cdf_csv m);
+      Printf.eprintf "[workload] wrote %s.fct.csv and %s.cdf.csv\n" prefix
+        prefix
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "Open-loop workload on the pod-sharded fat tree: Poisson arrivals, \
+          empirical flow sizes, FCT-slowdown CDFs")
+    Term.(
+      const run $ wl_k_t $ seed_t $ scheme_t $ cdf_t $ size_scale_t $ load_t
+      $ wl_horizon_t $ drain_t $ flows_t $ domains_t $ marking_t $ queue_t
+      $ beta_t $ sack_t $ wl_out_t)
+
 let coexist_cmd =
   let run k horizon seed mark beta =
     let base = base_of k horizon seed mark 100 beta in
@@ -582,7 +705,8 @@ let main_cmd =
     (Cmd.info "xmp_sim" ~version:"1.0.0" ~doc)
     [
       fig1_cmd; fig4_cmd; fig6_cmd; fig7_cmd; matrix_cmd; eval_cmd;
-      sweep_cmd; trace_cmd; faults_cmd; coexist_cmd; ablation_cmd;
+      sweep_cmd; trace_cmd; faults_cmd; workload_cmd; coexist_cmd;
+      ablation_cmd;
     ]
 
 let () =

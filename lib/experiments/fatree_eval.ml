@@ -100,6 +100,7 @@ let driver_config base scheme pattern =
     assignment = Driver.Uniform scheme;
     pattern = pattern_of base pattern;
     rtt_subsample = 16;
+    keep_flows = true;
     faults = base.faults;
     telemetry = Xmp_telemetry.Sink.null;
   }
@@ -175,15 +176,17 @@ let print_fault_eval base scheme pattern =
       (Xmp_telemetry.Sink.recorder sink);
     !n
   in
-  let flows = Metrics.completed_flows r.Driver.metrics in
-  let truncated = List.length (List.filter (fun f -> f.Metrics.truncated) flows) in
-  let jobs = Metrics.job_times_ms r.Driver.metrics in
+  let m = r.Driver.metrics in
+  let jobs = Metrics.job_times_ms m in
   Table.print
     ~header:[ "Metric"; "Value" ]
     ~rows:
       [
-        [ "Flows recorded"; string_of_int (List.length flows) ];
-        [ "Flows truncated at horizon"; string_of_int truncated ];
+        [ "Flows recorded"; string_of_int (Metrics.n_completed_flows m) ];
+        [
+          "Flows truncated at horizon";
+          string_of_int (Metrics.n_truncated_flows m);
+        ];
         [
           "Mean goodput (Mbps)";
           Table.fixed 1 (Metrics.mean_goodput_bps r.Driver.metrics /. 1e6);

@@ -156,6 +156,25 @@ let all cfg =
        (fun () ->
          Fatree_eval.print_fault_eval base (Xmp_workload.Scheme.xmp 2)
            Fatree_eval.Incast));
+    (let wl = Workload_eval.websearch_config ~scale in
+     Scenario.create ~name:"wl.websearch.k8"
+       ~descr:"open-loop web-search FCT slowdowns on the sharded k=8 tree"
+       ~params:
+         [
+           ("k", string_of_int wl.Xmp_workload.Open_loop.k);
+           ("seed", string_of_int wl.Xmp_workload.Open_loop.seed);
+           ("scheme", Xmp_workload.Scheme.name wl.Xmp_workload.Open_loop.scheme);
+           ("cdf", Xmp_workload.Flow_size.name wl.Xmp_workload.Open_loop.sizes);
+           ("load", string_of_float wl.Xmp_workload.Open_loop.load);
+           ("horizon_ns", string_of_int wl.Xmp_workload.Open_loop.horizon);
+           ("drain_ns", string_of_int wl.Xmp_workload.Open_loop.drain);
+         ]
+       (fun () -> Workload_eval.print_websearch ~scale ()));
+    table ~name:"wl.incast.sweep"
+      ~descr:"job completion times across incast fanout" ~base
+      Workload_eval.print_incast_sweep;
+    table ~name:"wl.shuffle" ~descr:"all-to-all shuffle goodput" ~base
+      Workload_eval.print_shuffle;
   ]
 
 let groups =
@@ -168,6 +187,7 @@ let groups =
         "ablations.queue";
       ] );
     ("faults", [ "fig4.linkfail"; "incast.lossy" ]);
+    ("workload", [ "wl.websearch.k8"; "wl.incast.sweep"; "wl.shuffle" ]);
   ]
 
 let select cfg ids =

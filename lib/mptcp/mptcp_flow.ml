@@ -19,6 +19,7 @@ type t = {
   mutable n_done : int;
   mutable completed_at : Time.t option;
   started_at : Time.t;
+  start_at : Time.t option;
   observer : observer;
 }
 
@@ -75,6 +76,7 @@ let launch_subflow t ~path =
     Tcp.create ~net:t.net ?rcv_net:t.rcv_net ~flow:t.flow ~subflow:idx
       ~src:t.src ~dst:t.dst
       ~path ~cc:(t.group_factory idx) ?config:t.config ~source:t.source
+      ?start_at:t.start_at
       ~on_segment_acked:(fun n ->
         t.acked <- t.acked + n;
         t.observer.on_subflow_acked idx n)
@@ -91,7 +93,7 @@ let launch_subflow t ~path =
   conn
 
 let create ~net ?rcv_net ~flow ~src ~dst ~paths ~coupling ?config
-    ?size_segments ?(observer = silent) () =
+    ?size_segments ?start_at ?(observer = silent) () =
   if paths = [] then invalid_arg "Mptcp_flow.create: paths";
   let sim = Network.sim net in
   let source =
@@ -116,7 +118,11 @@ let create ~net ?rcv_net ~flow ~src ~dst ~paths ~coupling ?config
       acked = 0;
       n_done = 0;
       completed_at = None;
-      started_at = Xmp_engine.Sim.now sim;
+      started_at =
+        (match start_at with
+        | None -> Xmp_engine.Sim.now sim
+        | Some ts -> Time.max (Xmp_engine.Sim.now sim) ts);
+      start_at;
       observer;
     }
   in
@@ -161,3 +167,4 @@ let goodput_bps t =
   | Some c -> goodput_bps_until t c
 
 let stop t = Array.iter Tcp.stop t.subflows
+let close_receivers t = Array.iter Tcp.close_receiver t.subflows

@@ -38,12 +38,16 @@ val create :
   coupling:Coupling.t ->
   ?config:Xmp_transport.Tcp.config ->
   ?size_segments:int ->
+  ?start_at:Xmp_engine.Time.t ->
   ?observer:observer ->
   unit ->
   t
 (** One subflow per element of [paths] (the subflow's path selector).
     [size_segments = None] means an unbounded bulk flow. [observer]
-    defaults to {!silent}. *)
+    defaults to {!silent}. A future [start_at] defers every subflow's
+    first transmission to that instant (endpoints register immediately);
+    {!started_at} then reports [start_at] and goodput is measured from
+    there. *)
 
 val add_subflow : t -> path:int -> Xmp_transport.Tcp.t
 (** Establishes an additional subflow on [path] (Figure 6's staggered
@@ -85,3 +89,10 @@ val goodput_bps_until : t -> Xmp_engine.Time.t -> float
 
 val stop : t -> unit
 (** Stops all subflows without completing the flow. *)
+
+val close_receivers : t -> unit
+(** Reaps every subflow's split receiver half
+    ({!Xmp_transport.Tcp.close_receiver}): call after completion, from
+    the destination shard's domain or at an epoch barrier, so sharded
+    open-loop runs do not accumulate dead endpoint registrations. No-op
+    for non-split flows. *)

@@ -186,4 +186,5 @@ let max_rtt_no_queue t =
   in
   Time.mul one_way 2
 
-let run ?domains ?until t = Shard.run ?domains ?until t.cluster
+let run ?domains ?until ?on_epoch t =
+  Shard.run ?domains ?until ?on_epoch t.cluster

@@ -46,5 +46,11 @@ val n_paths : t -> src:int -> dst:int -> int
 val max_rtt_no_queue : t -> Xmp_engine.Time.t
 (** Zero-load inter-pod round trip, as {!Fat_tree.max_rtt_no_queue}. *)
 
-val run : ?domains:int -> ?until:Xmp_engine.Time.t -> t -> unit
-(** {!Shard.run} on the cluster. *)
+val run :
+  ?domains:int ->
+  ?until:Xmp_engine.Time.t ->
+  ?on_epoch:(target:Xmp_engine.Time.t -> Xmp_engine.Time.t) ->
+  t ->
+  unit
+(** {!Shard.run} on the cluster ([on_epoch] is the epoch-barrier hook —
+    see {!Shard.run}). *)

@@ -240,11 +240,13 @@ let min_next_event t =
     (fun acc s -> Time.min acc (Sim.next_event_time s.sim))
     Time.infinity t.shards
 
-let run ?(domains = 1) ?(until = Time.infinity) t =
+let run ?(domains = 1) ?(until = Time.infinity) ?on_epoch t =
   if domains < 1 then invalid_arg "Shard.run: domains";
   if t.n_portals = 0 then begin
     (* no cross-shard edges: the shards are independent simulations and
-       one pass each is the whole computation *)
+       one pass each is the whole computation. The barrier hook still
+       fires once so generators can seed their whole schedule. *)
+    (match on_epoch with Some f -> ignore (f ~target:until) | None -> ());
     Array.iter (fun s -> Sim.run ~until s.sim) t.shards;
     ignore (inject t)
   end
@@ -268,15 +270,26 @@ let run ?(domains = 1) ?(until = Time.infinity) t =
              its bound, hence the -1 *)
           let window_end = Time.mul delta (t.epoch + 1) - 1 in
           let target = Time.min until window_end in
+          (* barrier hook: every worker is parked here, so the callback
+             may mutate any shard (e.g. create cross-shard flows due in
+             this window). It returns the time of its earliest remaining
+             action beyond [target] (Time.infinity when exhausted), which
+             joins the idle fast-forward below. *)
+          let hint =
+            match on_epoch with
+            | Some f -> f ~target
+            | None -> Time.infinity
+          in
           run_epoch ~until:target;
           let injected = inject t in
           if target >= until then continue := false
           else begin
             (* the full window completed: advance, fast-forwarding over
-               idle epochs when nothing is scheduled and no mail landed *)
+               idle epochs when nothing is scheduled, no mail landed and
+               the hook holds nothing sooner *)
             t.epoch <- t.epoch + 1;
             if injected = 0 then begin
-              let nt = min_next_event t in
+              let nt = Time.min (min_next_event t) hint in
               if nt = Time.infinity || Time.compare nt until > 0 then begin
                 (* nothing left inside the horizon: one last pass parks
                    every clock at [until] (matching Sim.run's cutoff

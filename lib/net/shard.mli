@@ -61,14 +61,31 @@ val epoch_delta : t -> Xmp_engine.Time.t
 (** The epoch length Δ (minimum portal delay); [Time.infinity] while no
     portal exists. *)
 
-val run : ?domains:int -> ?until:Xmp_engine.Time.t -> t -> unit
+val run :
+  ?domains:int ->
+  ?until:Xmp_engine.Time.t ->
+  ?on_epoch:(target:Xmp_engine.Time.t -> Xmp_engine.Time.t) ->
+  t ->
+  unit
 (** Advances every shard to [until] in Δ-sized epochs, injecting portal
     mail at each barrier. [domains:1] (the default) runs the epochs on
     the calling domain; [domains:n] spawns [n - 1] worker domains for
     the duration of the call and shards are pinned round-robin. The
     domain count never changes results (see the determinism notes
     above). Idle stretches where no shard has events and no mail is in
-    flight are skipped in O(1). *)
+    flight are skipped in O(1).
+
+    [on_epoch] is the barrier hook for open-loop traffic generation: it
+    runs on the orchestrating domain at the start of every epoch, while
+    all workers are parked, so it may safely mutate any shard — in
+    particular create cross-shard flows (which register endpoints on two
+    shards) due inside the epoch's window. The callback receives the
+    epoch's end time [target], must schedule everything it wants at or
+    before [target], and returns the time of its earliest remaining
+    action strictly beyond [target] ([Time.infinity] when exhausted);
+    that return feeds the idle fast-forward so quiet stretches are still
+    skipped. Without portals the hook fires exactly once with
+    [target = until]. *)
 
 val events_executed : t -> int
 (** Sum of {!Xmp_engine.Sim.events_executed} over the shards. *)

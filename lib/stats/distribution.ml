@@ -21,11 +21,52 @@ let add_list t xs = List.iter (add t) xs
 let count t = t.len
 let is_empty t = t.len = 0
 
+(* In-place heapsort over the live prefix [0, len). The backing array is
+   over-allocated (doubling growth), so [Array.sort] on the whole array
+   would order the dead tail too, and the previous copy-out/copy-back
+   allocated a full live-size scratch array on every re-sort — the
+   dominant allocation when percentile reads interleave with adds at
+   millions of samples. Heapsort visits only [0, len), allocates nothing
+   and, [Float.compare] being a total order, yields the same sorted
+   sequence as any comparison sort. *)
+let sift_down a len root =
+  let x = Array.unsafe_get a root in
+  let i = ref root in
+  let continue = ref true in
+  while !continue do
+    let child = (2 * !i) + 1 in
+    if child >= len then continue := false
+    else begin
+      let child =
+        if
+          child + 1 < len
+          && Float.compare (Array.unsafe_get a child)
+               (Array.unsafe_get a (child + 1))
+             < 0
+        then child + 1
+        else child
+      in
+      if Float.compare x (Array.unsafe_get a child) < 0 then begin
+        Array.unsafe_set a !i (Array.unsafe_get a child);
+        i := child
+      end
+      else continue := false
+    end
+  done;
+  Array.unsafe_set a !i x
+
 let ensure_sorted t =
   if not t.sorted then begin
-    let live = Array.sub t.samples 0 t.len in
-    Array.sort Float.compare live;
-    Array.blit live 0 t.samples 0 t.len;
+    let a = t.samples and len = t.len in
+    for root = (len / 2) - 1 downto 0 do
+      sift_down a len root
+    done;
+    for last = len - 1 downto 1 do
+      let x = Array.unsafe_get a last in
+      Array.unsafe_set a last (Array.unsafe_get a 0);
+      Array.unsafe_set a 0 x;
+      sift_down a last 0
+    done;
     t.sorted <- true
   end
 

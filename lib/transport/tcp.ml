@@ -518,7 +518,7 @@ let sender_rx t (p : Packet.t) =
   end
 
 let create ~net ?rcv_net ~flow ~subflow ~src ~dst ~path ~cc
-    ?(config = default_config) ?(source = Infinite)
+    ?(config = default_config) ?(source = Infinite) ?start_at
     ?(on_segment_acked = nop1) ?(on_rtt_sample = nop1)
     ?(on_complete = fun () -> ()) () =
   let sim = Network.sim net in
@@ -571,7 +571,10 @@ let create ~net ?rcv_net ~flow ~subflow ~src ~dst ~path ~cc
       cc = placeholder_cc;
       est;
       source;
-      started_at = Sim.now sim;
+      started_at =
+        (match start_at with
+        | None -> Sim.now sim
+        | Some ts -> Time.max (Sim.now sim) ts);
       snd_una = 0;
       snd_nxt = 0;
       snd_max = 0;
@@ -630,10 +633,24 @@ let create ~net ?rcv_net ~flow ~subflow ~src ~dst ~path ~cc
       if not t.rcv_closed then send_ack t);
   Network.register_endpoint net ~host:src ~flow ~subflow (sender_rx t);
   Network.register_endpoint rcv_net ~host:dst ~flow ~subflow (receiver_rx t);
-  send_loop t;
+  (* A deferred start keeps registration immediate (so the receiver half
+     exists before any packet can arrive) but first transmits at
+     [started_at]; the guard covers flows stopped before their start. *)
+  if Time.compare t.started_at (Sim.now sim) > 0 then
+    Sim.at sim t.started_at (fun () -> if not t.torn_down then send_loop t)
+  else send_loop t;
   t
 
 let stop t = teardown t
+
+let close_receiver t =
+  if t.split && not t.rcv_closed then begin
+    t.rcv_closed <- true;
+    (match t.delack_timer with Some tm -> Sim.cancel tm | None -> ());
+    t.delack_timer <- None;
+    Network.unregister_endpoint t.rcv_net ~host:t.dst ~flow:t.flow
+      ~subflow:t.subflow
+  end
 let flow t = t.flow
 let subflow t = t.subflow
 let path t = t.path

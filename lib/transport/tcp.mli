@@ -67,26 +67,40 @@ val create :
   cc:Cc.factory ->
   ?config:config ->
   ?source:source ->
+  ?start_at:Xmp_engine.Time.t ->
   ?on_segment_acked:(int -> unit) ->
   ?on_rtt_sample:(Xmp_engine.Time.t -> unit) ->
   ?on_complete:(unit -> unit) ->
   unit ->
   t
-(** Registers both endpoints and starts sending immediately (wrap in
-    [Sim.at] for deferred starts). [source] defaults to [Infinite].
-    [on_complete] fires once, when a [Limited] source is exhausted and
-    every segment is acknowledged; the connection then tears down.
+(** Registers both endpoints and starts sending immediately, or — when
+    [start_at] is in the future — at [start_at] (registration stays
+    immediate so the receiver half exists before any packet arrives;
+    [started_at] reports the deferred time). [source] defaults to
+    [Infinite]. [on_complete] fires once, when a [Limited] source is
+    exhausted and every segment is acknowledged; the connection then
+    tears down.
 
     [rcv_net] places the receiver half on a different network (a sharded
     run's destination shard): the data endpoint registers there, its
     delayed-ACK timer runs on that network's simulator, and the two
     halves share no timers — only packets — so each shard's domain
     touches only its own half. The receiver half stays registered after
-    teardown in this mode (late cross-shard arrivals dead-letter). *)
+    teardown in this mode (late cross-shard arrivals dead-letter) until
+    {!close_receiver} reaps it. *)
 
 val stop : t -> unit
 (** Tears the connection down without completing it (cancels timers,
     unregisters endpoints). Idempotent. *)
+
+val close_receiver : t -> unit
+(** Reaps a split receiver half after the sender side tore down:
+    unregisters the data endpoint from [rcv_net] and cancels its
+    delayed-ACK timer. Only meaningful in split mode — it must be called
+    from the destination shard's domain, or at a barrier where no shard
+    is running (the open-loop driver reaps completed flows there, so a
+    million-flow run does not leak endpoint registrations). No-op for
+    non-split connections and on repeat calls. *)
 
 (** {1 Introspection} *)
 

@@ -1,0 +1,35 @@
+(** Open-loop Poisson flow arrivals with per-host deterministic streams.
+
+    Each host owns a private [Random.State] seeded from the generator
+    seed and its own index; interarrival gaps are exponential with the
+    given per-host rate, rounded to whole nanoseconds (minimum 1 ns, so
+    one host's arrival times strictly increase). Because every random
+    decision about a host's flows comes from that host's stream in
+    arrival order, the generated schedule depends only on
+    [(seed, hosts, rate)] — not on domain count, shard layout or how the
+    caller batches the draining — which is what keeps jobs-1 vs jobs-N
+    and domains-1 vs domains-N runs byte-identical. *)
+
+type t
+
+val create : seed:int -> hosts:int -> rate:float -> t
+(** [rate] is arrivals per second per host, must be positive; [hosts]
+    at least 1. The first arrival of each host is one exponential gap
+    after time zero. *)
+
+val until :
+  t ->
+  target:Xmp_engine.Time.t ->
+  f:(host:int -> at:Xmp_engine.Time.t -> rng:Random.State.t -> unit) ->
+  Xmp_engine.Time.t
+(** Pops every pending arrival at or before [target] in [(time, host)]
+    order, calling [f] for each. [rng] is the host's own stream — the
+    callback should draw any per-flow randomness (size, destination,
+    path) from it, and from nothing else, to preserve determinism.
+    Returns the earliest remaining arrival (strictly after [target]), or
+    [Time.infinity] once stopped — shaped to be returned directly from a
+    {!Xmp_net.Shard.run} [on_epoch] hook. *)
+
+val stop : t -> unit
+(** Exhausts every stream: no further arrivals are generated (used to
+    cut generation at a flow-count target). *)

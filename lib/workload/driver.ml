@@ -24,6 +24,18 @@ type pattern =
       bg_cap_segments : float;
       bg_shape : float;
     }
+  | Permutation_churn of {
+      min_segments : int;
+      max_segments : int;
+      churn : Time.t;
+    }
+  | Incast_sweep of {
+      jobs : int;
+      fanouts : int list;
+      request_segments : int;
+      response_segments : int;
+    }
+  | All_to_all of { segments : int }
 
 type config = {
   k : int;
@@ -37,6 +49,7 @@ type config = {
   assignment : assignment;
   pattern : pattern;
   rtt_subsample : int;
+  keep_flows : bool;
   faults : Xmp_engine.Fault_spec.t;
   telemetry : Xmp_telemetry.Sink.t;
 }
@@ -82,6 +95,7 @@ let default_config =
     assignment = Uniform (Scheme.xmp 2);
     pattern = permutation_scaled;
     rtt_subsample = 16;
+    keep_flows = true;
     faults = Xmp_engine.Fault_spec.empty;
     telemetry = Xmp_telemetry.Sink.null;
   }
@@ -254,6 +268,25 @@ let run_permutation ctx ~min_segments ~max_segments =
   in
   start_wave ()
 
+(* Permutation with churn: a fresh derangement wave starts every [churn]
+   period on the clock, regardless of whether earlier waves finished —
+   so the matrix rotates under the flows and a slow wave overlaps the
+   next one instead of gating it. *)
+let run_permutation_churn ctx ~min_segments ~max_segments ~churn =
+  if Time.compare churn Time.zero <= 0 then
+    invalid_arg "Driver: churn period must be positive";
+  let n = Fat_tree.n_hosts ctx.ft in
+  let rec start_wave () =
+    let perm = random_derangement ctx n in
+    for src = 0 to n - 1 do
+      let size_segments = uniform_size ctx ~min_segments ~max_segments in
+      launch_large ctx ~src ~dst:perm.(src) ~size_segments
+        ~on_complete:(fun () -> ())
+    done;
+    Sim.after ctx.sim churn start_wave
+  in
+  start_wave ()
+
 (* ----- Random pattern ----- *)
 
 let start_random_source ctx ~pareto ~max_inbound ~other_rack ~src =
@@ -321,6 +354,67 @@ let run_incast ctx ~jobs ~fanout ~request_segments ~response_segments
       ~cap_segments:bg_cap_segments ~shape:bg_shape ~max_inbound:4
       ~other_rack:true
 
+(* Incast sweep: [jobs] concurrent request/response chains, each cycling
+   through the fanout list so every fanout accumulates job-time samples
+   (filed per fanout via [record_job ~fanout]). No background flows —
+   the sweep isolates the fanout effect. *)
+let run_incast_sweep ctx ~jobs ~fanouts ~request_segments ~response_segments =
+  let fan_arr = Array.of_list fanouts in
+  if Array.length fan_arr = 0 then
+    invalid_arg "Driver: incast sweep needs at least one fanout";
+  let n = Fat_tree.n_hosts ctx.ft in
+  Array.iter
+    (fun fanout ->
+      if fanout < 1 || n < fanout + 1 then
+        invalid_arg "Driver: incast sweep fanout exceeds hosts")
+    fan_arr;
+  let rec start_job idx =
+    let fanout = fan_arr.(idx mod Array.length fan_arr) in
+    let hosts = pick_distinct ctx ~n:(fanout + 1) ~from:n in
+    let client = hosts.(0) in
+    let t0 = Sim.now ctx.sim in
+    let responses = ref 0 in
+    for s = 1 to fanout do
+      let server = hosts.(s) in
+      launch_small ctx ~src:client ~dst:server
+        ~size_segments:request_segments ~on_complete:(fun () ->
+          launch_small ctx ~src:server ~dst:client
+            ~size_segments:response_segments ~on_complete:(fun () ->
+              incr responses;
+              if !responses = fanout then begin
+                Metrics.record_job ~fanout ctx.metrics
+                  (Time.sub (Sim.now ctx.sim) t0);
+                start_job (idx + 1)
+              end))
+    done
+  in
+  (* chain [j] starts at offset [j] into the fanout list, so concurrent
+     chains cover different fanouts from the first wave on *)
+  for j = 0 to jobs - 1 do
+    start_job j
+  done
+
+(* All-to-all shuffle: every host sends one flow to every other host; the
+   next wave starts when the whole shuffle completes (a map-reduce style
+   barrier). *)
+let run_all_to_all ctx ~segments =
+  let n = Fat_tree.n_hosts ctx.ft in
+  let rec start_wave () =
+    let remaining = ref (n * (n - 1)) in
+    for src = 0 to n - 1 do
+      for d = 1 to n - 1 do
+        (* visit destinations in src-relative order so no host's flow
+           set is built before its own outgoing flows exist *)
+        let dst = (src + d) mod n in
+        launch_large ctx ~src ~dst ~size_segments:segments
+          ~on_complete:(fun () ->
+            decr remaining;
+            if !remaining = 0 then start_wave ())
+      done
+    done
+  in
+  start_wave ()
+
 let run cfg =
   let sim =
     Sim.create
@@ -357,7 +451,9 @@ let run cfg =
       net;
       ft;
       rng = Sim.rng sim;
-      metrics = Metrics.create ~rtt_subsample:cfg.rtt_subsample;
+      metrics =
+        Metrics.create ~keep_flows:cfg.keep_flows
+          ~rtt_subsample:cfg.rtt_subsample ();
       overrides = { Scheme.rto_min = cfg.rto_min; beta = cfg.beta; sack = cfg.sack };
       next_flow = 0;
       inbound = Array.make (Fat_tree.n_hosts ft) 0;
@@ -381,7 +477,12 @@ let run cfg =
         bg_shape;
       } ->
     run_incast ctx ~jobs ~fanout ~request_segments ~response_segments
-      ~bg_mean_segments ~bg_cap_segments ~bg_shape);
+      ~bg_mean_segments ~bg_cap_segments ~bg_shape
+  | Permutation_churn { min_segments; max_segments; churn } ->
+    run_permutation_churn ctx ~min_segments ~max_segments ~churn
+  | Incast_sweep { jobs; fanouts; request_segments; response_segments } ->
+    run_incast_sweep ctx ~jobs ~fanouts ~request_segments ~response_segments
+  | All_to_all { segments } -> run_all_to_all ctx ~segments);
   Sim.run ~until:cfg.horizon sim;
   (* Flows still running at the horizon are measured over their partial
      lifetime (start → horizon), so slow schemes do not escape the average

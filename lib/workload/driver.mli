@@ -41,6 +41,26 @@ type pattern =
       bg_cap_segments : float;
       bg_shape : float;
     }
+  | Permutation_churn of {
+      min_segments : int;
+      max_segments : int;
+      churn : Xmp_engine.Time.t;
+          (** a fresh derangement wave starts every [churn] period
+              regardless of completions, so waves overlap and the traffic
+              matrix rotates under running flows; must be positive *)
+    }
+  | Incast_sweep of {
+      jobs : int;  (** concurrent request/response chains *)
+      fanouts : int list;
+          (** each chain cycles through this fanout list; job times are
+              additionally filed per fanout
+              ({!Metrics.job_times_by_fanout}) *)
+      request_segments : int;
+      response_segments : int;
+    }
+  | All_to_all of { segments : int }
+      (** every host sends [segments] to every other host; the next
+          shuffle wave starts when the whole wave completes *)
 
 type config = {
   k : int;  (** fat-tree arity *)
@@ -54,6 +74,11 @@ type config = {
   assignment : assignment;
   pattern : pattern;
   rtt_subsample : int;
+  keep_flows : bool;
+      (** retain every per-flow {!Metrics.flow_record} (the historical
+          behaviour; required by the table/figure printers). Disable for
+          long open-loop runs where only the streaming aggregates are
+          needed. *)
   faults : Xmp_engine.Fault_spec.t;
       (** fault schedule armed against the fat-tree before traffic starts;
           {!Xmp_engine.Fault_spec.empty} (the default) injects nothing *)
@@ -65,7 +90,7 @@ type config = {
 val default_config : config
 (** k = 4, seed 1, 2 s horizon, 100-packet queues, K = 10, β = 4,
     RTOmin 200 ms, XMP-2 Permutation with the ×1/32-scaled paper sizes,
-    no faults, null telemetry sink. *)
+    per-flow records kept, no faults, null telemetry sink. *)
 
 val permutation_scaled : pattern
 (** Paper's 64–512 MB uniform sizes scaled by 1/32 (2–16 MB). *)

@@ -15,33 +15,89 @@ type flow_record = {
   truncated : bool;
 }
 
+type scheme_sum = { mutable s_sum : float; mutable s_n : int }
+
+(* FCT-slowdown size buckets, by flow size in bytes (1460 B segments).
+   The last bucket is open-ended. *)
+let fct_bucket_bounds = [| 10e3; 100e3; 1e6; 10e6; Float.infinity |]
+let fct_bucket_labels = [| "0-10KB"; "10KB-100KB"; "100KB-1MB"; "1MB-10MB"; ">10MB" |]
+let n_fct_buckets = Array.length fct_bucket_bounds
+
 type t = {
+  keep_flows : bool;
   rtt_subsample : int;
-  mutable flows : flow_record list;
+  mutable flows : flow_record list; (* reverse chronological; only when keep_flows *)
   mutable n_flows : int;
+  mutable n_truncated : int;
+  (* streaming aggregates, maintained on every record_flow *)
+  mutable goodput_sum : float;
+  scheme_sums : (Scheme.t, scheme_sum) Hashtbl.t;
+  mutable scheme_order : Scheme.t list; (* reverse insertion order *)
+  goodput_all : Distribution.t;
+  goodput_inner : Distribution.t;
+  goodput_rack : Distribution.t;
+  goodput_pod : Distribution.t;
   rtt_inner : Distribution.t;
   rtt_rack : Distribution.t;
   rtt_pod : Distribution.t;
   mutable rtt_counter : int;
   jobs : Distribution.t;
+  fanout_jobs : (int, Distribution.t) Hashtbl.t;
+  mutable fanout_order : int list;
+  slowdown_all : Distribution.t;
+  slowdown_buckets : Distribution.t array;
 }
 
-let create ~rtt_subsample =
+let create ?(keep_flows = false) ~rtt_subsample () =
   if rtt_subsample < 1 then invalid_arg "Metrics.create";
   {
+    keep_flows;
     rtt_subsample;
     flows = [];
     n_flows = 0;
+    n_truncated = 0;
+    goodput_sum = 0.;
+    scheme_sums = Hashtbl.create 7;
+    scheme_order = [];
+    goodput_all = Distribution.create ();
+    goodput_inner = Distribution.create ();
+    goodput_rack = Distribution.create ();
+    goodput_pod = Distribution.create ();
     rtt_inner = Distribution.create ();
     rtt_rack = Distribution.create ();
     rtt_pod = Distribution.create ();
     rtt_counter = 0;
     jobs = Distribution.create ();
+    fanout_jobs = Hashtbl.create 7;
+    fanout_order = [];
+    slowdown_all = Distribution.create ();
+    slowdown_buckets = Array.init n_fct_buckets (fun _ -> Distribution.create ());
   }
 
+let goodput_dist t = function
+  | Fat_tree.Inner_rack -> t.goodput_inner
+  | Fat_tree.Inter_rack -> t.goodput_rack
+  | Fat_tree.Inter_pod -> t.goodput_pod
+
+let scheme_sum t scheme =
+  match Hashtbl.find_opt t.scheme_sums scheme with
+  | Some s -> s
+  | None ->
+    let s = { s_sum = 0.; s_n = 0 } in
+    Hashtbl.replace t.scheme_sums scheme s;
+    t.scheme_order <- scheme :: t.scheme_order;
+    s
+
 let record_flow t r =
-  t.flows <- r :: t.flows;
-  t.n_flows <- t.n_flows + 1
+  t.n_flows <- t.n_flows + 1;
+  if r.truncated then t.n_truncated <- t.n_truncated + 1;
+  t.goodput_sum <- t.goodput_sum +. r.goodput_bps;
+  let s = scheme_sum t r.scheme in
+  s.s_sum <- s.s_sum +. r.goodput_bps;
+  s.s_n <- s.s_n + 1;
+  Distribution.add t.goodput_all r.goodput_bps;
+  Distribution.add (goodput_dist t r.locality) r.goodput_bps;
+  if t.keep_flows then t.flows <- r :: t.flows
 
 let rtt_dist t = function
   | Fat_tree.Inner_rack -> t.rtt_inner
@@ -53,40 +109,64 @@ let record_rtt t ~locality rtt =
   if t.rtt_counter mod t.rtt_subsample = 0 then
     Distribution.add (rtt_dist t locality) (Time.to_ms rtt)
 
-let record_job t d = Distribution.add t.jobs (Time.to_ms d)
-let completed_flows t = List.rev t.flows
+let record_job ?fanout t d =
+  Distribution.add t.jobs (Time.to_ms d);
+  match fanout with
+  | None -> ()
+  | Some f ->
+    let dist =
+      match Hashtbl.find_opt t.fanout_jobs f with
+      | Some dist -> dist
+      | None ->
+        let dist = Distribution.create () in
+        Hashtbl.replace t.fanout_jobs f dist;
+        t.fanout_order <- f :: t.fanout_order;
+        dist
+    in
+    Distribution.add dist (Time.to_ms d)
+
+let fct_bucket_of_segments size_segments =
+  let bytes = float_of_int size_segments *. 1460. in
+  let i = ref 0 in
+  while bytes > fct_bucket_bounds.(!i) do
+    incr i
+  done;
+  !i
+
+let record_fct t ~size_segments ~fct ~ideal =
+  let ideal_s = Time.to_float_s ideal in
+  if ideal_s <= 0. then invalid_arg "Metrics.record_fct: ideal must be positive";
+  let slowdown = Time.to_float_s fct /. ideal_s in
+  Distribution.add t.slowdown_all slowdown;
+  Distribution.add t.slowdown_buckets.(fct_bucket_of_segments size_segments) slowdown
+
+let completed_flows t =
+  if not t.keep_flows then
+    invalid_arg
+      "Metrics.completed_flows: per-flow records not kept (create with \
+       ~keep_flows:true)";
+  List.rev t.flows
+
+let keeps_flows t = t.keep_flows
 let n_completed_flows t = t.n_flows
+let n_truncated_flows t = t.n_truncated
 
-let mean_goodput_over t pred =
-  let sum = ref 0. and n = ref 0 in
-  List.iter
-    (fun r ->
-      if pred r then begin
-        sum := !sum +. r.goodput_bps;
-        incr n
-      end)
-    t.flows;
-  if !n = 0 then 0. else !sum /. float_of_int !n
-
-let mean_goodput_bps t = mean_goodput_over t (fun _ -> true)
+let mean_goodput_bps t =
+  if t.n_flows = 0 then 0. else t.goodput_sum /. float_of_int t.n_flows
 
 let mean_goodput_bps_of_scheme t scheme =
-  mean_goodput_over t (fun r -> r.scheme = scheme)
+  match Hashtbl.find_opt t.scheme_sums scheme with
+  | None -> 0.
+  | Some s -> if s.s_n = 0 then 0. else s.s_sum /. float_of_int s.s_n
 
-let goodputs t =
-  let d = Distribution.create () in
-  List.iter (fun r -> Distribution.add d r.goodput_bps) t.flows;
-  d
+let goodputs t = t.goodput_all
 
 let localities = [ Fat_tree.Inter_pod; Fat_tree.Inter_rack; Fat_tree.Inner_rack ]
 
 let goodputs_by_locality t =
   List.filter_map
     (fun loc ->
-      let d = Distribution.create () in
-      List.iter
-        (fun r -> if r.locality = loc then Distribution.add d r.goodput_bps)
-        t.flows;
+      let d = goodput_dist t loc in
       if Distribution.is_empty d then None else Some (loc, d))
     localities
 
@@ -99,6 +179,96 @@ let rtts_by_locality t =
 
 let job_times_ms t = t.jobs
 let jobs_over_ms t threshold = Distribution.fraction_above t.jobs threshold
+
+let job_times_by_fanout t =
+  let fanouts = List.sort_uniq Int.compare t.fanout_order in
+  List.map (fun f -> (f, Hashtbl.find t.fanout_jobs f)) fanouts
+
+let fct_slowdowns t =
+  let buckets =
+    List.filter_map
+      (fun i ->
+        let d = t.slowdown_buckets.(i) in
+        if Distribution.is_empty d then None
+        else Some (fct_bucket_labels.(i), d))
+      (List.init n_fct_buckets Fun.id)
+  in
+  if Distribution.is_empty t.slowdown_all then buckets
+  else buckets @ [ ("all", t.slowdown_all) ]
+
+let fct_summary_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "bucket,samples,mean,p50,p90,p99,max\n";
+  List.iter
+    (fun (label, d) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%.6g,%.6g,%.6g,%.6g,%.6g\n" label
+           (Distribution.count d) (Distribution.mean d)
+           (Distribution.percentile d 50.)
+           (Distribution.percentile d 90.)
+           (Distribution.percentile d 99.)
+           (Distribution.max d)))
+    (fct_slowdowns t);
+  Buffer.contents buf
+
+let fct_cdf_csv ?(points = 100) t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "bucket,slowdown,cum_prob\n";
+  List.iter
+    (fun (label, d) ->
+      List.iter
+        (fun (x, p) ->
+          Buffer.add_string buf (Printf.sprintf "%s,%.6g,%.6g\n" label x p))
+        (Distribution.cdf_points d points))
+    (fct_slowdowns t);
+  Buffer.contents buf
+
+(* Merge [src] into [into]. Used to combine per-pod collectors after a
+   sharded run; calling it in pod-index order keeps every aggregate
+   deterministic (distribution contents arrive sorted-per-pod in pod
+   order, float sums accumulate in pod order). *)
+let merge_dist ~into src = Array.iter (Distribution.add into) (Distribution.values src)
+
+let merge ~into src =
+  into.n_flows <- into.n_flows + src.n_flows;
+  into.n_truncated <- into.n_truncated + src.n_truncated;
+  into.goodput_sum <- into.goodput_sum +. src.goodput_sum;
+  if into.keep_flows && src.keep_flows then
+    into.flows <- src.flows @ into.flows;
+  List.iter
+    (fun scheme ->
+      let s = Hashtbl.find src.scheme_sums scheme in
+      let d = scheme_sum into scheme in
+      d.s_sum <- d.s_sum +. s.s_sum;
+      d.s_n <- d.s_n + s.s_n)
+    (List.rev src.scheme_order);
+  merge_dist ~into:into.goodput_all src.goodput_all;
+  merge_dist ~into:into.goodput_inner src.goodput_inner;
+  merge_dist ~into:into.goodput_rack src.goodput_rack;
+  merge_dist ~into:into.goodput_pod src.goodput_pod;
+  merge_dist ~into:into.rtt_inner src.rtt_inner;
+  merge_dist ~into:into.rtt_rack src.rtt_rack;
+  merge_dist ~into:into.rtt_pod src.rtt_pod;
+  into.rtt_counter <- into.rtt_counter + src.rtt_counter;
+  merge_dist ~into:into.jobs src.jobs;
+  List.iter
+    (fun f ->
+      let src_d = Hashtbl.find src.fanout_jobs f in
+      let into_d =
+        match Hashtbl.find_opt into.fanout_jobs f with
+        | Some d -> d
+        | None ->
+          let d = Distribution.create () in
+          Hashtbl.replace into.fanout_jobs f d;
+          into.fanout_order <- f :: into.fanout_order;
+          d
+      in
+      merge_dist ~into:into_d src_d)
+    (List.rev src.fanout_order);
+  merge_dist ~into:into.slowdown_all src.slowdown_all;
+  Array.iteri
+    (fun i d -> merge_dist ~into:into.slowdown_buckets.(i) d)
+    src.slowdown_buckets
 
 let utilization_by_layer ~net ~duration =
   List.filter_map

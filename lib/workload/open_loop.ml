@@ -1,0 +1,278 @@
+module Sim = Xmp_engine.Sim
+module Time = Xmp_engine.Time
+module Units = Xmp_net.Units
+module Queue_disc = Xmp_net.Queue_disc
+module Fat_tree = Xmp_net.Fat_tree
+module Ft = Xmp_net.Fat_tree_sharded
+module Shard = Xmp_net.Shard
+module Mptcp_flow = Xmp_mptcp.Mptcp_flow
+
+(* Open-loop workload on the pod-sharded fat tree: Poisson arrivals per
+   host (independent of flow completions — the open-loop property), flow
+   sizes from an empirical CDF, uniform random destinations. Flows are
+   created at the epoch barrier via {!Shard.run}'s [on_epoch] hook: that
+   is the only point where registering a flow's endpoints on two shards
+   is safe, and it runs on the orchestrating domain in a deterministic
+   order, so the generated schedule is identical for any domain count. *)
+
+type config = {
+  k : int;
+  seed : int;
+  scheme : Scheme.t;
+  sizes : Flow_size.t;
+  load : float;  (** offered load as a fraction of host line rate *)
+  rate : Units.rate;  (** host line rate *)
+  horizon : Time.t;  (** arrivals stop here *)
+  drain : Time.t;  (** extra simulated time for in-flight flows to finish *)
+  max_flows : int option;  (** arrivals also stop after this many launches *)
+  queue_pkts : int;
+  marking_threshold : int;
+  beta : int;
+  rto_min : Time.t;
+  sack : bool;
+  rtt_subsample : int;
+  keep_flows : bool;
+}
+
+let default_config =
+  {
+    k = 8;
+    seed = 1;
+    scheme = Scheme.xmp 2;
+    sizes = Flow_size.web_search;
+    load = 0.4;
+    rate = Units.gbps 1.;
+    horizon = Time.ms 100;
+    drain = Time.ms 200;
+    max_flows = None;
+    queue_pkts = 100;
+    marking_threshold = 10;
+    beta = 4;
+    rto_min = Time.ms 200;
+    sack = false;
+    rtt_subsample = 64;
+    keep_flows = false;
+  }
+
+type result = {
+  metrics : Metrics.t;
+  launched : int;
+  completed : int;
+  truncated : int;
+  events : int;
+  mail : int;
+  config : config;
+}
+
+(* Per-host arrival rate that offers [load] of the line rate:
+   λ = load · C / E[S], with E[S] in bits. *)
+let arrival_rate cfg =
+  let mean_bits = Flow_size.mean_segments cfg.sizes *. 1460. *. 8. in
+  cfg.load *. float_of_int cfg.rate /. mean_bits
+
+(* Zero-load round trip by locality, from the sharded fabric's default
+   layer delays (create below does not override them). *)
+let rack_delay = Time.us 20
+
+let agg_delay = Time.us 30
+
+let core_delay = Time.us 40
+
+let zero_load_rtt locality =
+  let one_way =
+    match locality with
+    | Fat_tree.Inner_rack -> Time.mul rack_delay 2
+    | Fat_tree.Inter_rack -> Time.add (Time.mul rack_delay 2) (Time.mul agg_delay 2)
+    | Fat_tree.Inter_pod ->
+      Time.add
+        (Time.mul rack_delay 2)
+        (Time.add (Time.mul agg_delay 2) (Time.mul core_delay 2))
+  in
+  Time.mul one_way 2
+
+(* Ideal FCT: line-rate transfer time plus the zero-load RTT — the
+   standard slowdown denominator (a flow that never queues and never
+   shares a link scores 1). *)
+let ideal_fct cfg ~locality ~size_segments =
+  let transfer =
+    Time.of_float_s
+      (float_of_int size_segments *. 1460. *. 8. /. float_of_int cfg.rate)
+  in
+  Time.add transfer (zero_load_rtt locality)
+
+type active = {
+  a_src : int;
+  a_dst : int;
+  a_locality : Fat_tree.locality;
+  a_size : int;
+  a_handle : Mptcp_flow.t;
+}
+
+(* Everything one pod's domain writes during an epoch; drained by the
+   orchestrator at the barrier (the crew mutex publishes it). *)
+type pod_state = {
+  metrics : Metrics.t;
+  running : (int, active) Hashtbl.t;
+  mutable done_rev : Mptcp_flow.t list;
+      (* completed this epoch: receivers reaped at the next barrier *)
+  mutable n_completed : int;
+}
+
+let run ?(config = default_config) ?(domains = 1) () =
+  let cfg = config in
+  let marking =
+    Option.value (Scheme.marking_threshold cfg.scheme)
+      ~default:cfg.marking_threshold
+  in
+  let disc () =
+    Queue_disc.create
+      ~policy:(Queue_disc.Threshold_mark marking)
+      ~capacity_pkts:cfg.queue_pkts
+  in
+  let ft =
+    Ft.create
+      ~config:{ Sim.default_config with Sim.seed = cfg.seed }
+      ~k:cfg.k ~rate:cfg.rate ~disc ()
+  in
+  let n_hosts = Ft.n_hosts ft in
+  let overrides =
+    { Scheme.rto_min = cfg.rto_min; beta = cfg.beta; sack = cfg.sack }
+  in
+  let pods =
+    Array.init cfg.k (fun _ ->
+        {
+          metrics =
+            Metrics.create ~keep_flows:cfg.keep_flows
+              ~rtt_subsample:cfg.rtt_subsample ();
+          running = Hashtbl.create 512;
+          done_rev = [];
+          n_completed = 0;
+        })
+  in
+  let arrivals =
+    Arrivals.create ~seed:cfg.seed ~hosts:n_hosts ~rate:(arrival_rate cfg)
+  in
+  let launched = ref 0 in
+  let launch ~host ~at ~rng =
+    let src = host in
+    (* uniform over the other n-1 hosts *)
+    let d = Random.State.int rng (n_hosts - 1) in
+    let dst = if d >= src then d + 1 else d in
+    let size_segments = Flow_size.sample cfg.sizes rng in
+    let locality = Ft.locality ft ~src ~dst in
+    let paths =
+      Scheme.pick_paths ~rng ~available:(Ft.n_paths ft ~src ~dst)
+        ~wanted:(Scheme.n_subflows cfg.scheme)
+    in
+    let flow = !launched in
+    incr launched;
+    let pod = Ft.pod_of_host ft src in
+    let st = pods.(pod) in
+    let ideal = ideal_fct cfg ~locality ~size_segments in
+    let handle =
+      Scheme.launch
+        ~net:(Ft.host_net ft src)
+        ~rcv_net:(Ft.host_net ft dst)
+        ~overrides ~flow ~src ~dst ~paths ~size_segments ~start_at:at
+        ~observer:
+          {
+            Scheme.silent with
+            on_rtt_sample = (fun rtt -> Metrics.record_rtt st.metrics ~locality rtt);
+            on_complete =
+              (fun f ->
+                (* runs in the source pod's domain *)
+                Hashtbl.remove st.running flow;
+                let finished = Sim.now (Shard.sim (Ft.cluster ft) pod) in
+                let started = Mptcp_flow.started_at f in
+                Metrics.record_flow st.metrics
+                  {
+                    Metrics.flow;
+                    scheme = cfg.scheme;
+                    src;
+                    dst;
+                    locality;
+                    size_segments;
+                    started;
+                    finished;
+                    goodput_bps = Mptcp_flow.goodput_bps f;
+                    truncated = false;
+                  };
+                Metrics.record_fct st.metrics ~size_segments
+                  ~fct:(Time.sub finished started) ~ideal;
+                st.done_rev <- f :: st.done_rev;
+                st.n_completed <- st.n_completed + 1);
+          }
+        cfg.scheme
+    in
+    if not (Mptcp_flow.is_complete handle) then
+      Hashtbl.replace st.running flow
+        { a_src = src; a_dst = dst; a_locality = locality;
+          a_size = size_segments; a_handle = handle }
+  in
+  let at_max () =
+    match cfg.max_flows with Some m -> !launched >= m | None -> false
+  in
+  let on_epoch ~target =
+    (* first reap receivers of flows that completed in earlier epochs:
+       unregistering a receiver touches the destination shard, which is
+       only safe here, with every worker parked *)
+    Array.iter
+      (fun st ->
+        match st.done_rev with
+        | [] -> ()
+        | fs ->
+          st.done_rev <- [];
+          List.iter Mptcp_flow.close_receivers (List.rev fs))
+      pods;
+    if at_max () then Arrivals.stop arrivals;
+    let gen_target = Time.min target cfg.horizon in
+    let next =
+      Arrivals.until arrivals ~target:gen_target ~f:(fun ~host ~at ~rng ->
+          if not (at_max ()) then launch ~host ~at ~rng)
+    in
+    if Time.compare next cfg.horizon > 0 then Time.infinity else next
+  in
+  let until = Time.add cfg.horizon cfg.drain in
+  Ft.run ~domains ~until ~on_epoch ft;
+  (* Flows still in flight at the end are recorded as truncated, in
+     flow-id order so aggregation never depends on hash-table history
+     (sorted-iteration idiom). Their FCT is undefined — only goodput and
+     counts are filed. *)
+  let total =
+    Metrics.create ~keep_flows:cfg.keep_flows ~rtt_subsample:cfg.rtt_subsample
+      ()
+  in
+  Array.iter
+    (fun st ->
+      let still =
+        Hashtbl.fold (fun flow a acc -> (flow, a) :: acc) st.running []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      in
+      List.iter
+        (fun (flow, a) ->
+          Metrics.record_flow st.metrics
+            {
+              Metrics.flow;
+              scheme = cfg.scheme;
+              src = a.a_src;
+              dst = a.a_dst;
+              locality = a.a_locality;
+              size_segments = a.a_size;
+              started = Mptcp_flow.started_at a.a_handle;
+              finished = until;
+              goodput_bps = Mptcp_flow.goodput_bps_until a.a_handle until;
+              truncated = true;
+            })
+        still;
+      Metrics.merge ~into:total st.metrics)
+    pods;
+  let completed = Array.fold_left (fun acc st -> acc + st.n_completed) 0 pods in
+  {
+    metrics = total;
+    launched = !launched;
+    completed;
+    truncated = Metrics.n_truncated_flows total;
+    events = Shard.events_executed (Ft.cluster ft);
+    mail = Shard.mail_injected (Ft.cluster ft);
+    config = cfg;
+  }

@@ -1,0 +1,75 @@
+(** Open-loop workload runs on the pod-sharded fat tree, at paper scale.
+
+    Arrivals are per-host Poisson processes ({!Arrivals}) whose rate
+    offers a chosen fraction of the host line rate; flow sizes come from
+    an empirical CDF ({!Flow_size}); destinations are uniform over the
+    other hosts. Arrivals never wait for completions — the open-loop
+    property that exposes a scheme's behaviour under sustained load.
+
+    Flows are created at the {!Xmp_net.Shard.run} epoch barrier (the
+    [on_epoch] hook), the only point where registering a flow's sender
+    and receiver halves on two different shards is safe; completed
+    flows' receiver halves are reaped at the next barrier so endpoint
+    tables stay bounded over millions of flows. All per-flow randomness
+    comes from the source host's own stream, flow ids are assigned in
+    the deterministic barrier order, and per-pod {!Metrics} collectors
+    are merged in pod order — so results are byte-identical for any
+    [domains] count. *)
+
+type config = {
+  k : int;
+  seed : int;
+  scheme : Scheme.t;
+  sizes : Flow_size.t;
+  load : float;  (** offered load as a fraction of host line rate *)
+  rate : Xmp_net.Units.rate;  (** host line rate *)
+  horizon : Xmp_engine.Time.t;  (** arrivals stop here *)
+  drain : Xmp_engine.Time.t;
+      (** extra simulated time for in-flight flows to finish; flows still
+          running at [horizon + drain] are recorded as truncated *)
+  max_flows : int option;  (** arrivals also stop after this many launches *)
+  queue_pkts : int;
+  marking_threshold : int;
+      (** overridden by the scheme's own [k] tunable when set, as in
+          {!Driver} *)
+  beta : int;
+  rto_min : Xmp_engine.Time.t;
+  sack : bool;
+  rtt_subsample : int;
+  keep_flows : bool;
+      (** retain per-flow records (see {!Metrics.create}); leave [false]
+          for long runs *)
+}
+
+val default_config : config
+(** k = 8, seed 1, XMP-2, web-search sizes, 40% load at 1 Gbps,
+    100 ms horizon + 200 ms drain, no flow cap, 100-packet queues with
+    marking threshold 10, β = 4, RTOmin 200 ms, SACK off, RTT
+    subsampling 64, per-flow records not kept. *)
+
+type result = {
+  metrics : Metrics.t;
+      (** pod collectors merged in pod order; FCT slowdowns are in
+          {!Metrics.fct_slowdowns} / {!Metrics.fct_summary_csv} /
+          {!Metrics.fct_cdf_csv} *)
+  launched : int;
+  completed : int;
+  truncated : int;  (** still running at [horizon + drain] *)
+  events : int;
+  mail : int;  (** cross-shard portal packets *)
+  config : config;
+}
+
+val arrival_rate : config -> float
+(** The per-host arrival rate (flows/s) the config offers:
+    [load · rate / (mean flow size in bits)]. *)
+
+val ideal_fct :
+  config ->
+  locality:Xmp_net.Fat_tree.locality ->
+  size_segments:int ->
+  Xmp_engine.Time.t
+(** The slowdown denominator: line-rate transfer time plus the zero-load
+    RTT for the locality (a flow that never queues or shares scores 1). *)
+
+val run : ?config:config -> ?domains:int -> unit -> result

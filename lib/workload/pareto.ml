@@ -1,9 +1,32 @@
 type t = { shape : float; scale : float; cap : float }
 
+(* Expected value of the capped sampler [min cap (scale / U^(1/shape))]:
+   the underlying variable is Pareto(scale, shape) truncated by mapping
+   all mass above [cap] onto the point [cap], so
+
+     E[X] = shape/(shape-1) · scale
+            - 1/(shape-1) · scale^shape · cap^(1-shape)
+
+   This is strictly increasing in [scale] on (0, cap], equals [cap] at
+   [scale = cap], and tends to the unbounded mean shape/(shape-1)·scale
+   as [cap] grows. *)
+let capped_mean ~shape ~cap scale =
+  ((shape /. (shape -. 1.)) *. scale)
+  -. ((scale ** shape) *. (cap ** (1. -. shape)) /. (shape -. 1.))
+
 let create ~shape ~mean ~cap =
   if shape <= 1. then invalid_arg "Pareto.create: shape must exceed 1";
   if mean <= 0. || cap < mean then invalid_arg "Pareto.create: mean/cap";
-  { shape; scale = mean *. (shape -. 1.) /. shape; cap }
+  (* Solve capped_mean(scale) = mean by bisection. The unbounded formula
+     mean·(shape−1)/shape is a strict lower bound for the root (the cap
+     only removes mass from the tail), and [cap] is an upper bound since
+     capped_mean(cap) = cap ≥ mean. *)
+  let lo = ref (mean *. (shape -. 1.) /. shape) and hi = ref cap in
+  for _ = 1 to 200 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if capped_mean ~shape ~cap mid < mean then lo := mid else hi := mid
+  done;
+  { shape; scale = 0.5 *. (!lo +. !hi); cap }
 
 let scale t = t.scale
 
@@ -11,4 +34,12 @@ let sample t rng =
   let u = 1. -. Random.State.float rng 1. (* in (0, 1] *) in
   Float.min t.cap (t.scale /. (u ** (1. /. t.shape)))
 
-let sample_int t rng = Stdlib.max 1 (int_of_float (Float.round (sample t rng)))
+(* Probabilistic rounding keeps E[sample_int] = E[sample]: a plain
+   [Float.round] plus the [max 1] floor biases small means upward. The
+   extra rng draw is part of the sampler's deterministic stream. *)
+let sample_int t rng =
+  let x = sample t rng in
+  let fl = Float.floor x in
+  let frac = x -. fl in
+  let n = int_of_float fl + (if Random.State.float rng 1. < frac then 1 else 0) in
+  Stdlib.max 1 n

@@ -5,14 +5,19 @@
 type t
 
 val create : shape:float -> mean:float -> cap:float -> t
-(** [shape] must exceed 1 (finite mean). The scale parameter is derived
-    so the *unbounded* distribution has the given mean; [cap] truncates
-    the tail (the paper's upper bound). *)
+(** [shape] must exceed 1 (finite mean). The scale parameter is solved
+    from the closed-form mean of the *capped* sampler, so the achieved
+    mean matches [mean] even though [cap] truncates the tail. Requires
+    [0 < mean <= cap]. *)
 
 val scale : t -> float
-(** The derived minimum value [x_m = mean·(shape−1)/shape]. *)
+(** The solved minimum value [x_m]; strictly above the unbounded-Pareto
+    scale [mean·(shape−1)/shape] whenever the cap is finite relative to
+    the tail. *)
 
 val sample : t -> Random.State.t -> float
 
 val sample_int : t -> Random.State.t -> int
-(** Rounded sample, at least 1. *)
+(** Integer sample with probabilistic rounding (consumes one extra rng
+    draw), so the expected value matches [sample] up to the [max 1]
+    floor. *)

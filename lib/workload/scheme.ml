@@ -242,15 +242,17 @@ type observer = Mptcp_flow.observer = {
 
 let silent = Mptcp_flow.silent
 
-let launch ~net ~overrides ~flow ~src ~dst ~paths ?size_segments ?observer t =
+let launch ~net ?rcv_net ~overrides ~flow ~src ~dst ~paths ?size_segments
+    ?start_at ?observer t =
   let wanted = n_subflows t in
   let given = List.length paths in
   if given = 0 || given > wanted then
     invalid_arg
       (Printf.sprintf "Scheme.launch: %s takes 1..%d paths, got %d" (name t)
          wanted given);
-  Mptcp_flow.create ~net ~flow ~src ~dst ~paths ~coupling:(coupling t overrides)
-    ~config:(tcp_config t overrides) ?size_segments ?observer ()
+  Mptcp_flow.create ~net ?rcv_net ~flow ~src ~dst ~paths
+    ~coupling:(coupling t overrides) ~config:(tcp_config t overrides)
+    ?size_segments ?start_at ?observer ()
 
 let pick_paths ~rng ~available ~wanted =
   if available <= 0 then invalid_arg "Scheme.pick_paths: available";

@@ -141,19 +141,23 @@ val silent : observer
 
 val launch :
   net:Xmp_net.Network.t ->
+  ?rcv_net:Xmp_net.Network.t ->
   overrides:transport_overrides ->
   flow:int ->
   src:int ->
   dst:int ->
   paths:int list ->
   ?size_segments:int ->
+  ?start_at:Xmp_engine.Time.t ->
   ?observer:observer ->
   t ->
   Xmp_mptcp.Mptcp_flow.t
 (** Starts a flow of this scheme. [paths] carries up to {!n_subflows}
     selectors — fewer when the host pair has less path diversity than the
     scheme wants (e.g. XMP-4 within a rack). [observer] (default
-    {!silent}) receives the flow's lifecycle events. *)
+    {!silent}) receives the flow's lifecycle events. [rcv_net] places the
+    receiver half on another shard's network and [start_at] defers the
+    first transmission, as in {!Xmp_mptcp.Mptcp_flow.create}. *)
 
 val pick_paths :
   rng:Random.State.t -> available:int -> wanted:int -> int list

@@ -172,6 +172,53 @@ let test_pattern_names () =
   Alcotest.(check string) "incast" "Incast"
     (E.Fatree_eval.pattern_name E.Fatree_eval.Incast)
 
+(* ----- workload scenarios: runner-width invariance ----- *)
+
+let test_workload_scenarios_across_jobs () =
+  let scenarios =
+    match E.Scenarios.select E.Scenarios.quick [ "workload" ] with
+    | Ok l -> l
+    | Error name -> Alcotest.failf "unknown scenario %s" name
+  in
+  Alcotest.(check (list string))
+    "workload group members"
+    [ "wl.websearch.k8"; "wl.incast.sweep"; "wl.shuffle" ]
+    (List.map (fun s -> s.Xmp_runner.Scenario.name) scenarios);
+  let outputs ~jobs =
+    let outcomes, _stats =
+      Xmp_runner.Runner.run ~jobs ~cache:Xmp_runner.Runner.No_cache
+        ~progress:false scenarios
+    in
+    List.map (fun (o : Xmp_runner.Runner.outcome) -> o.output) outcomes
+  in
+  let seq = outputs ~jobs:1 in
+  let par = outputs ~jobs:4 in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "jobs-1 and jobs-4 bytes identical" a b)
+    seq par;
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let found = ref false in
+    for i = 0 to hl - nl do
+      if String.sub hay i nl = needle then found := true
+    done;
+    !found
+  in
+  (match seq with
+  | [ websearch; incast; shuffle ] ->
+    Alcotest.(check bool) "websearch prints slowdown table" true
+      (contains websearch "FCT slowdown");
+    Alcotest.(check bool) "websearch reports flow counts" true
+      (contains websearch "launched");
+    Alcotest.(check bool) "incast sweep covers both schemes" true
+      (contains incast "DCTCP" && contains incast "XMP-2");
+    Alcotest.(check bool) "incast sweep prints fanouts" true
+      (contains incast "fanout 2" && contains incast "fanout 8");
+    Alcotest.(check bool) "shuffle reports goodput" true
+      (contains shuffle "mean goodput")
+  | _ -> Alcotest.fail "expected three workload outputs")
+
 let suite =
   [
     Alcotest.test_case "probe helper" `Quick test_probe;
@@ -191,4 +238,6 @@ let suite =
     Alcotest.test_case "coexistence direction" `Slow
       test_coexistence_direction;
     Alcotest.test_case "pattern names" `Quick test_pattern_names;
+    Alcotest.test_case "workload scenarios across jobs" `Slow
+      test_workload_scenarios_across_jobs;
   ]

@@ -114,6 +114,55 @@ let test_add_after_sort () =
   checkf "median of three" 2. (Distribution.percentile d 50.);
   Alcotest.(check int) "count" 3 (Distribution.count d)
 
+(* Reference for the in-place ensure_sorted rewrite: a shadow
+   copy-based implementation (sort a fresh copy of the live samples on
+   every read, like the pre-rewrite code did) driven by the same
+   interleaved add/percentile schedule must agree exactly. *)
+let prop_inplace_sort_matches_copy =
+  QCheck.Test.make ~count:200
+    ~name:"interleaved add/percentile match copy-based sort"
+    QCheck.(
+      list_of_size (Gen.int_range 1 120)
+        (pair (float_range (-500.) 500.) (float_range 0. 100.)))
+    (fun ops ->
+      let d = Distribution.create () in
+      let shadow = ref [] in
+      let copy_percentile p =
+        let a = Array.of_list !shadow in
+        Array.sort Float.compare a;
+        let n = Array.length a in
+        let rank = p /. 100. *. float_of_int (n - 1) in
+        let lo = int_of_float (Float.floor rank) in
+        let hi = Stdlib.min (lo + 1) (n - 1) in
+        let frac = rank -. float_of_int lo in
+        a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+      in
+      List.for_all
+        (fun (x, p) ->
+          (* each step: add a sample (forces a re-sort next read), then
+             query an arbitrary percentile against the shadow *)
+          Distribution.add d x;
+          shadow := x :: !shadow;
+          let got = Distribution.percentile d p in
+          let want = copy_percentile p in
+          Float.abs (got -. want) <= 1e-9 *. (1. +. Float.abs want))
+        ops)
+
+let test_inplace_sort_duplicates_and_specials () =
+  (* heapsort path: duplicates, negatives and infinities must order the
+     same as Array.sort Float.compare, across repeated re-sorts *)
+  let d = Distribution.create () in
+  let xs = [ 3.; 3.; neg_infinity; 0.; -0.; 7.5; infinity; 3.; -2. ] in
+  List.iter
+    (fun x ->
+      Distribution.add d x;
+      ignore (Distribution.percentile d 50.))
+    xs;
+  let sorted = Distribution.values d in
+  let expect = Array.of_list xs in
+  Array.sort Float.compare expect;
+  Alcotest.(check bool) "matches Array.sort" true (sorted = expect)
+
 let prop_percentile_monotone =
   QCheck.Test.make ~count:100 ~name:"percentiles are monotone in p"
     QCheck.(list_of_size (Gen.int_range 2 40) (float_range 0. 100.))
@@ -221,6 +270,9 @@ let suite =
     Alcotest.test_case "cdf points" `Quick test_distribution_cdf;
     Alcotest.test_case "fraction above" `Quick test_fraction_above;
     Alcotest.test_case "add after sort" `Quick test_add_after_sort;
+    QCheck_alcotest.to_alcotest prop_inplace_sort_matches_copy;
+    Alcotest.test_case "in-place sort handles duplicates/specials" `Quick
+      test_inplace_sort_duplicates_and_specials;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;
     Alcotest.test_case "timeseries buckets" `Quick test_timeseries;
     Alcotest.test_case "timeseries validation" `Quick
