@@ -32,7 +32,8 @@ type result = {
    multipath shifting, timer-churn heavy), fig9 (fat-tree incast job
    completion, burst heavy), table1 (full fat-tree sweep at quick
    scale, events/sec bound) and wl.websearch (open-loop sharded k=8
-   workload, flow-churn plus portal-mail heavy). [--quick] drops
+   workload, flow-churn plus portal-mail heavy) and wan.bdp (bridged
+   two-DC WAN, high-BDP trunk with ms-scale timers). [--quick] drops
    everything to quick scale for CI smoke runs. *)
 let pinned ~quick =
   if quick then
@@ -41,6 +42,7 @@ let pinned ~quick =
       ("fig9@quick", "fig9", E.Scenarios.quick);
       ("table1@quick", "table1", E.Scenarios.quick);
       ("wl.websearch@quick", "wl.websearch.k8", E.Scenarios.quick);
+      ("wan.bdp@quick", "wan.bdp", E.Scenarios.quick);
     ]
   else
     [
@@ -48,6 +50,7 @@ let pinned ~quick =
       ("fig9@default", "fig9", E.Scenarios.default);
       ("table1@quick", "table1", E.Scenarios.quick);
       ("wl.websearch@quick", "wl.websearch.k8", E.Scenarios.quick);
+      ("wan.bdp@quick", "wan.bdp", E.Scenarios.quick);
     ]
 
 let resolve (label, name, cfg) =

@@ -678,6 +678,216 @@ let workload_cmd =
       $ wl_horizon_t $ drain_t $ flows_t $ domains_t $ marking_t $ queue_t
       $ beta_t $ sack_t $ wl_out_t)
 
+(* ----- wan: open-loop runs on a bridged two-DC WAN topology ----- *)
+
+module Wan = Xmp_net.Wan
+module Units = Xmp_net.Units
+
+(* "ft:K" (fat tree) or "ls:LEAVES,SPINES,HOSTS" (leaf-spine) *)
+let dc_spec_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "ft"; k ] -> (
+      match int_of_string_opt k with
+      | Some k when k >= 2 && k mod 2 = 0 -> Ok (Wan.Fat_tree_dc { k })
+      | _ ->
+        Error (`Msg (Printf.sprintf "bad fat-tree arity %S (even, >= 2)" k)))
+    | [ "ls"; dims ] -> (
+      match
+        List.map int_of_string_opt (String.split_on_char ',' dims)
+      with
+      | [ Some leaves; Some spines; Some hosts_per_leaf ]
+        when leaves >= 1 && spines >= 1 && hosts_per_leaf >= 1 ->
+        Ok (Wan.Leaf_spine_dc { leaves; spines; hosts_per_leaf })
+      | _ -> Error (`Msg (Printf.sprintf "bad leaf-spine dims %S" dims)))
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad DC spec %S (use ft:K or ls:LEAVES,SPINES,HOSTS)" s))
+  in
+  let print fmt = function
+    | Wan.Fat_tree_dc { k } -> Format.fprintf fmt "ft:%d" k
+    | Wan.Leaf_spine_dc { leaves; spines; hosts_per_leaf } ->
+      Format.fprintf fmt "ls:%d,%d,%d" leaves spines hosts_per_leaf
+  in
+  Arg.conv (parse, print)
+
+let left_dc_t =
+  let doc = "Left data center: $(b,ft:K) or $(b,ls:LEAVES,SPINES,HOSTS)." in
+  Arg.(
+    value
+    & opt dc_spec_conv (Wan.Fat_tree_dc { k = 4 })
+    & info [ "left" ] ~docv:"DC" ~doc)
+
+let right_dc_t =
+  let doc = "Right data center: $(b,ft:K) or $(b,ls:LEAVES,SPINES,HOSTS)." in
+  Arg.(
+    value
+    & opt dc_spec_conv (Wan.Fat_tree_dc { k = 4 })
+    & info [ "right" ] ~docv:"DC" ~doc)
+
+(* DELAY_MS[:RATE_GBPS[:QUEUE_PKTS[:MARK_PKTS]]] — MARK_PKTS of 0 means
+   a deep droptail border queue (no marking) *)
+let trunk_conv =
+  let parse s =
+    let fields = String.split_on_char ':' s in
+    let bad () =
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad trunk spec %S (use DELAY_MS[:RATE_GBPS[:QUEUE_PKTS[:MARK_PKTS]]])"
+              s))
+    in
+    match fields with
+    | delay_ms :: rest -> (
+      match (float_of_string_opt delay_ms, rest) with
+      | (None | Some 0.), _ -> bad ()
+      | Some ms, _ when ms < 0. -> bad ()
+      | Some ms, rest -> (
+        let delay = Time.of_float_s (ms /. 1000.) in
+        match rest with
+        | [] -> Ok (Wan.trunk ~delay ())
+        | [ gbps ] -> (
+          match float_of_string_opt gbps with
+          | Some g when g > 0. -> Ok (Wan.trunk ~delay ~rate:(Units.gbps g) ())
+          | _ -> bad ())
+        | [ gbps; queue ] -> (
+          match (float_of_string_opt gbps, int_of_string_opt queue) with
+          | Some g, Some q when g > 0. && q >= 1 ->
+            Ok (Wan.trunk ~delay ~rate:(Units.gbps g) ~queue_pkts:q ())
+          | _ -> bad ())
+        | [ gbps; queue; mark ] -> (
+          match
+            ( float_of_string_opt gbps,
+              int_of_string_opt queue,
+              int_of_string_opt mark )
+          with
+          | Some g, Some q, Some 0 when g > 0. && q >= 1 ->
+            Ok (Wan.trunk ~delay ~rate:(Units.gbps g) ~queue_pkts:q ())
+          | Some g, Some q, Some m when g > 0. && q >= 1 && m >= 1 ->
+            Ok
+              (Wan.trunk ~delay ~rate:(Units.gbps g) ~queue_pkts:q
+                 ~marking_threshold:m ())
+          | _ -> bad ())
+        | _ -> bad ()))
+    | [] -> bad ()
+  in
+  let print fmt (t : Wan.trunk) =
+    Format.fprintf fmt "%g:%g:%d:%d"
+      (float_of_int t.Wan.trunk_delay /. 1e6)
+      (Units.to_gbps t.Wan.trunk_rate)
+      t.Wan.trunk_queue_pkts
+      (match t.Wan.trunk_marking_threshold with None -> 0 | Some m -> m)
+  in
+  Arg.conv (parse, print)
+
+let trunks_t =
+  let doc =
+    "Border trunk (repeatable): \
+     $(b,DELAY_MS[:RATE_GBPS[:QUEUE_PKTS[:MARK_PKTS]]]); $(b,MARK_PKTS) 0 \
+     means deep droptail. Default: one 40 ms, 10 Gbps trunk."
+  in
+  Arg.(value & opt_all trunk_conv [] & info [ "trunk" ] ~docv:"SPEC" ~doc)
+
+let cross_dc_t =
+  let doc = "Fraction of arrivals aimed at the other data center." in
+  Arg.(value & opt float 0.5 & info [ "cross-dc" ] ~docv:"FRACTION" ~doc)
+
+let rto_min_ms_t =
+  let doc =
+    "RTO floor in milliseconds (default: half the slowest zero-load \
+     cross-DC RTT, at least 1 ms)."
+  in
+  Arg.(value & opt (some float) None & info [ "rto-min" ] ~docv:"MS" ~doc)
+
+let goodput_csv m =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "locality,flows,mean_mbps,p50_mbps,p90_mbps,max_mbps\n";
+  List.iter
+    (fun (loc, d) ->
+      if not (Xmp_stats.Distribution.is_empty d) then
+        Buffer.add_string buf
+          (Printf.sprintf "%s,%d,%.6g,%.6g,%.6g,%.6g\n"
+             (Xmp_net.Fat_tree.locality_name loc)
+             (Xmp_stats.Distribution.count d)
+             (Xmp_stats.Distribution.mean d /. 1e6)
+             (Xmp_stats.Distribution.percentile d 50. /. 1e6)
+             (Xmp_stats.Distribution.percentile d 90. /. 1e6)
+             (Xmp_stats.Distribution.max d /. 1e6)))
+    (Xmp_workload.Metrics.goodputs_by_locality m);
+  Buffer.contents buf
+
+let wan_cmd =
+  let run left right trunks cross_dc seed scheme cdf size_scale load horizon
+      drain flows domains mark queue beta sack rto_min_ms out =
+    let trunks = if trunks = [] then [ Wan.trunk () ] else trunks in
+    let sizes =
+      if size_scale = 1. then cdf else Flow_size.scaled cdf size_scale
+    in
+    let rto_min =
+      match rto_min_ms with
+      | Some ms -> Time.of_float_s (ms /. 1000.)
+      | None ->
+        Stdlib.max (Time.ms 1)
+          (Wan.max_rtt_no_queue_of ~left ~right ~trunks / 2)
+    in
+    let config =
+      {
+        Open_loop.default_config with
+        Open_loop.seed;
+        scheme = Scheme.with_rto ~rto_min scheme;
+        sizes;
+        load;
+        horizon = Time.sec horizon;
+        drain = Time.sec drain;
+        max_flows = flows;
+        marking_threshold = mark;
+        queue_pkts = queue;
+        beta;
+        rto_min;
+        sack;
+        cross_dc;
+      }
+    in
+    let r = Open_loop.run_wan ~config ~domains ~left ~right ~trunks () in
+    let m = r.Open_loop.metrics in
+    Printf.printf
+      "wan %s: %d+%d hosts, %d trunk(s), cross-dc %.3f, rto_min %.1f ms\n"
+      (Scheme.name config.Open_loop.scheme)
+      (Wan.dc_n_hosts left) (Wan.dc_n_hosts right) (List.length trunks)
+      cross_dc
+      (float_of_int rto_min /. 1e6);
+    Printf.printf
+      "flows: %d launched, %d completed, %d truncated (horizon %.3fs + \
+       drain %.3fs)\n"
+      r.Open_loop.launched r.Open_loop.completed r.Open_loop.truncated horizon
+      drain;
+    Printf.printf "events executed: %d (portal mail %d)\n" r.Open_loop.events
+      r.Open_loop.mail;
+    print_string (Xmp_workload.Metrics.fct_summary_csv m);
+    match out with
+    | Some prefix ->
+      write_file (prefix ^ ".fct.csv") (Xmp_workload.Metrics.fct_summary_csv m);
+      write_file (prefix ^ ".cdf.csv") (Xmp_workload.Metrics.fct_cdf_csv m);
+      write_file (prefix ^ ".goodput.csv") (goodput_csv m);
+      Printf.eprintf "[wan] wrote %s.{fct,cdf,goodput}.csv\n" prefix
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "wan"
+       ~doc:
+         "Open-loop workload on a bridged two-DC WAN topology: \
+          high-BDP border trunks, a cross-DC traffic fraction, \
+          per-topology RTO floors, FCT-slowdown and per-locality \
+          goodput CSV export")
+    Term.(
+      const run $ left_dc_t $ right_dc_t $ trunks_t $ cross_dc_t $ seed_t
+      $ scheme_t $ cdf_t $ size_scale_t $ load_t $ wl_horizon_t $ drain_t
+      $ flows_t $ domains_t $ marking_t $ queue_t $ beta_t $ sack_t
+      $ rto_min_ms_t $ wl_out_t)
+
 let coexist_cmd =
   let run k horizon seed mark beta =
     let base = base_of k horizon seed mark 100 beta in
@@ -705,7 +915,7 @@ let main_cmd =
     (Cmd.info "xmp_sim" ~version:"1.0.0" ~doc)
     [
       fig1_cmd; fig4_cmd; fig6_cmd; fig7_cmd; matrix_cmd; eval_cmd;
-      sweep_cmd; trace_cmd; faults_cmd; workload_cmd; coexist_cmd;
+      sweep_cmd; trace_cmd; faults_cmd; workload_cmd; wan_cmd; coexist_cmd;
       ablation_cmd;
     ]
 

@@ -91,6 +91,8 @@ let driver_config base scheme pattern =
   {
     Driver.k = base.k;
     seed = base.seed;
+    topology = Driver.Single_dc;
+    cross_dc = 0.;
     horizon = base.horizon;
     queue_pkts = base.queue_pkts;
     marking_threshold = base.marking_threshold;

@@ -175,6 +175,20 @@ let all cfg =
       Workload_eval.print_incast_sweep;
     table ~name:"wl.shuffle" ~descr:"all-to-all shuffle goodput" ~base
       Workload_eval.print_shuffle;
+    Scenario.create ~name:"wan.asym"
+      ~descr:
+        "bridged k=4/k=4 with 10 ms vs 40 ms trunks: per-subflow RTT \
+         asymmetry, TraSh shifting, domains byte-equality"
+      ~params:(Wan_eval.asym_params ~scale)
+      (fun () -> Wan_eval.print_asym ~scale ());
+    Scenario.create ~name:"wan.bdp"
+      ~descr:"Eq. 1 marking threshold at 10/40/100 ms WAN BDPs"
+      ~params:Wan_eval.bdp_params
+      (fun () -> Wan_eval.print_bdp ~scale ());
+    Scenario.create ~name:"wan.mixed"
+      ~descr:"cross-DC traffic fraction sweep over a 40 ms trunk"
+      ~params:(Wan_eval.mixed_params ~scale)
+      (fun () -> Wan_eval.print_mixed ~scale ());
   ]
 
 let groups =
@@ -188,6 +202,7 @@ let groups =
       ] );
     ("faults", [ "fig4.linkfail"; "incast.lossy" ]);
     ("workload", [ "wl.websearch.k8"; "wl.incast.sweep"; "wl.shuffle" ]);
+    ("wan", [ "wan.asym"; "wan.bdp"; "wan.mixed" ]);
   ]
 
 let select cfg ids =

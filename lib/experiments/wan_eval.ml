@@ -1,0 +1,308 @@
+(* WAN / heterogeneous-RTT evaluation: the scenario family the paper
+   never ran. Two k=4 fat trees joined by high-BDP border trunks
+   (Xmp_net.Wan), driven open-loop (Open_loop.run_wan) and closed-loop
+   (Driver with a Bridged topology), measuring:
+
+   - wan.asym  — per-subflow RTT asymmetry across two trunks of
+     different delay: FCT slowdowns per scheme, TraSh's traffic
+     shifting read off the per-layer utilization, and the sharded
+     domains:1 ≡ domains:2 byte-equality cross-check.
+   - wan.bdp   — Eq. 1 (K ≥ BDP/(β−1)) at WAN BDPs: the analytic K for
+     10/40/100 ms trunks plus a goodput probe with the border queue
+     marking at K_eq1 vs a starved K_eq1/16.
+   - wan.mixed — mixed intra/inter-DC matrices: the cross-DC fraction
+     knob swept at a fixed 40 ms trunk.
+
+   RTO floors are sized per topology — max(1 ms, max zero-load RTT / 2)
+   — through the Scheme rtomin tunable, never the historical 200 ms
+   constant (which exceeds every trunk RTT here and would mask timeout
+   behaviour entirely). *)
+
+module Time = Xmp_engine.Time
+module Scheme = Xmp_workload.Scheme
+module Driver = Xmp_workload.Driver
+module Metrics = Xmp_workload.Metrics
+module Open_loop = Xmp_workload.Open_loop
+module Flow_size = Xmp_workload.Flow_size
+module Wan = Xmp_net.Wan
+module Units = Xmp_net.Units
+module Fat_tree = Xmp_net.Fat_tree
+module Table = Xmp_stats.Table
+
+let left = Wan.Fat_tree_dc { k = 4 }
+let right = Wan.Fat_tree_dc { k = 4 }
+
+(* Per-topology RTO floor: half the slowest zero-load cross-DC RTT,
+   never below 1 ms. On a 40 ms trunk this is ~40 ms — above any
+   delayed-ACK hold, far below the 200 ms intra-DC default. *)
+let wan_rto_min ~trunks =
+  Stdlib.max (Time.ms 1) (Wan.max_rtt_no_queue_of ~left ~right ~trunks / 2)
+
+(* Eq. 1 of the paper at a trunk's BDP: K >= BDP/(beta-1), with the BDP
+   counted in 1500 B packets over the propagation round trip. *)
+let bdp_packets ~rate ~delay =
+  let rtt_s = float_of_int (2 * delay) /. 1e9 in
+  int_of_float (Float.ceil (Units.bytes_per_sec rate *. rtt_s /. 1500.))
+
+let eq1_k ~rate ~delay ~beta =
+  int_of_float
+    (Float.ceil
+       (float_of_int (bdp_packets ~rate ~delay) /. float_of_int (beta - 1)))
+
+(* ---- shared open-loop configuration ---- *)
+
+let wan_config ~scale ~trunks ~cross_dc ~scheme =
+  let rto_min = wan_rto_min ~trunks in
+  {
+    Open_loop.default_config with
+    Open_loop.seed = 11;
+    scheme = Scheme.with_rto ~rto_min scheme;
+    sizes = Flow_size.scaled Flow_size.web_search (1. /. 32.);
+    load = 0.25;
+    horizon = Time.of_float_s (0.4 *. scale);
+    (* flows that cross a trunk need tens of trunk RTTs to finish *)
+    drain =
+      Time.add
+        (Time.of_float_s scale)
+        (Time.mul (Wan.max_rtt_no_queue_of ~left ~right ~trunks) 25);
+    max_flows = Some (Stdlib.max 40 (int_of_float (400. *. scale)));
+    rto_min;
+    cross_dc;
+  }
+
+let print_open_loop (r : Open_loop.result) =
+  Render.say
+    (Printf.sprintf "flows: %d launched, %d completed, %d truncated"
+       r.Open_loop.launched r.Open_loop.completed r.Open_loop.truncated);
+  Render.say
+    (Printf.sprintf "events: %d (portal mail %d)" r.Open_loop.events
+       r.Open_loop.mail);
+  Render.five_number_table ~value_header:"FCT slowdown"
+    (Metrics.fct_slowdowns r.Open_loop.metrics)
+
+(* Everything a run's observable outcome feeds through: the digest two
+   domain counts must agree on byte for byte. *)
+let result_digest (r : Open_loop.result) =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%d/%d/%d|%s" r.Open_loop.launched
+          r.Open_loop.completed r.Open_loop.truncated
+          (Metrics.fct_summary_csv r.Open_loop.metrics)))
+
+(* ---- wan.asym ---- *)
+
+let asym_trunks =
+  [
+    Wan.trunk ~delay:(Time.ms 10) ~queue_pkts:4000 ~marking_threshold:1000 ();
+    Wan.trunk ~delay:(Time.ms 40) ~queue_pkts:4000 ~marking_threshold:1000 ();
+  ]
+
+let asym_schemes = [ Scheme.xmp 2; Scheme.lia 2; Scheme.dctcp ]
+
+(* Closed-loop bridged run for the utilization read-out: TraSh shifting
+   shows up as the wan/border layers' utilization spread. *)
+let asym_driver_config ~scale scheme =
+  let base =
+    { Fatree_eval.default_base with horizon = Time.of_float_s scale }
+  in
+  {
+    (Fatree_eval.driver_config base scheme Fatree_eval.Random) with
+    Driver.topology = Driver.Bridged { left; right; trunks = asym_trunks };
+    cross_dc = 0.5;
+    rto_min = wan_rto_min ~trunks:asym_trunks;
+  }
+
+let print_asym ~scale () =
+  Render.heading
+    "wan.asym: bridged k=4/k=4, 10 ms vs 40 ms trunks, cross-DC 0.6";
+  List.iter
+    (fun scheme ->
+      Render.subheading (Scheme.name scheme);
+      let config = wan_config ~scale ~trunks:asym_trunks ~cross_dc:0.6 ~scheme in
+      print_open_loop
+        (Open_loop.run_wan ~config ~domains:1 ~left ~right
+           ~trunks:asym_trunks ()))
+    asym_schemes;
+  Render.subheading "TraSh shifting: utilization by layer (XMP-2, closed loop)";
+  let r = Driver.run (asym_driver_config ~scale (Scheme.xmp 2)) in
+  Render.five_number_table ~value_header:"utilization"
+    (Driver.utilization_by_layer r);
+  Render.five_number_table ~value_header:"goodput Mbps"
+    (List.map
+       (fun (loc, d) -> (Fat_tree.locality_name loc, d))
+       (Metrics.goodputs_by_locality r.Driver.metrics));
+  Render.subheading "determinism across the WAN cut";
+  let config =
+    wan_config ~scale ~trunks:asym_trunks ~cross_dc:0.6 ~scheme:(Scheme.xmp 2)
+  in
+  let d1 =
+    result_digest
+      (Open_loop.run_wan ~config ~domains:1 ~left ~right ~trunks:asym_trunks ())
+  in
+  let d2 =
+    result_digest
+      (Open_loop.run_wan ~config ~domains:2 ~left ~right ~trunks:asym_trunks ())
+  in
+  Render.say (Printf.sprintf "domains:1 digest %s" d1);
+  Render.say
+    (Printf.sprintf "domains:1 == domains:2 : %b" (String.equal d1 d2))
+
+(* ---- wan.bdp ---- *)
+
+let bdp_delays = [ Time.ms 10; Time.ms 40; Time.ms 100 ]
+
+let bdp_rate = Units.gbps 1.
+
+let bdp_beta = 4
+
+(* Two constant-size cross-DC flows, long-lived enough to reach the
+   trunk's steady state past slow start even at 100 ms. The intra-DC
+   queues are deep and never mark, so the border queue's threshold is
+   the only congestion signal — the regime Eq. 1 sizes K for. *)
+let bdp_probe_segments = 20_000
+
+let bdp_probe_sizes =
+  Flow_size.of_points ~name:"bdp-probe"
+    [ (float_of_int bdp_probe_segments, 1.) ]
+
+let bdp_config ~trunks =
+  {
+    (wan_config ~scale:0.1 ~trunks ~cross_dc:1.0 ~scheme:(Scheme.xmp 2)) with
+    Open_loop.sizes = bdp_probe_sizes;
+    (* nominally oversubscribed so the first arrivals land within a few
+       ms; max_flows caps the probe at its two flows regardless *)
+    load = 8.;
+    horizon = Time.ms 20;
+    drain = Time.sec 30.;
+    max_flows = Some 2;
+    queue_pkts = 2 * bdp_probe_segments;
+    marking_threshold = 2 * bdp_probe_segments;
+    (* a slow-start overshoot at WAN BDP loses thousands of segments in
+       one burst when the border queue tail-drops; without SACK the
+       recovery tail would dwarf the steady state Eq. 1 is about *)
+    sack = true;
+  }
+
+let print_bdp ~scale:_ () =
+  Render.heading "wan.bdp: Eq. 1 marking threshold at WAN BDPs (1 Gbps trunk)";
+  Table.print
+    ~header:[ "delay (ms)"; "BDP (pkts)"; "K_eq1 (pkts)" ]
+    ~rows:
+      (List.map
+         (fun delay ->
+           [
+             string_of_int (delay / 1_000_000);
+             string_of_int (bdp_packets ~rate:bdp_rate ~delay);
+             string_of_int (eq1_k ~rate:bdp_rate ~delay ~beta:bdp_beta);
+           ])
+         bdp_delays)
+    ();
+  List.iter
+    (fun delay ->
+      Render.subheading (Printf.sprintf "trunk %d ms" (delay / 1_000_000));
+      let k_eq1 = eq1_k ~rate:bdp_rate ~delay ~beta:bdp_beta in
+      List.iter
+        (fun (label, k) ->
+          let trunks =
+            [
+              (* marking at K with enough droptail headroom above it to
+                 absorb the slow-start overshoot before the first mark
+                 takes effect (one RTT later) *)
+              Wan.trunk ~rate:bdp_rate ~delay
+                ~queue_pkts:(bdp_packets ~rate:bdp_rate ~delay + (2 * k) + 64)
+                ~marking_threshold:k ();
+            ]
+          in
+          let config = bdp_config ~trunks in
+          let r = Open_loop.run_wan ~config ~left ~right ~trunks () in
+          Render.say
+            (Printf.sprintf
+               "%s (K=%d): %d/%d flows completed, mean goodput %.1f Mbps"
+               label k r.Open_loop.completed r.Open_loop.launched
+               (Metrics.mean_goodput_bps r.Open_loop.metrics /. 1e6)))
+        [ ("K = K_eq1   ", k_eq1); ("K = K_eq1/16", Stdlib.max 1 (k_eq1 / 16)) ])
+    bdp_delays
+
+(* ---- wan.mixed ---- *)
+
+let mixed_trunks =
+  [ Wan.trunk ~delay:(Time.ms 40) ~queue_pkts:4000 ~marking_threshold:1000 () ]
+
+let mixed_fractions = [ 0.; 0.25; 0.75 ]
+
+let print_mixed ~scale () =
+  Render.heading
+    "wan.mixed: cross-DC traffic fraction sweep (XMP-2, 40 ms trunk)";
+  List.iter
+    (fun cross_dc ->
+      Render.subheading (Printf.sprintf "cross-DC fraction %.2f" cross_dc);
+      let config =
+        wan_config ~scale ~trunks:mixed_trunks ~cross_dc ~scheme:(Scheme.xmp 2)
+      in
+      print_open_loop
+        (Open_loop.run_wan ~config ~left ~right ~trunks:mixed_trunks ()))
+    mixed_fractions
+
+(* ---- scenario parameter lists (everything a run depends on) ---- *)
+
+let trunk_params trunks =
+  List.concat
+    (List.mapi
+       (fun i (t : Wan.trunk) ->
+         [
+           (Printf.sprintf "trunk%d_rate_mbps" i,
+            Printf.sprintf "%g" (Units.to_mbps t.Wan.trunk_rate));
+           (Printf.sprintf "trunk%d_delay_ns" i,
+            string_of_int t.Wan.trunk_delay);
+           (Printf.sprintf "trunk%d_queue_pkts" i,
+            string_of_int t.Wan.trunk_queue_pkts);
+           (Printf.sprintf "trunk%d_mark" i,
+            match t.Wan.trunk_marking_threshold with
+            | None -> "droptail"
+            | Some k -> string_of_int k);
+         ])
+       trunks)
+
+let open_loop_params (c : Open_loop.config) =
+  [
+    ("scheme", Scheme.name c.Open_loop.scheme);
+    ("cdf", Flow_size.name c.Open_loop.sizes);
+    ("seed", string_of_int c.Open_loop.seed);
+    ("load", string_of_float c.Open_loop.load);
+    ("horizon_ns", string_of_int c.Open_loop.horizon);
+    ("drain_ns", string_of_int c.Open_loop.drain);
+    ("max_flows",
+     match c.Open_loop.max_flows with
+     | None -> "none"
+     | Some n -> string_of_int n);
+    ("rto_min_ns", string_of_int c.Open_loop.rto_min);
+    ("cross_dc", string_of_float c.Open_loop.cross_dc);
+  ]
+
+let asym_params ~scale =
+  let config =
+    wan_config ~scale ~trunks:asym_trunks ~cross_dc:0.6 ~scheme:(Scheme.xmp 2)
+  in
+  (("scale", string_of_float scale) :: trunk_params asym_trunks)
+  @ open_loop_params config
+
+let bdp_params =
+  [
+    ("rate_mbps", Printf.sprintf "%g" (Units.to_mbps bdp_rate));
+    ("beta", string_of_int bdp_beta);
+    ("delays_ms",
+     String.concat ","
+       (List.map (fun d -> string_of_int (d / 1_000_000)) bdp_delays));
+    ("probe_segments", string_of_int bdp_probe_segments);
+    ("probe_flows", "2");
+  ]
+
+let mixed_params ~scale =
+  let config =
+    wan_config ~scale ~trunks:mixed_trunks ~cross_dc:0. ~scheme:(Scheme.xmp 2)
+  in
+  (("scale", string_of_float scale)
+   :: ("fractions",
+       String.concat "," (List.map string_of_float mixed_fractions))
+   :: trunk_params mixed_trunks)
+  @ open_loop_params config

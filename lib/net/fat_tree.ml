@@ -1,11 +1,12 @@
 module Time = Xmp_engine.Time
 
-type locality = Inner_rack | Inter_rack | Inter_pod
+type locality = Inner_rack | Inter_rack | Inter_pod | Inter_dc
 
 let locality_name = function
   | Inner_rack -> "Inner-Rack"
   | Inter_rack -> "Inter-Rack"
   | Inter_pod -> "Inter-Pod"
+  | Inter_dc -> "Inter-DC"
 
 let pp_locality fmt l = Format.pp_print_string fmt (locality_name l)
 
@@ -156,6 +157,7 @@ let n_paths t ~src ~dst =
   | Inner_rack -> 1
   | Inter_rack -> half
   | Inter_pod -> half * half
+  | Inter_dc -> assert false (* both endpoints live in this tree *)
 
 (* ---- link naming for fault schedules --------------------------------- *)
 

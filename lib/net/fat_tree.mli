@@ -12,7 +12,9 @@
     reverse path is the mirror of the forward path, as with symmetric
     two-level lookup tables. *)
 
-type locality = Inner_rack | Inter_rack | Inter_pod
+type locality = Inner_rack | Inter_rack | Inter_pod | Inter_dc
+(** [Inter_dc] never arises within one tree; it is produced by the
+    {!Wan} bridge for host pairs on opposite sides of a border link. *)
 
 val pp_locality : Format.formatter -> locality -> unit
 

@@ -177,6 +177,7 @@ let n_paths t ~src ~dst =
   | Fat_tree.Inner_rack -> 1
   | Fat_tree.Inter_rack -> half
   | Fat_tree.Inter_pod -> half * half
+  | Fat_tree.Inter_dc -> assert false (* both endpoints live in this tree *)
 
 let max_rtt_no_queue t =
   let one_way =

@@ -3,6 +3,7 @@ module Time = Xmp_engine.Time
 type t = {
   rto_min : Time.t;
   rto_max : Time.t;
+  granularity : Time.t;
   mutable srtt : Time.t;
   mutable rttvar : Time.t;
   mutable has_sample : bool;
@@ -12,11 +13,14 @@ type t = {
 
 let default_rto_min = Time.ms 200
 let default_rto_max = Time.sec 60.
+let default_granularity = Time.us 200
 
-let create ?(rto_min = default_rto_min) ?(rto_max = default_rto_max) () =
+let create ?(rto_min = default_rto_min) ?(rto_max = default_rto_max)
+    ?(granularity = default_granularity) () =
   {
     rto_min;
     rto_max;
+    granularity;
     srtt = Time.ms 200;
     rttvar = Time.ms 100;
     has_sample = false;
@@ -45,7 +49,15 @@ let srtt t = t.srtt
 let rttvar t = t.rttvar
 
 let rto t =
-  let base = Time.add t.srtt (Time.mul t.rttvar 4) in
+  (* RFC 6298 (2.4): RTO = SRTT + max(G, 4 * RTTVAR). Without the
+     granularity term rttvar decays geometrically toward zero on a
+     steady path, and with a small rto_min the RTO converges to ~srtt —
+     so the delayed-ACK hold on a transfer's last odd segment fires a
+     spurious timeout on a perfectly clean link. The 200 ms default
+     floor masked this; WAN-scale floors (~ms) don't. *)
+  let base =
+    Time.add t.srtt (Time.max t.granularity (Time.mul t.rttvar 4))
+  in
   let clamped = Time.max t.rto_min (Time.min t.rto_max base) in
   let backed = clamped * (1 lsl Stdlib.min t.backoff 16) in
   Time.min t.rto_max backed

@@ -5,8 +5,12 @@
 type t
 
 val create : ?rto_min:Xmp_engine.Time.t -> ?rto_max:Xmp_engine.Time.t ->
-  unit -> t
-(** Defaults: [rto_min] 200 ms, [rto_max] 60 s. *)
+  ?granularity:Xmp_engine.Time.t -> unit -> t
+(** Defaults: [rto_min] 200 ms, [rto_max] 60 s, [granularity] 200 µs.
+    [granularity] is the clock term [G] in RFC 6298's
+    [RTO = SRTT + max (G, 4 * RTTVAR)]: it keeps the timeout strictly
+    above srtt even once rttvar has decayed on a steady path, which
+    matters as soon as [rto_min] drops below the delayed-ACK hold. *)
 
 val sample : t -> Xmp_engine.Time.t -> unit
 (** Feeds one RTT measurement. *)
@@ -19,7 +23,8 @@ val srtt : t -> Xmp_engine.Time.t
 val rttvar : t -> Xmp_engine.Time.t
 
 val rto : t -> Xmp_engine.Time.t
-(** [clamp (srtt + 4 * rttvar)] with the current backoff applied. *)
+(** [clamp (srtt + max (granularity, 4 * rttvar))] with the current
+    backoff applied. *)
 
 val backoff : t -> unit
 (** Doubles the RTO (up to [rto_max]) after a retransmission timeout. *)

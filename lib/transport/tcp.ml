@@ -11,6 +11,7 @@ type echo_mode = Classic | Counted of int option
 type config = {
   rto_min : Time.t;
   rto_max : Time.t;
+  rto_granularity : Time.t;
   delack_segments : int;
   delack_timeout : Time.t;
   dupack_threshold : int;
@@ -24,6 +25,7 @@ let default_config =
   {
     rto_min = Time.ms 200;
     rto_max = Time.sec 60.;
+    rto_granularity = Time.us 200;
     delack_segments = 2;
     delack_timeout = Time.us 200;
     dupack_threshold = 3;
@@ -525,7 +527,8 @@ let create ~net ?rcv_net ~flow ~subflow ~src ~dst ~path ~cc
   let rcv_net = match rcv_net with Some n -> n | None -> net in
   let split = not (rcv_net == net) in
   let est =
-    Rtt_estimator.create ~rto_min:config.rto_min ~rto_max:config.rto_max ()
+    Rtt_estimator.create ~rto_min:config.rto_min ~rto_max:config.rto_max
+      ~granularity:config.rto_granularity ()
   in
   let tel = Sim.telemetry sim in
   let h_rtt, c_retransmits, c_timeouts =

@@ -25,6 +25,9 @@ type echo_mode = Classic | Counted of int option
 type config = {
   rto_min : Xmp_engine.Time.t;
   rto_max : Xmp_engine.Time.t;
+  rto_granularity : Xmp_engine.Time.t;
+      (** clock term [G] in [RTO = srtt + max (G, 4 * rttvar)]; keeps
+          the timeout above srtt once rttvar decays on steady paths *)
   delack_segments : int;  (** ACK every n-th segment (paper: 2) *)
   delack_timeout : Xmp_engine.Time.t;
   dupack_threshold : int;
@@ -42,7 +45,7 @@ type config = {
 }
 
 val default_config : config
-(** RTOmin 200 ms, RTOmax 60 s, delayed ACK every 2 segments with a 200 µs
+(** RTOmin 200 ms, RTOmax 60 s, granularity 200 µs, delayed ACK every 2 segments with a 200 µs
     timer, 3 dupacks, ECT off, counted echo capped at 3, SACK off (matching
     the RTO-dominated loss recovery the paper's baselines exhibit; flip
     [sack] on to model a modern stack), reassembly limit 4096 segments. *)

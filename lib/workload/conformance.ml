@@ -81,19 +81,46 @@ let srtt_of_index i = Time.us (300 + (150 * i))
 
 let base_rtt = Time.us 200
 
-let make_rig scheme =
+(* The WAN-heterogeneity rig: subflow 0 stays on an intra-DC path
+   (100 µs) while every sibling crosses a long-haul trunk (20 ms) — a
+   200:1 ratio that stresses the rate terms (LIA/OLIA divide by srtt²,
+   Balia by srtt) and Veno's backlog estimate far outside the regime
+   the couplings were tuned in. min_rtt sits at 4/5 of srtt so
+   queue-delay-sensitive rules see a plausible standing backlog on both
+   path classes. *)
+let asym_srtt_of_index i = if i = 0 then Time.us 100 else Time.ms 20
+
+let asym_min_rtt_of_index i = if i = 0 then Time.us 80 else Time.ms 16
+
+let asym_episode =
+  {
+    ep_name = "rtt-asym";
+    steps =
+      repeat 8 (Ack 1)
+      @ interleave 12 [ Sibling_ack 1 ] [ Ack 2 ]
+      @ [ Ce_ack 2 ]
+      @ interleave 8 [ Sibling_ack 2 ] [ Ack 1 ]
+      @ [ Fast_retransmit ]
+      @ interleave 12 [ Sibling_ack 1 ] [ Ack 1 ]
+      @ [ Timeout ]
+      @ repeat 16 (Ack 1);
+  }
+
+let make_rig ?(srtt_of = srtt_of_index) ?(min_rtt_of = fun _ -> base_rtt)
+    scheme =
   let coupling = Scheme.coupling scheme Scheme.default_overrides in
   let factory = coupling.Coupling.fresh () in
   let now = ref (Time.us 0) in
   let make_sub i =
     let una = ref 0 and nxt = ref 0 in
-    let srtt = srtt_of_index i in
+    let srtt = srtt_of i in
+    let min_rtt = min_rtt_of i in
     let view =
       {
         Cc.snd_una = (fun () -> !una);
         snd_nxt = (fun () -> !nxt);
         srtt = (fun () -> srtt);
-        min_rtt = (fun () -> base_rtt);
+        min_rtt = (fun () -> min_rtt);
         now = (fun () -> !now);
         telemetry = Xmp_telemetry.Sink.unscoped;
       }
@@ -101,6 +128,10 @@ let make_rig scheme =
     { cc = factory i view; una; nxt }
   in
   { scheme; subs = Array.init (Scheme.n_subflows scheme) make_sub; now }
+
+let make_asym_rig scheme =
+  make_rig ~srtt_of:asym_srtt_of_index ~min_rtt_of:asym_min_rtt_of_index
+    scheme
 
 let cwnd rig i = rig.subs.(i).cc.Cc.cwnd ()
 
@@ -166,11 +197,11 @@ let run_episode rig episode =
 
 (* One trace line per step: subflow-0 cwnd and the aggregate window,
    %.6g so the text is stable across runs and platforms. *)
-let render_episode scheme episode =
+let render_episode ?(make = fun s -> make_rig s) scheme episode =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf "# %s %s\n" (Scheme.name scheme) episode.ep_name);
-  let rig = make_rig scheme in
+  let rig = make scheme in
   List.iter
     (fun s ->
       Buffer.add_string buf
@@ -183,5 +214,6 @@ let render_all () =
   String.concat "\n"
     (List.concat_map
        (fun scheme ->
-         List.map (fun ep -> render_episode scheme ep) episodes)
+         List.map (fun ep -> render_episode scheme ep) episodes
+         @ [ render_episode ~make:make_asym_rig scheme asym_episode ])
        schemes)

@@ -3,7 +3,16 @@ module Time = Xmp_engine.Time
 module Network = Xmp_net.Network
 module Queue_disc = Xmp_net.Queue_disc
 module Fat_tree = Xmp_net.Fat_tree
+module Wan = Xmp_net.Wan
 module Mptcp_flow = Xmp_mptcp.Mptcp_flow
+
+type topology =
+  | Single_dc
+  | Bridged of {
+      left : Wan.dc_spec;
+      right : Wan.dc_spec;
+      trunks : Wan.trunk list;
+    }
 
 type assignment = Uniform of Scheme.t | Split of Scheme.t * Scheme.t
 
@@ -40,6 +49,8 @@ type pattern =
 type config = {
   k : int;
   seed : int;
+  topology : topology;
+  cross_dc : float;
   horizon : Time.t;
   queue_pkts : int;
   marking_threshold : int;
@@ -86,6 +97,8 @@ let default_config =
   {
     k = 4;
     seed = 1;
+    topology = Single_dc;
+    cross_dc = 0.;
     horizon = Time.sec 2.;
     queue_pkts = 100;
     marking_threshold = 10;
@@ -103,7 +116,6 @@ let default_config =
 type result = {
   metrics : Metrics.t;
   net : Network.t;
-  fat_tree : Fat_tree.t;
   config : config;
   events : int;
   injected_drops : int;
@@ -118,11 +130,23 @@ type active = {
   a_handle : Mptcp_flow.t;
 }
 
+(* Topology handle: the pattern generators only need host counts,
+   locality/path-count classification and (for cross-DC biasing) the DC
+   layout, so both the single fat tree and the flat WAN bridge fit
+   behind these closures. *)
+type topo = {
+  t_n_hosts : int;
+  t_locality : src:int -> dst:int -> Fat_tree.locality;
+  t_n_paths : src:int -> dst:int -> int;
+  t_dc_ranges : (int * int) array;  (* (host base, count) per DC *)
+  t_dc_of : int -> int;
+}
+
 type ctx = {
   cfg : config;
   sim : Sim.t;
   net : Network.t;
-  ft : Fat_tree.t;
+  topo : topo;
   rng : Random.State.t;
   metrics : Metrics.t;
   overrides : Scheme.transport_overrides;
@@ -145,17 +169,15 @@ let scheme_for ctx ~src =
    completion. *)
 let launch_large ctx ~src ~dst ~size_segments ~on_complete =
   let scheme = scheme_for ctx ~src in
-  let locality = Fat_tree.locality ctx.ft ~src ~dst in
-  let available = Fat_tree.n_paths ctx.ft ~src ~dst in
+  let locality = ctx.topo.t_locality ~src ~dst in
+  let available = ctx.topo.t_n_paths ~src ~dst in
   let paths =
     Scheme.pick_paths ~rng:ctx.rng ~available
       ~wanted:(Scheme.n_subflows scheme)
   in
   let flow = fresh_flow ctx in
   let handle =
-    Scheme.launch ~net:ctx.net ~overrides:ctx.overrides ~flow
-      ~src:(Fat_tree.host_id ctx.ft src)
-      ~dst:(Fat_tree.host_id ctx.ft dst)
+    Scheme.launch ~net:ctx.net ~overrides:ctx.overrides ~flow ~src ~dst
       ~paths ~size_segments
       ~observer:
         {
@@ -197,13 +219,11 @@ let launch_large ctx ~src ~dst ~size_segments ~on_complete =
 (* Launch a small (plain-TCP, single-path) flow; not recorded in large-flow
    metrics. *)
 let launch_small ctx ~src ~dst ~size_segments ~on_complete =
-  let available = Fat_tree.n_paths ctx.ft ~src ~dst in
+  let available = ctx.topo.t_n_paths ~src ~dst in
   let paths = Scheme.pick_paths ~rng:ctx.rng ~available ~wanted:1 in
   let flow = fresh_flow ctx in
   ignore
-    (Scheme.launch ~net:ctx.net ~overrides:ctx.overrides ~flow
-       ~src:(Fat_tree.host_id ctx.ft src)
-       ~dst:(Fat_tree.host_id ctx.ft dst)
+    (Scheme.launch ~net:ctx.net ~overrides:ctx.overrides ~flow ~src ~dst
        ~paths ~size_segments
        ~observer:{ Scheme.silent with on_complete = (fun _ -> on_complete ()) }
        Scheme.reno)
@@ -214,19 +234,37 @@ let uniform_size ctx ~min_segments ~max_segments =
 (* destination ≠ src, optionally in another rack, respecting the inbound
    cap; falls back to ignoring the cap if sampling keeps failing. *)
 let pick_dst ctx ~src ~max_inbound ~other_rack =
-  let n = Fat_tree.n_hosts ctx.ft in
+  let topo = ctx.topo in
+  let n = topo.t_n_hosts in
   let ok ~use_cap d =
     d <> src
     && ((not use_cap) || ctx.inbound.(d) < max_inbound)
     && ((not other_rack)
-       || Fat_tree.locality ctx.ft ~src ~dst:d <> Fat_tree.Inner_rack)
+       || topo.t_locality ~src ~dst:d <> Fat_tree.Inner_rack)
+  in
+  (* single-DC candidates are uniform over all hosts, exactly as before;
+     with a bridged topology and a positive [cross_dc], that fraction of
+     candidates is drawn from the other DC and the rest from the
+     source's own DC *)
+  let candidate () =
+    if Array.length topo.t_dc_ranges <= 1 || ctx.cfg.cross_dc <= 0. then
+      Random.State.int ctx.rng n
+    else begin
+      let dc = topo.t_dc_of src in
+      let pick =
+        if Random.State.float ctx.rng 1.0 < ctx.cfg.cross_dc then 1 - dc
+        else dc
+      in
+      let base, count = topo.t_dc_ranges.(pick) in
+      base + Random.State.int ctx.rng count
+    end
   in
   let rec try_pick use_cap attempts =
     if attempts = 0 then
       if use_cap then try_pick false 64
       else (src + 1 + Random.State.int ctx.rng (n - 1)) mod n
     else begin
-      let d = Random.State.int ctx.rng n in
+      let d = candidate () in
       if ok ~use_cap d then d else try_pick use_cap (attempts - 1)
     end
   in
@@ -254,7 +292,7 @@ let random_derangement ctx n =
   p
 
 let run_permutation ctx ~min_segments ~max_segments =
-  let n = Fat_tree.n_hosts ctx.ft in
+  let n = ctx.topo.t_n_hosts in
   let rec start_wave () =
     let perm = random_derangement ctx n in
     let remaining = ref n in
@@ -275,7 +313,7 @@ let run_permutation ctx ~min_segments ~max_segments =
 let run_permutation_churn ctx ~min_segments ~max_segments ~churn =
   if Time.compare churn Time.zero <= 0 then
     invalid_arg "Driver: churn period must be positive";
-  let n = Fat_tree.n_hosts ctx.ft in
+  let n = ctx.topo.t_n_hosts in
   let rec start_wave () =
     let perm = random_derangement ctx n in
     for src = 0 to n - 1 do
@@ -305,7 +343,7 @@ let run_random ctx ~mean_segments ~cap_segments ~shape ~max_inbound
   let pareto =
     Pareto.create ~shape ~mean:mean_segments ~cap:cap_segments
   in
-  for src = 0 to Fat_tree.n_hosts ctx.ft - 1 do
+  for src = 0 to ctx.topo.t_n_hosts - 1 do
     start_random_source ctx ~pareto ~max_inbound ~other_rack ~src
   done
 
@@ -323,7 +361,7 @@ let pick_distinct ctx ~n ~from =
 
 let run_incast ctx ~jobs ~fanout ~request_segments ~response_segments
     ~bg_mean_segments ~bg_cap_segments ~bg_shape =
-  let n = Fat_tree.n_hosts ctx.ft in
+  let n = ctx.topo.t_n_hosts in
   if n < fanout + 1 then invalid_arg "Driver: incast fanout exceeds hosts";
   let rec start_job () =
     let hosts = pick_distinct ctx ~n:(fanout + 1) ~from:n in
@@ -362,7 +400,7 @@ let run_incast_sweep ctx ~jobs ~fanouts ~request_segments ~response_segments =
   let fan_arr = Array.of_list fanouts in
   if Array.length fan_arr = 0 then
     invalid_arg "Driver: incast sweep needs at least one fanout";
-  let n = Fat_tree.n_hosts ctx.ft in
+  let n = ctx.topo.t_n_hosts in
   Array.iter
     (fun fanout ->
       if fanout < 1 || n < fanout + 1 then
@@ -398,7 +436,7 @@ let run_incast_sweep ctx ~jobs ~fanouts ~request_segments ~response_segments =
    next wave starts when the whole shuffle completes (a map-reduce style
    barrier). *)
 let run_all_to_all ctx ~segments =
-  let n = Fat_tree.n_hosts ctx.ft in
+  let n = ctx.topo.t_n_hosts in
   let rec start_wave () =
     let remaining = ref (n * (n - 1)) in
     for src = 0 to n - 1 do
@@ -442,21 +480,48 @@ let run cfg =
       ~policy:(Queue_disc.Threshold_mark marking)
       ~capacity_pkts:cfg.queue_pkts
   in
-  let ft = Fat_tree.create ~net ~k:cfg.k ~disc () in
+  let topo =
+    match cfg.topology with
+    | Single_dc ->
+      let ft = Fat_tree.create ~net ~k:cfg.k ~disc () in
+      {
+        t_n_hosts = Fat_tree.n_hosts ft;
+        t_locality = (fun ~src ~dst -> Fat_tree.locality ft ~src ~dst);
+        t_n_paths = (fun ~src ~dst -> Fat_tree.n_paths ft ~src ~dst);
+        t_dc_ranges = [| (0, Fat_tree.n_hosts ft) |];
+        t_dc_of = (fun _ -> 0);
+      }
+    | Bridged { left; right; trunks } ->
+      let wan = Wan.create_flat ~net ~left ~right ~trunks ~disc () in
+      let n0 = Wan.dc_n_hosts left and n1 = Wan.dc_n_hosts right in
+      {
+        t_n_hosts = Wan.n_hosts wan;
+        t_locality = (fun ~src ~dst -> Wan.locality wan ~src ~dst);
+        t_n_paths = (fun ~src ~dst -> Wan.n_paths wan ~src ~dst);
+        t_dc_ranges = [| (0, n0); (n0, n1) |];
+        t_dc_of = Wan.dc_of_host wan;
+      }
+  in
   let injector = Xmp_faults.Injector.install ~net () in
   let ctx =
     {
       cfg;
       sim;
       net;
-      ft;
+      topo;
       rng = Sim.rng sim;
       metrics =
         Metrics.create ~keep_flows:cfg.keep_flows
           ~rtt_subsample:cfg.rtt_subsample ();
-      overrides = { Scheme.rto_min = cfg.rto_min; beta = cfg.beta; sack = cfg.sack };
+      overrides =
+        {
+          Scheme.default_overrides with
+          rto_min = cfg.rto_min;
+          beta = cfg.beta;
+          sack = cfg.sack;
+        };
       next_flow = 0;
-      inbound = Array.make (Fat_tree.n_hosts ft) 0;
+      inbound = Array.make topo.t_n_hosts 0;
       running = Hashtbl.create 256;
     }
   in
@@ -517,11 +582,15 @@ let run cfg =
   {
     metrics = ctx.metrics;
     net;
-    fat_tree = ft;
     config = cfg;
     events = Sim.events_executed sim;
     injected_drops = Xmp_faults.Injector.injected_drops injector;
   }
 
 let utilization_by_layer (r : result) =
-  Metrics.utilization_by_layer ~net:r.net ~duration:r.config.horizon
+  let layers =
+    match r.config.topology with
+    | Single_dc -> Fat_tree.layers
+    | Bridged _ -> Wan.layers
+  in
+  Metrics.utilization_by_layer ~layers ~net:r.net ~duration:r.config.horizon ()

@@ -16,6 +16,16 @@
     Large flows use the configured scheme(s); incast request/response
     small flows always use plain TCP, as in the paper. *)
 
+type topology =
+  | Single_dc  (** one [k]-ary fat tree (the historical driver) *)
+  | Bridged of {
+      left : Xmp_net.Wan.dc_spec;
+      right : Xmp_net.Wan.dc_spec;
+      trunks : Xmp_net.Wan.trunk list;
+    }
+      (** two DCs joined by WAN trunks ({!Xmp_net.Wan.create_flat});
+          [config.k] is ignored — the DC specs size the fabric *)
+
 type assignment =
   | Uniform of Scheme.t
   | Split of Scheme.t * Scheme.t
@@ -63,8 +73,15 @@ type pattern =
           shuffle wave starts when the whole wave completes *)
 
 type config = {
-  k : int;  (** fat-tree arity *)
+  k : int;  (** fat-tree arity (single-DC topology only) *)
   seed : int;
+  topology : topology;
+  cross_dc : float;
+      (** with a {!Bridged} topology, the fraction of randomly chosen
+          destinations drawn from the other DC (Random-pattern and
+          incast-background candidate draws); 0 keeps all random picks
+          DC-local. Ignored for {!Single_dc}. Derangement-based patterns
+          (Permutation, All_to_all) always mix globally. *)
   horizon : Xmp_engine.Time.t;
   queue_pkts : int;
   marking_threshold : int;  (** switch K *)
@@ -88,9 +105,10 @@ type config = {
 }
 
 val default_config : config
-(** k = 4, seed 1, 2 s horizon, 100-packet queues, K = 10, β = 4,
-    RTOmin 200 ms, XMP-2 Permutation with the ×1/32-scaled paper sizes,
-    per-flow records kept, no faults, null telemetry sink. *)
+(** k = 4 single-DC, seed 1, 2 s horizon, 100-packet queues, K = 10,
+    β = 4, RTOmin 200 ms, XMP-2 Permutation with the ×1/32-scaled paper
+    sizes, per-flow records kept, no faults, null telemetry sink, no
+    cross-DC bias. *)
 
 val permutation_scaled : pattern
 (** Paper's 64–512 MB uniform sizes scaled by 1/32 (2–16 MB). *)
@@ -106,7 +124,6 @@ val incast_scaled : pattern
 type result = {
   metrics : Metrics.t;
   net : Xmp_net.Network.t;
-  fat_tree : Xmp_net.Fat_tree.t;
   config : config;
   events : int;
   injected_drops : int;
@@ -117,4 +134,5 @@ type result = {
 val run : config -> result
 
 val utilization_by_layer : result -> (string * Xmp_stats.Distribution.t) list
-(** Figure 11 data for this run. *)
+(** Figure 11 data for this run; bridged runs include the ["wan"] and
+    ["border"] layers. *)

@@ -37,9 +37,11 @@ type t = {
   goodput_inner : Distribution.t;
   goodput_rack : Distribution.t;
   goodput_pod : Distribution.t;
+  goodput_dc : Distribution.t;
   rtt_inner : Distribution.t;
   rtt_rack : Distribution.t;
   rtt_pod : Distribution.t;
+  rtt_dc : Distribution.t;
   mutable rtt_counter : int;
   jobs : Distribution.t;
   fanout_jobs : (int, Distribution.t) Hashtbl.t;
@@ -63,9 +65,11 @@ let create ?(keep_flows = false) ~rtt_subsample () =
     goodput_inner = Distribution.create ();
     goodput_rack = Distribution.create ();
     goodput_pod = Distribution.create ();
+    goodput_dc = Distribution.create ();
     rtt_inner = Distribution.create ();
     rtt_rack = Distribution.create ();
     rtt_pod = Distribution.create ();
+    rtt_dc = Distribution.create ();
     rtt_counter = 0;
     jobs = Distribution.create ();
     fanout_jobs = Hashtbl.create 7;
@@ -78,6 +82,7 @@ let goodput_dist t = function
   | Fat_tree.Inner_rack -> t.goodput_inner
   | Fat_tree.Inter_rack -> t.goodput_rack
   | Fat_tree.Inter_pod -> t.goodput_pod
+  | Fat_tree.Inter_dc -> t.goodput_dc
 
 let scheme_sum t scheme =
   match Hashtbl.find_opt t.scheme_sums scheme with
@@ -103,6 +108,7 @@ let rtt_dist t = function
   | Fat_tree.Inner_rack -> t.rtt_inner
   | Fat_tree.Inter_rack -> t.rtt_rack
   | Fat_tree.Inter_pod -> t.rtt_pod
+  | Fat_tree.Inter_dc -> t.rtt_dc
 
 let record_rtt t ~locality rtt =
   t.rtt_counter <- t.rtt_counter + 1;
@@ -161,7 +167,11 @@ let mean_goodput_bps_of_scheme t scheme =
 
 let goodputs t = t.goodput_all
 
-let localities = [ Fat_tree.Inter_pod; Fat_tree.Inter_rack; Fat_tree.Inner_rack ]
+(* most-distant first; empty classes are filtered below, so runs inside
+   one tree never show the Inter-DC row *)
+let localities =
+  [ Fat_tree.Inter_dc; Fat_tree.Inter_pod; Fat_tree.Inter_rack;
+    Fat_tree.Inner_rack ]
 
 let goodputs_by_locality t =
   List.filter_map
@@ -246,9 +256,11 @@ let merge ~into src =
   merge_dist ~into:into.goodput_inner src.goodput_inner;
   merge_dist ~into:into.goodput_rack src.goodput_rack;
   merge_dist ~into:into.goodput_pod src.goodput_pod;
+  merge_dist ~into:into.goodput_dc src.goodput_dc;
   merge_dist ~into:into.rtt_inner src.rtt_inner;
   merge_dist ~into:into.rtt_rack src.rtt_rack;
   merge_dist ~into:into.rtt_pod src.rtt_pod;
+  merge_dist ~into:into.rtt_dc src.rtt_dc;
   into.rtt_counter <- into.rtt_counter + src.rtt_counter;
   merge_dist ~into:into.jobs src.jobs;
   List.iter
@@ -270,7 +282,7 @@ let merge ~into src =
     (fun i d -> merge_dist ~into:into.slowdown_buckets.(i) d)
     src.slowdown_buckets
 
-let utilization_by_layer ~net ~duration =
+let utilization_by_layer ?(layers = Fat_tree.layers) ~net ~duration () =
   List.filter_map
     (fun layer ->
       let links = Xmp_net.Network.links_tagged net layer in
@@ -282,4 +294,4 @@ let utilization_by_layer ~net ~duration =
           links;
         Some (layer, d)
       end)
-    Fat_tree.layers
+    layers

@@ -113,8 +113,12 @@ val merge : into:t -> t -> unit
     over only when both collectors keep them. *)
 
 val utilization_by_layer :
+  ?layers:string list ->
   net:Xmp_net.Network.t ->
   duration:Xmp_engine.Time.t ->
+  unit ->
   (string * Distribution.t) list
 (** Per-layer link utilization distributions at the end of a run
-    (Figure 11 bars); layers ordered as {!Xmp_net.Fat_tree.layers}. *)
+    (Figure 11 bars); [layers] defaults to {!Xmp_net.Fat_tree.layers}
+    (pass {!Xmp_net.Wan.layers} for a bridged run). Tags with no links
+    are dropped. *)

@@ -1,19 +1,28 @@
 module Sim = Xmp_engine.Sim
 module Time = Xmp_engine.Time
+module Fault_spec = Xmp_engine.Fault_spec
 module Units = Xmp_net.Units
 module Queue_disc = Xmp_net.Queue_disc
 module Fat_tree = Xmp_net.Fat_tree
 module Ft = Xmp_net.Fat_tree_sharded
+module Wan = Xmp_net.Wan
 module Shard = Xmp_net.Shard
+module Network = Xmp_net.Network
+module Injector = Xmp_faults.Injector
 module Mptcp_flow = Xmp_mptcp.Mptcp_flow
 
-(* Open-loop workload on the pod-sharded fat tree: Poisson arrivals per
-   host (independent of flow completions — the open-loop property), flow
+(* Open-loop workload on a sharded fabric: Poisson arrivals per host
+   (independent of flow completions — the open-loop property), flow
    sizes from an empirical CDF, uniform random destinations. Flows are
    created at the epoch barrier via {!Shard.run}'s [on_epoch] hook: that
    is the only point where registering a flow's endpoints on two shards
    is safe, and it runs on the orchestrating domain in a deterministic
-   order, so the generated schedule is identical for any domain count. *)
+   order, so the generated schedule is identical for any domain count.
+
+   The engine is written against a small fabric record so the same
+   generator drives the pod-sharded fat tree ({!run}) and the two-DC
+   WAN bridge ({!run_wan}); the fat-tree path performs exactly the
+   RNG draws it always did, keeping its digests stable. *)
 
 type config = {
   k : int;
@@ -32,6 +41,8 @@ type config = {
   sack : bool;
   rtt_subsample : int;
   keep_flows : bool;
+  cross_dc : float;
+      (** fraction of flows aimed at the other DC (WAN fabrics only) *)
 }
 
 let default_config =
@@ -52,6 +63,7 @@ let default_config =
     sack = false;
     rtt_subsample = 64;
     keep_flows = false;
+    cross_dc = 0.;
   }
 
 type result = {
@@ -87,18 +99,65 @@ let zero_load_rtt locality =
       Time.add
         (Time.mul rack_delay 2)
         (Time.add (Time.mul agg_delay 2) (Time.mul core_delay 2))
+    | Fat_tree.Inter_dc ->
+      invalid_arg
+        "Open_loop.zero_load_rtt: Inter_dc depends on the trunk delay \
+         (the WAN fabric supplies its own ideal)"
   in
   Time.mul one_way 2
 
 (* Ideal FCT: line-rate transfer time plus the zero-load RTT — the
    standard slowdown denominator (a flow that never queues and never
    shares a link scores 1). *)
+let transfer_time cfg ~size_segments =
+  Time.of_float_s
+    (float_of_int size_segments *. 1460. *. 8. /. float_of_int cfg.rate)
+
 let ideal_fct cfg ~locality ~size_segments =
-  let transfer =
-    Time.of_float_s
-      (float_of_int size_segments *. 1460. *. 8. /. float_of_int cfg.rate)
-  in
-  Time.add transfer (zero_load_rtt locality)
+  Time.add (transfer_time cfg ~size_segments) (zero_load_rtt locality)
+
+(* ---- the fabric seam ------------------------------------------------- *)
+
+type fabric = {
+  fb_n_hosts : int;
+  fb_shards : int;
+  fb_shard_of_host : int -> int;
+  fb_host_net : int -> Network.t;
+  fb_sim : int -> Sim.t;  (* shard index -> its simulator *)
+  fb_locality : src:int -> dst:int -> Fat_tree.locality;
+  fb_n_paths : src:int -> dst:int -> int;
+  fb_zero_load_rtt : src:int -> dst:int -> Time.t;
+  fb_dc_ranges : (int * int) array;  (* (host base, count) per DC *)
+  fb_dc_of : int -> int;
+  fb_run :
+    domains:int -> until:Time.t -> on_epoch:(target:Time.t -> Time.t) -> unit;
+  fb_events : unit -> int;
+  fb_mail : unit -> int;
+}
+
+(* Destination choice. Single-DC fabrics take the one branch the
+   original generator had — same draws, same digests. WAN fabrics spend
+   one extra uniform draw deciding the side of the cut, then pick within
+   the chosen DC. *)
+let pick_dst fb ~cross_dc ~rng ~src =
+  if Array.length fb.fb_dc_ranges <= 1 || cross_dc <= 0. then begin
+    (* uniform over the other n-1 hosts *)
+    let d = Random.State.int rng (fb.fb_n_hosts - 1) in
+    if d >= src then d + 1 else d
+  end
+  else begin
+    let dc = fb.fb_dc_of src in
+    if Random.State.float rng 1.0 < cross_dc then begin
+      let base, count = fb.fb_dc_ranges.(1 - dc) in
+      base + Random.State.int rng count
+    end
+    else begin
+      let base, count = fb.fb_dc_ranges.(dc) in
+      let d = Random.State.int rng (count - 1) in
+      let local = src - base in
+      base + (if d >= local then d + 1 else d)
+    end
+  end
 
 type active = {
   a_src : int;
@@ -108,9 +167,9 @@ type active = {
   a_handle : Mptcp_flow.t;
 }
 
-(* Everything one pod's domain writes during an epoch; drained by the
+(* Everything one shard's domain writes during an epoch; drained by the
    orchestrator at the barrier (the crew mutex publishes it). *)
-type pod_state = {
+type shard_state = {
   metrics : Metrics.t;
   running : (int, active) Hashtbl.t;
   mutable done_rev : Mptcp_flow.t list;
@@ -118,28 +177,17 @@ type pod_state = {
   mutable n_completed : int;
 }
 
-let run ?(config = default_config) ?(domains = 1) () =
-  let cfg = config in
-  let marking =
-    Option.value (Scheme.marking_threshold cfg.scheme)
-      ~default:cfg.marking_threshold
-  in
-  let disc () =
-    Queue_disc.create
-      ~policy:(Queue_disc.Threshold_mark marking)
-      ~capacity_pkts:cfg.queue_pkts
-  in
-  let ft =
-    Ft.create
-      ~config:{ Sim.default_config with Sim.seed = cfg.seed }
-      ~k:cfg.k ~rate:cfg.rate ~disc ()
-  in
-  let n_hosts = Ft.n_hosts ft in
+let run_fabric ~cfg ~domains fb =
   let overrides =
-    { Scheme.rto_min = cfg.rto_min; beta = cfg.beta; sack = cfg.sack }
+    {
+      Scheme.default_overrides with
+      rto_min = cfg.rto_min;
+      beta = cfg.beta;
+      sack = cfg.sack;
+    }
   in
-  let pods =
-    Array.init cfg.k (fun _ ->
+  let shards =
+    Array.init fb.fb_shards (fun _ ->
         {
           metrics =
             Metrics.create ~keep_flows:cfg.keep_flows
@@ -150,29 +198,30 @@ let run ?(config = default_config) ?(domains = 1) () =
         })
   in
   let arrivals =
-    Arrivals.create ~seed:cfg.seed ~hosts:n_hosts ~rate:(arrival_rate cfg)
+    Arrivals.create ~seed:cfg.seed ~hosts:fb.fb_n_hosts
+      ~rate:(arrival_rate cfg)
   in
   let launched = ref 0 in
   let launch ~host ~at ~rng =
     let src = host in
-    (* uniform over the other n-1 hosts *)
-    let d = Random.State.int rng (n_hosts - 1) in
-    let dst = if d >= src then d + 1 else d in
+    let dst = pick_dst fb ~cross_dc:cfg.cross_dc ~rng ~src in
     let size_segments = Flow_size.sample cfg.sizes rng in
-    let locality = Ft.locality ft ~src ~dst in
+    let locality = fb.fb_locality ~src ~dst in
     let paths =
-      Scheme.pick_paths ~rng ~available:(Ft.n_paths ft ~src ~dst)
+      Scheme.pick_paths ~rng ~available:(fb.fb_n_paths ~src ~dst)
         ~wanted:(Scheme.n_subflows cfg.scheme)
     in
     let flow = !launched in
     incr launched;
-    let pod = Ft.pod_of_host ft src in
-    let st = pods.(pod) in
-    let ideal = ideal_fct cfg ~locality ~size_segments in
+    let shard = fb.fb_shard_of_host src in
+    let st = shards.(shard) in
+    let ideal =
+      Time.add (transfer_time cfg ~size_segments) (fb.fb_zero_load_rtt ~src ~dst)
+    in
     let handle =
       Scheme.launch
-        ~net:(Ft.host_net ft src)
-        ~rcv_net:(Ft.host_net ft dst)
+        ~net:(fb.fb_host_net src)
+        ~rcv_net:(fb.fb_host_net dst)
         ~overrides ~flow ~src ~dst ~paths ~size_segments ~start_at:at
         ~observer:
           {
@@ -180,9 +229,9 @@ let run ?(config = default_config) ?(domains = 1) () =
             on_rtt_sample = (fun rtt -> Metrics.record_rtt st.metrics ~locality rtt);
             on_complete =
               (fun f ->
-                (* runs in the source pod's domain *)
+                (* runs in the source shard's domain *)
                 Hashtbl.remove st.running flow;
-                let finished = Sim.now (Shard.sim (Ft.cluster ft) pod) in
+                let finished = Sim.now (fb.fb_sim shard) in
                 let started = Mptcp_flow.started_at f in
                 Metrics.record_flow st.metrics
                   {
@@ -223,7 +272,7 @@ let run ?(config = default_config) ?(domains = 1) () =
         | fs ->
           st.done_rev <- [];
           List.iter Mptcp_flow.close_receivers (List.rev fs))
-      pods;
+      shards;
     if at_max () then Arrivals.stop arrivals;
     let gen_target = Time.min target cfg.horizon in
     let next =
@@ -233,7 +282,7 @@ let run ?(config = default_config) ?(domains = 1) () =
     if Time.compare next cfg.horizon > 0 then Time.infinity else next
   in
   let until = Time.add cfg.horizon cfg.drain in
-  Ft.run ~domains ~until ~on_epoch ft;
+  fb.fb_run ~domains ~until ~on_epoch;
   (* Flows still in flight at the end are recorded as truncated, in
      flow-id order so aggregation never depends on hash-table history
      (sorted-iteration idiom). Their FCT is undefined — only goodput and
@@ -265,14 +314,99 @@ let run ?(config = default_config) ?(domains = 1) () =
             })
         still;
       Metrics.merge ~into:total st.metrics)
-    pods;
-  let completed = Array.fold_left (fun acc st -> acc + st.n_completed) 0 pods in
+    shards;
+  let completed =
+    Array.fold_left (fun acc st -> acc + st.n_completed) 0 shards
+  in
   {
     metrics = total;
     launched = !launched;
     completed;
     truncated = Metrics.n_truncated_flows total;
-    events = Shard.events_executed (Ft.cluster ft);
-    mail = Shard.mail_injected (Ft.cluster ft);
+    events = fb.fb_events ();
+    mail = fb.fb_mail ();
     config = cfg;
   }
+
+let disc_of cfg =
+  let marking =
+    Option.value (Scheme.marking_threshold cfg.scheme)
+      ~default:cfg.marking_threshold
+  in
+  fun () ->
+    Queue_disc.create
+      ~policy:(Queue_disc.Threshold_mark marking)
+      ~capacity_pkts:cfg.queue_pkts
+
+let run ?(config = default_config) ?(domains = 1) () =
+  let cfg = config in
+  let ft =
+    Ft.create
+      ~config:{ Sim.default_config with Sim.seed = cfg.seed }
+      ~k:cfg.k ~rate:cfg.rate ~disc:(disc_of cfg) ()
+  in
+  let n_hosts = Ft.n_hosts ft in
+  let cluster = Ft.cluster ft in
+  let fb =
+    {
+      fb_n_hosts = n_hosts;
+      fb_shards = cfg.k;
+      fb_shard_of_host = Ft.pod_of_host ft;
+      fb_host_net = Ft.host_net ft;
+      fb_sim = (fun shard -> Shard.sim cluster shard);
+      fb_locality = (fun ~src ~dst -> Ft.locality ft ~src ~dst);
+      fb_n_paths = (fun ~src ~dst -> Ft.n_paths ft ~src ~dst);
+      fb_zero_load_rtt =
+        (fun ~src ~dst -> zero_load_rtt (Ft.locality ft ~src ~dst));
+      fb_dc_ranges = [| (0, n_hosts) |];
+      fb_dc_of = (fun _ -> 0);
+      fb_run =
+        (fun ~domains ~until ~on_epoch -> Ft.run ~domains ~until ~on_epoch ft);
+      fb_events = (fun () -> Shard.events_executed cluster);
+      fb_mail = (fun () -> Shard.mail_injected cluster);
+    }
+  in
+  run_fabric ~cfg ~domains fb
+
+let run_wan ?(config = default_config) ?(domains = 1) ?faults ~left ~right
+    ~trunks () =
+  let cfg = config in
+  let wan =
+    Wan.create
+      ~config:{ Sim.default_config with Sim.seed = cfg.seed }
+      ~left ~right ~trunks ~rate:cfg.rate ~disc:(disc_of cfg) ()
+  in
+  let cluster = Wan.cluster wan in
+  (* arm the fault schedule (e.g. Gilbert-Elliott loss on Tag "wan")
+     against both shard networks; targets must resolve in every shard,
+     which holds for trunk links since each direction lives in its
+     source DC's net *)
+  (match faults with
+  | None -> ()
+  | Some schedule ->
+    if not (Fault_spec.is_empty schedule) then
+      for s = 0 to 1 do
+        ignore (Injector.install ~net:(Shard.net cluster s) ~schedule ())
+      done);
+  let n0 = Wan.dc_n_hosts (Wan.dc_spec wan 0) in
+  let n1 = Wan.dc_n_hosts (Wan.dc_spec wan 1) in
+  let fb =
+    {
+      fb_n_hosts = Wan.n_hosts wan;
+      fb_shards = 2;
+      fb_shard_of_host = Wan.dc_of_host wan;
+      fb_host_net = Wan.host_net wan;
+      fb_sim = (fun shard -> Shard.sim cluster shard);
+      fb_locality = (fun ~src ~dst -> Wan.locality wan ~src ~dst);
+      fb_n_paths = (fun ~src ~dst -> Wan.n_paths wan ~src ~dst);
+      fb_zero_load_rtt = (fun ~src ~dst -> Wan.zero_load_rtt wan ~src ~dst);
+      fb_dc_ranges = [| (0, n0); (n0, n1) |];
+      fb_dc_of = Wan.dc_of_host wan;
+      fb_run =
+        (fun ~domains ~until ~on_epoch ->
+          Wan.run ~domains ~until ~on_epoch wan);
+      fb_events = (fun () -> Wan.events_executed wan);
+      fb_mail = (fun () -> Wan.mail_injected wan);
+    }
+  in
+  run_fabric ~cfg ~domains fb

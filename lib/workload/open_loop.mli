@@ -39,13 +39,17 @@ type config = {
   keep_flows : bool;
       (** retain per-flow records (see {!Metrics.create}); leave [false]
           for long runs *)
+  cross_dc : float;
+      (** fraction of arrivals aimed at the other data center, on WAN
+          fabrics ({!run_wan}) only; ignored (and the destination draw
+          sequence unchanged) on the single-tree {!run} *)
 }
 
 val default_config : config
 (** k = 8, seed 1, XMP-2, web-search sizes, 40% load at 1 Gbps,
     100 ms horizon + 200 ms drain, no flow cap, 100-packet queues with
     marking threshold 10, β = 4, RTOmin 200 ms, SACK off, RTT
-    subsampling 64, per-flow records not kept. *)
+    subsampling 64, per-flow records not kept, no cross-DC traffic. *)
 
 type result = {
   metrics : Metrics.t;
@@ -70,6 +74,30 @@ val ideal_fct :
   size_segments:int ->
   Xmp_engine.Time.t
 (** The slowdown denominator: line-rate transfer time plus the zero-load
-    RTT for the locality (a flow that never queues or shares scores 1). *)
+    RTT for the locality (a flow that never queues or shares scores 1).
+    Raises [Invalid_argument] for {!Xmp_net.Fat_tree.Inter_dc}: the
+    cross-DC ideal depends on the trunk delay, so WAN runs compute it
+    from {!Xmp_net.Wan.zero_load_rtt} internally. *)
 
 val run : ?config:config -> ?domains:int -> unit -> result
+(** The pod-sharded fat tree ([config.k] pods), as always. *)
+
+val run_wan :
+  ?config:config ->
+  ?domains:int ->
+  ?faults:Xmp_engine.Fault_spec.t ->
+  left:Xmp_net.Wan.dc_spec ->
+  right:Xmp_net.Wan.dc_spec ->
+  trunks:Xmp_net.Wan.trunk list ->
+  unit ->
+  result
+(** The same open-loop generator over a two-DC {!Xmp_net.Wan} bridge
+    (one shard per DC; [config.k] is ignored, the DC specs size the
+    fabric). [config.cross_dc] of each host's arrivals target a uniform
+    host in the other DC; the rest stay uniform within the source DC.
+    Cross-DC ideals use the fastest trunk's zero-load RTT, so slowdown
+    stays comparable across trunk configurations. [faults] (e.g.
+    Gilbert–Elliott loss targeting the ["wan"] tag or a
+    {!Xmp_net.Wan.trunk_link_name}) is installed on both DC networks.
+    Determinism contract is unchanged: [domains:1 ≡ domains:2]
+    byte-identical. *)

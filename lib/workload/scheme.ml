@@ -12,10 +12,19 @@ type tunables = {
   xmp_k : int option;
   veno_beta : float option;
   amp_ect : ect_mode;
+  rto_min : Time.t option;
+  rto_max : Time.t option;
 }
 
 let default_tunables =
-  { xmp_beta = None; xmp_k = None; veno_beta = None; amp_ect = Counted }
+  {
+    xmp_beta = None;
+    xmp_k = None;
+    veno_beta = None;
+    amp_ect = Counted;
+    rto_min = None;
+    rto_max = None;
+  }
 
 type t = { kind : kind; subflows : int; tunables : tunables }
 
@@ -25,6 +34,10 @@ let make kind subflows tunables =
   if subflows < 1 then
     invalid_arg
       (Printf.sprintf "Scheme: subflow count must be >= 1, got %d" subflows);
+  (match (tunables.rto_min, tunables.rto_max) with
+  | Some lo, Some hi when Time.compare lo hi > 0 ->
+    invalid_arg "Scheme: rto_min must be <= rto_max"
+  | _ -> ());
   { kind; subflows; tunables }
 
 let dctcp = make Dctcp 1 default_tunables
@@ -74,6 +87,12 @@ let veno ?beta n =
 
 let amp ?(ect = Counted) n = make Amp n { default_tunables with amp_ect = ect }
 
+let with_rto ?rto_min ?rto_max t =
+  let u = t.tunables in
+  let keep opt old = match opt with Some _ -> opt | None -> old in
+  make t.kind t.subflows
+    { u with rto_min = keep rto_min u.rto_min; rto_max = keep rto_max u.rto_max }
+
 (* ----- names ----- *)
 
 let base_name t =
@@ -87,20 +106,32 @@ let base_name t =
   | Veno -> Printf.sprintf "VENO-%d" t.subflows
   | Amp -> Printf.sprintf "AMP-%d" t.subflows
 
-(* non-default tunables in a fixed key order, making the name canonical *)
+(* non-default tunables in a fixed key order, making the name canonical:
+   kind-specific keys first, then the generic rtomin/rtomax (nanoseconds,
+   any kind) *)
 let opt_strings t =
   let u = t.tunables in
-  match t.kind with
-  | Xmp ->
-    List.filter_map Fun.id
+  let kind_opts =
+    match t.kind with
+    | Xmp ->
+      List.filter_map Fun.id
+        [
+          Option.map (Printf.sprintf "beta=%d") u.xmp_beta;
+          Option.map (Printf.sprintf "k=%d") u.xmp_k;
+        ]
+    | Veno ->
+      List.filter_map Fun.id
+        [ Option.map (Printf.sprintf "beta=%g") u.veno_beta ]
+    | Amp -> (
+      match u.amp_ect with Counted -> [] | Classic -> [ "ect=classic" ])
+    | Dctcp | Reno | Lia | Olia | Balia -> []
+  in
+  kind_opts
+  @ List.filter_map Fun.id
       [
-        Option.map (Printf.sprintf "beta=%d") u.xmp_beta;
-        Option.map (Printf.sprintf "k=%d") u.xmp_k;
+        Option.map (Printf.sprintf "rtomin=%d") u.rto_min;
+        Option.map (Printf.sprintf "rtomax=%d") u.rto_max;
       ]
-  | Veno ->
-    List.filter_map Fun.id [ Option.map (Printf.sprintf "beta=%g") u.veno_beta ]
-  | Amp -> ( match u.amp_ect with Counted -> [] | Classic -> [ "ect=classic" ])
-  | Dctcp | Reno | Lia | Olia | Balia -> []
 
 let name t =
   match opt_strings t with
@@ -165,6 +196,14 @@ let apply_opt kind acc kv =
             else None)
       | Amp, ("ECT", Some "CLASSIC") when u.amp_ect = Counted ->
         Some { u with amp_ect = Classic }
+      (* generic transport keys, valid on every kind; values in whole
+         nanoseconds so round-trips through [name] are exact *)
+      | _, ("RTOMIN", Some v) when u.rto_min = None ->
+        Option.bind (decimal_opt v) (fun ns ->
+            if ns >= 1 then Some { u with rto_min = Some ns } else None)
+      | _, ("RTOMAX", Some v) when u.rto_max = None ->
+        Option.bind (decimal_opt v) (fun ns ->
+            if ns >= 1 then Some { u with rto_max = Some ns } else None)
       | _ -> None)
 
 let of_name s =
@@ -182,7 +221,9 @@ let of_name s =
           (String.split_on_char ',' o)
     in
     match tunables with
-    | Some u -> Some (make kind subflows u)
+    | Some u -> (
+      (* [make] re-validates cross-field invariants (rtomin <= rtomax) *)
+      try Some (make kind subflows u) with Invalid_argument _ -> None)
     | None -> None)
 
 (* ----- properties ----- *)
@@ -199,9 +240,15 @@ let uses_ecn t =
 let marking_threshold t =
   match t.kind with Xmp -> t.tunables.xmp_k | _ -> None
 
-type transport_overrides = { rto_min : Time.t; beta : int; sack : bool }
+type transport_overrides = {
+  rto_min : Time.t;
+  rto_max : Time.t;
+  beta : int;
+  sack : bool;
+}
 
-let default_overrides = { rto_min = Time.ms 200; beta = 4; sack = false }
+let default_overrides =
+  { rto_min = Time.ms 200; rto_max = Time.sec 60.; beta = 4; sack = false }
 
 let tcp_config t overrides =
   let base =
@@ -214,7 +261,10 @@ let tcp_config t overrides =
       | Classic -> { Xmp_core.Xmp.dctcp_tcp_config with Tcp.echo = Tcp.Classic })
     | Reno | Lia | Olia | Balia | Veno -> Xmp_core.Xmp.plain_tcp_config
   in
-  { base with Tcp.rto_min = overrides.rto_min; sack = overrides.sack }
+  (* per-scheme tunables win over the driver-wide overrides *)
+  let rto_min = Option.value t.tunables.rto_min ~default:overrides.rto_min in
+  let rto_max = Option.value t.tunables.rto_max ~default:overrides.rto_max in
+  { base with Tcp.rto_min; rto_max; sack = overrides.sack }
 
 let coupling t overrides =
   match t.kind with

@@ -31,6 +31,12 @@ type tunables = {
       (** MP-Veno's backlog threshold β in segments; [None] means the
           module default ({!Xmp_mptcp.Veno.beta_pkts}, 3) *)
   amp_ect : ect_mode;  (** AMP's ECN echo mode (default [Counted]) *)
+  rto_min : Xmp_engine.Time.t option;
+      (** per-scheme RTO floor; [None] defers to the ambient
+          {!transport_overrides.rto_min} (generic key, any kind) *)
+  rto_max : Xmp_engine.Time.t option;
+      (** per-scheme RTO ceiling; [None] defers to the ambient
+          {!transport_overrides.rto_max} (generic key, any kind) *)
 }
 
 val default_tunables : tunables
@@ -69,21 +75,32 @@ val amp : ?ect:ect_mode -> int -> t
 (** [amp ?ect n] — AMP with [n] subflows, echoing CE marks in [ect]
     mode (default [Counted]). *)
 
+val with_rto :
+  ?rto_min:Xmp_engine.Time.t -> ?rto_max:Xmp_engine.Time.t -> t -> t
+(** [with_rto ?rto_min ?rto_max t] pins this scheme's RTO floor/ceiling,
+    overriding the ambient {!transport_overrides} for its flows — how a
+    WAN topology gives its schemes an ms-scale floor without touching
+    the driver-wide defaults. Unset arguments keep the current values;
+    raises if the result has [rto_min > rto_max]. *)
+
 (** {1 Names} *)
 
 val name : t -> string
 (** Paper-style name plus non-default tunables: "DCTCP", "TCP",
     "LIA-4", "XMP-2", "XMP-2:beta=6,k=20", "VENO-2:beta=2.5",
-    "AMP-2:ect=classic". Keys appear in a fixed order and only when
-    they differ from the default, so the name is canonical. *)
+    "AMP-2:ect=classic", "XMP-2:rtomin=1000000". Keys appear in a
+    fixed order (kind-specific first, then the generic [rtomin]/
+    [rtomax], in nanoseconds) and only when they differ from the
+    default, so the name is canonical. *)
 
 val of_name : string -> t option
 (** Inverse of {!name} (case-insensitive): strict
     [NAME-<subflows>[:key=val,...]]. The subflow suffix must be a bare
     decimal ≥ 1 — trailing garbage ("XMP-2x"), signs, hex and
     underscores are rejected. Tunable keys must belong to the scheme
-    ([beta]/[k] for XMP, [beta] for VENO, [ect] for AMP), appear at
-    most once, and carry values in range; anything else is [None].
+    ([beta]/[k] for XMP, [beta] for VENO, [ect] for AMP; [rtomin]/
+    [rtomax] in whole nanoseconds on any kind), appear at most once,
+    and carry values in range; anything else is [None].
     [of_name (name t) = Some t] for every [t]. *)
 
 (** {1 Properties} *)
@@ -102,12 +119,15 @@ val marking_threshold : t -> int option
 
 type transport_overrides = {
   rto_min : Xmp_engine.Time.t;
+  rto_max : Xmp_engine.Time.t;
   beta : int;  (** XMP's window-reduction divisor *)
   sack : bool;  (** selective acknowledgements for every flow *)
 }
 
 val default_overrides : transport_overrides
-(** RTOmin 200 ms, β = 4, SACK off (the paper's RTO-dominated regime). *)
+(** RTOmin 200 ms, RTOmax 60 s, β = 4, SACK off (the paper's
+    RTO-dominated regime). Per-scheme [rtomin]/[rtomax] tunables win
+    over these (see {!with_rto}). *)
 
 val tcp_config : t -> transport_overrides -> Xmp_transport.Tcp.config
 (** The transport configuration this scheme runs with: ECT + capped echo

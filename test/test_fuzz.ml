@@ -218,24 +218,34 @@ module Scheme = Xmp_workload.Scheme
    pool of clean decimals (the constructor demands exact "%g" printing) *)
 let arbitrary_scheme =
   QCheck.map
-    (fun ((which, n), (xmp_beta, xmp_k, veno_beta, ect)) ->
-      match which with
-      | 0 -> Scheme.dctcp
-      | 1 -> Scheme.reno
-      | 2 -> Scheme.lia n
-      | 3 -> Scheme.olia n
-      | 4 -> Scheme.xmp ?beta:xmp_beta ?k:xmp_k n
-      | 5 -> Scheme.balia n
-      | 6 -> Scheme.veno ?beta:veno_beta n
-      | _ -> Scheme.amp ~ect n)
+    (fun (((which, n), (xmp_beta, xmp_k, veno_beta, ect)), (rto_min, rto_max))
+       ->
+      let base =
+        match which with
+        | 0 -> Scheme.dctcp
+        | 1 -> Scheme.reno
+        | 2 -> Scheme.lia n
+        | 3 -> Scheme.olia n
+        | 4 -> Scheme.xmp ?beta:xmp_beta ?k:xmp_k n
+        | 5 -> Scheme.balia n
+        | 6 -> Scheme.veno ?beta:veno_beta n
+        | _ -> Scheme.amp ~ect n
+      in
+      Scheme.with_rto ?rto_min ?rto_max base)
     QCheck.(
       pair
-        (pair (int_range 0 7) (int_range 1 64))
-        (quad
-           (option (int_range 2 16))
-           (option (int_range 1 200))
-           (option (oneofl [ 0.5; 1.; 1.5; 2.; 2.5; 3.; 4.5; 10.; 0.125 ]))
-           (oneofl [ Scheme.Counted; Scheme.Classic ])))
+        (pair
+           (pair (int_range 0 7) (int_range 1 64))
+           (quad
+              (option (int_range 2 16))
+              (option (int_range 1 200))
+              (option (oneofl [ 0.5; 1.; 1.5; 2.; 2.5; 3.; 4.5; 10.; 0.125 ]))
+              (oneofl [ Scheme.Counted; Scheme.Classic ])))
+        (* floor pool strictly below the ceiling pool so min <= max holds
+           for every combination *)
+        (pair
+           (option (oneofl [ 1; 200_000; 1_000_000; 40_260_000 ]))
+           (option (oneofl [ 1_000_000_000; 60_000_000_000 ]))))
 
 let scheme_name_roundtrip_fuzz =
   QCheck.Test.make ~count:200 ~name:"scheme name <-> of_name round-trips"

@@ -53,6 +53,42 @@ let test_rto_cap () =
   done;
   Alcotest.(check int) "capped" (Time.sec 1.) (R.rto e)
 
+(* On a steady path rttvar decays geometrically, so without the
+   granularity term the RTO collapses to srtt and any delayed-ACK hold
+   fires it spuriously once rto_min is small. The G term keeps a fixed
+   margin above srtt. *)
+let test_granularity_floor () =
+  let e = R.create ~rto_min:(Time.ns 1) () in
+  for _ = 1 to 20 do
+    R.sample e (Time.us 100)
+  done;
+  Alcotest.(check bool) "rttvar decayed below G/4" true
+    (Time.mul (R.rttvar e) 4 < Time.us 200);
+  Alcotest.(check int) "rto = srtt + G" (Time.us 300) (R.rto e)
+
+let test_granularity_tiny_collapses () =
+  (* the pre-fix behaviour, now opt-in: G ~ 0 lets rto converge to srtt *)
+  let e = R.create ~rto_min:(Time.ns 1) ~granularity:(Time.ns 1) () in
+  for _ = 1 to 40 do
+    R.sample e (Time.us 100)
+  done;
+  Alcotest.(check bool) "rto collapses toward srtt" true
+    (R.rto e < Time.us 102);
+  Alcotest.(check bool) "still above srtt" true (R.rto e > R.srtt e)
+
+let test_ms_scale_tracks_estimator () =
+  (* a 50 ms path with a 1 ms floor: the timeout must track
+     srtt + max(G, 4 rttvar), far below the historical 200 ms floor *)
+  let e = R.create ~rto_min:(Time.ms 1) () in
+  R.sample e (Time.ms 50);
+  Alcotest.(check int) "first sample: srtt + 4 var" (Time.ms 150) (R.rto e);
+  for _ = 1 to 20 do
+    R.sample e (Time.ms 50)
+  done;
+  Alcotest.(check bool) "steady state well under the old floor" true
+    (R.rto e < Time.ms 60);
+  Alcotest.(check bool) "and above srtt" true (R.rto e > Time.ms 50)
+
 let test_negative_rejected () =
   let e = R.create () in
   Alcotest.check_raises "negative"
@@ -68,6 +104,12 @@ let suite =
     Alcotest.test_case "RTO above floor" `Quick test_rto_above_floor;
     Alcotest.test_case "exponential backoff" `Quick test_backoff;
     Alcotest.test_case "RTO cap" `Quick test_rto_cap;
+    Alcotest.test_case "granularity holds RTO above srtt" `Quick
+      test_granularity_floor;
+    Alcotest.test_case "tiny granularity collapses to srtt" `Quick
+      test_granularity_tiny_collapses;
+    Alcotest.test_case "ms-scale RTT tracks estimator" `Quick
+      test_ms_scale_tracks_estimator;
     Alcotest.test_case "negative sample rejected" `Quick
       test_negative_rejected;
   ]

@@ -183,6 +183,51 @@ let test_matrix () =
       List.iter (check_episode profile) Conformance.episodes)
     profiles
 
+(* Heterogeneous-RTT stress: every scheme driven through the rtt-asym
+   episode on the 100 µs / 20 ms rig (a 200:1 ratio). The rate terms
+   (1/srtt² in LIA/OLIA, 1/srtt in Balia) span 4+ orders of magnitude
+   across siblings here, so the assertions are the safety core: windows
+   stay finite, at least one segment, and bounded — a coupling that
+   mishandles the ratio shows up as a NaN, a collapse below 1, or a
+   runaway increase within the episode's ~75 steps. *)
+let test_rtt_asym_matrix () =
+  let ep = Conformance.asym_episode in
+  List.iter
+    (fun scheme ->
+      let rig = Conformance.make_asym_rig scheme in
+      List.iteri
+        (fun idx step ->
+          let pre = Conformance.cwnd rig 0 in
+          Conformance.apply rig step;
+          let post = Conformance.cwnd rig 0 in
+          let total = Conformance.total_cwnd rig in
+          Alcotest.(check bool)
+            (ctx scheme ep idx "cwnd finite under 200:1 RTT ratio")
+            true
+            (Float.is_finite post && Float.is_finite total);
+          Alcotest.(check bool)
+            (ctx scheme ep idx "cwnd >= 1 under 200:1 RTT ratio")
+            true
+            (post >= 1. -. eps);
+          Alcotest.(check bool)
+            (ctx scheme ep idx "aggregate window bounded")
+            true
+            (total < 1e6);
+          match step with
+          | Conformance.Ack _ | Conformance.Sibling_ack _ ->
+            Alcotest.(check bool)
+              (ctx scheme ep idx "clean progress never shrinks subflow 0")
+              true
+              (post >= pre -. eps)
+          | Conformance.Timeout ->
+            Alcotest.(check bool)
+              (ctx scheme ep idx "timeout collapses despite slow sibling")
+              true
+              (post <= 2. +. eps)
+          | Conformance.Ce_ack _ | Conformance.Fast_retransmit -> ())
+        ep.Conformance.steps)
+    Conformance.schemes
+
 let test_profiles_cover_schemes () =
   Alcotest.(check int)
     "one profile per conformance scheme"
@@ -227,6 +272,8 @@ let suite =
   [
     Alcotest.test_case "property matrix over all schemes x episodes" `Quick
       test_matrix;
+    Alcotest.test_case "rtt-asym: all schemes bounded at 200:1 ratios" `Quick
+      test_rtt_asym_matrix;
     Alcotest.test_case "profiles cover the scheme list" `Quick
       test_profiles_cover_schemes;
     Alcotest.test_case "golden cwnd traces" `Quick test_golden_traces;

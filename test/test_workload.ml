@@ -113,7 +113,19 @@ let test_scheme_names () =
   Alcotest.(check string) "amp classic" "AMP-2:ect=classic"
     (Scheme.name (Scheme.amp ~ect:Scheme.Classic 2));
   Alcotest.(check string) "amp counted is default" "AMP-2"
-    (Scheme.name (Scheme.amp ~ect:Scheme.Counted 2))
+    (Scheme.name (Scheme.amp ~ect:Scheme.Counted 2));
+  (* the generic RTO keys print after the kind-specific ones, in whole
+     nanoseconds *)
+  Alcotest.(check string) "rto floor" "XMP-2:rtomin=1000000"
+    (Scheme.name (Scheme.with_rto ~rto_min:(Time.ms 1) (Scheme.xmp 2)));
+  Alcotest.(check string) "rto both, after kind opts"
+    "XMP-2:beta=6,k=20,rtomin=1000000,rtomax=60000000"
+    (Scheme.name
+       (Scheme.with_rto ~rto_min:(Time.ms 1) ~rto_max:(Time.ms 60)
+          (Scheme.xmp ~beta:6 ~k:20 2)));
+  Alcotest.(check string) "rto on a single-path scheme"
+    "DCTCP:rtomax=200000000"
+    (Scheme.name (Scheme.with_rto ~rto_max:(Time.ms 200) Scheme.dctcp))
 
 let test_scheme_parse () =
   Alcotest.(check bool) "roundtrip" true
@@ -173,7 +185,27 @@ let test_scheme_tunable_grammar () =
   (* AMP's default echo mode spelled out parses to the same value the
      canonical (suffix-free) name denotes *)
   Alcotest.(check bool) "amp counted alias" true
-    (Scheme.of_name "AMP-2:ect=classic" <> Scheme.of_name "AMP-2")
+    (Scheme.of_name "AMP-2:ect=classic" <> Scheme.of_name "AMP-2");
+  (* the generic RTO keys parse on any kind and round-trip exactly *)
+  parses "XMP-2:rtomin=1000000"
+    (Scheme.with_rto ~rto_min:(Time.ms 1) (Scheme.xmp 2));
+  parses "dctcp:RTOMAX=200000000"
+    (Scheme.with_rto ~rto_max:(Time.ms 200) Scheme.dctcp);
+  parses "LIA-2:rtomin=40260000,rtomax=60000000000"
+    (Scheme.with_rto ~rto_min:40_260_000 ~rto_max:(Time.sec 60.)
+       (Scheme.lia 2));
+  (* a floor above the ceiling, zero/negative values, duplicates, and
+     fractional nanoseconds are all rejected *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reject %S" s)
+        true
+        (Scheme.of_name s = None))
+    [
+      "XMP-2:rtomin=2000000,rtomax=1000000"; "XMP-2:rtomin=0";
+      "XMP-2:rtomax=-1"; "XMP-2:rtomin=1,rtomin=2"; "XMP-2:rtomin=1.5";
+    ]
 
 let test_scheme_tunables_thread () =
   let o = Scheme.default_overrides in
